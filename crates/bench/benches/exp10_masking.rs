@@ -1,0 +1,22 @@
+//! EXP-10 bench: regenerates the masking trade-off sweep (reduced scale)
+//! and times it.
+
+use aro_bench::bench_config;
+use aro_circuit::ring::RoStyle;
+use aro_sim::experiments::exp10;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("exp10_masking_sweep", |b| {
+        b.iter(|| black_box(exp10::masking_sweep(black_box(&cfg), RoStyle::Conventional)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

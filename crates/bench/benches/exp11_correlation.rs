@@ -1,0 +1,28 @@
+//! EXP-11 bench: regenerates one correlated-field design point
+//! (includes the per-design Cholesky factorization) and times it.
+
+use aro_bench::bench_config;
+use aro_puf::PairingStrategy;
+use aro_sim::experiments::exp11;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("exp11_correlated_point", |b| {
+        b.iter(|| {
+            black_box(exp11::evaluate(
+                black_box(&cfg),
+                0.02,
+                &PairingStrategy::Neighbor,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

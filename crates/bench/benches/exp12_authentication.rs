@@ -1,0 +1,27 @@
+//! EXP-12 bench: regenerates the authentication distance distributions
+//! (reduced scale) and times one style's genuine+impostor sampling.
+
+use aro_bench::bench_config;
+use aro_circuit::ring::RoStyle;
+use aro_sim::experiments::exp12;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("exp12_distance_samples", |b| {
+        b.iter(|| {
+            black_box(exp12::distance_samples(
+                black_box(&cfg),
+                RoStyle::AgingResistant,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! EXP-13 bench: regenerates one seed's headline pair (reduced scale)
+//! and times it — the unit of the robustness sweep.
+
+use aro_bench::bench_config;
+use aro_circuit::ring::RoStyle;
+use aro_sim::experiments::exp13;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("exp13_headline_one_seed", |b| {
+        b.iter(|| black_box(exp13::headline(black_box(&cfg), RoStyle::Conventional, 42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! EXP-14 bench: regenerates the soft-vs-hard key trial (reduced scale)
+//! and times it.
+
+use aro_bench::bench_config;
+use aro_sim::experiments::exp14;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = bench_config();
+    cfg.key_bits = 32;
+    c.bench_function("exp14_soft_gain_trial", |b| {
+        b.iter(|| black_box(exp14::measure(black_box(&cfg), 2, 1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

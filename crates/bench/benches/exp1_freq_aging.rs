@@ -1,0 +1,22 @@
+//! EXP-1 bench: regenerates the frequency-degradation figure (reduced
+//! scale) and times its kernel — a single chip aged through the full
+//! checkpoint schedule.
+
+use aro_bench::bench_config;
+use aro_sim::experiments::exp1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("exp1_freq_aging", |b| {
+        b.iter(|| black_box(exp1::run(black_box(&cfg))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! EXP-2 bench: regenerates the flipped-bits-vs-time series (reduced
+//! scale) and times the enrollment + aging + re-read pipeline per style.
+
+use aro_bench::bench_config;
+use aro_circuit::ring::RoStyle;
+use aro_sim::experiments::exp2;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("exp2_bitflips");
+    for style in [RoStyle::Conventional, RoStyle::AgingResistant] {
+        group.bench_function(style.label(), |b| {
+            b.iter(|| black_box(exp2::flip_timeline(black_box(&cfg), style)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

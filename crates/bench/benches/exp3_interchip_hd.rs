@@ -1,0 +1,26 @@
+//! EXP-3 bench: regenerates the inter-chip HD distribution (reduced
+//! scale) and times the population-response + pairwise-HD kernel.
+
+use aro_bench::bench_config;
+use aro_circuit::ring::RoStyle;
+use aro_sim::experiments::exp3;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("exp3_interchip_hd");
+    for style in [RoStyle::Conventional, RoStyle::AgingResistant] {
+        group.bench_function(style.label(), |b| {
+            b.iter(|| black_box(exp3::interchip_sample(black_box(&cfg), style)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

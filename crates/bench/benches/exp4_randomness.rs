@@ -1,0 +1,35 @@
+//! EXP-4 bench: regenerates the randomness/reliability tables (reduced
+//! scale) and times the NIST-lite battery on a PUF-sized bit stream.
+
+use aro_bench::bench_config;
+use aro_metrics::bits::BitString;
+use aro_metrics::nist;
+use aro_sim::experiments::exp4;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("exp4_randomness_full", |b| {
+        b.iter(|| black_box(exp4::run(black_box(&cfg))))
+    });
+
+    // The battery alone on a 100-chip x 128-bit stream.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let bits = BitString::from_fn(12_800, |_| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 63) & 1 == 1
+    });
+    c.bench_function("nist_battery_12800_bits", |b| {
+        b.iter(|| black_box(nist::battery(black_box(&bits))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

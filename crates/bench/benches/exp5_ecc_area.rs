@@ -1,0 +1,33 @@
+//! EXP-5 bench: regenerates the area table's design-space search at the
+//! paper's two headline BERs and times it.
+
+use aro_ecc::area::{search_design, PufAreaParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn params() -> PufAreaParams {
+    PufAreaParams {
+        ro_cell_ge: 3.0,
+        readout_fixed_ge: 136.0,
+        readout_per_ro_ge: 3.0,
+        ros_per_bit: 2.0,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let puf = params();
+    let mut group = c.benchmark_group("exp5_ecc_area");
+    for (label, ber) in [("conventional_ber_0.40", 0.40), ("aro_ber_0.11", 0.11)] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(search_design(black_box(ber), 128, 1e-6, &puf)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

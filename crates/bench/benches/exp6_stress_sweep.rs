@@ -1,0 +1,31 @@
+//! EXP-6 bench: regenerates one point of each ablation sweep (duty and
+//! temperature) and times it.
+
+use aro_bench::bench_config;
+use aro_circuit::ring::RoStyle;
+use aro_sim::experiments::exp6;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("exp6_duty_point", |b| {
+        b.iter(|| black_box(exp6::flip_rate_at_duty(black_box(&cfg), 0.01)))
+    });
+    c.bench_function("exp6_temp_point", |b| {
+        b.iter(|| {
+            black_box(exp6::flip_rate_at_temp(
+                black_box(&cfg),
+                RoStyle::Conventional,
+                85.0,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! EXP-7 bench: regenerates the pairing/masking trade-off for the two
+//! extreme strategies and times them.
+
+use aro_bench::bench_config;
+use aro_circuit::ring::RoStyle;
+use aro_puf::PairingStrategy;
+use aro_sim::experiments::exp7;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("exp7_pairing");
+    for strategy in [
+        PairingStrategy::Neighbor,
+        PairingStrategy::SortedOneOutOfK { k: 8 },
+    ] {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                black_box(exp7::evaluate(
+                    black_box(&cfg),
+                    RoStyle::Conventional,
+                    strategy,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

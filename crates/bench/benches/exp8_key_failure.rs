@@ -1,0 +1,37 @@
+//! EXP-8 bench: regenerates the end-to-end key flow for one chip batch
+//! (small key to keep the array tractable at bench cadence) and times it.
+
+use aro_bench::bench_config;
+use aro_circuit::ring::RoStyle;
+use aro_ecc::keygen::KeyGenerator;
+use aro_sim::experiments::exp8;
+use aro_sim::runner::puf_area_params;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = bench_config();
+    cfg.key_bits = 32;
+    let params = puf_area_params(RoStyle::AgingResistant, 5);
+    let generator =
+        KeyGenerator::for_bit_error_rate(0.10, cfg.key_bits, cfg.key_fail_target, &params)
+            .expect("feasible design point");
+    c.bench_function("exp8_key_trial_2_chips", |b| {
+        b.iter(|| {
+            black_box(exp8::run_trial(
+                black_box(&cfg),
+                RoStyle::AgingResistant,
+                &generator,
+                2,
+                1,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

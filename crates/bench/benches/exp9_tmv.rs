@@ -1,0 +1,22 @@
+//! EXP-9 bench: regenerates the TMV-vs-aging-floor curves (reduced
+//! scale) and times one style's sweep.
+
+use aro_bench::bench_config;
+use aro_circuit::ring::RoStyle;
+use aro_sim::experiments::exp9;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("exp9_tmv_curves", |b| {
+        b.iter(|| black_box(exp9::tmv_curves(black_box(&cfg), RoStyle::AgingResistant)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

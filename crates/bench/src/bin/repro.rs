@@ -1,0 +1,121 @@
+//! `repro` — regenerates every table and figure of the ARO-PUF paper.
+//!
+//! ```text
+//! repro                 # all experiments at paper scale (100 chips)
+//! repro exp2 exp5       # a subset
+//! repro --quick         # all experiments at smoke-test scale
+//! repro --seed 7 exp3   # a different Monte Carlo seed
+//! repro --csv out/      # additionally dump every table as CSV
+//! repro --list          # what is available
+//! ```
+//!
+//! Output is markdown: tables render as pipe tables, figures as data
+//! listings (x column + one y column per series).
+
+use aro_sim::experiments::{run_all, run_by_id};
+use aro_sim::{Report, SimConfig};
+use std::path::PathBuf;
+
+const EXPERIMENTS: [(&str, &str); 14] = [
+    ("exp1", "RO frequency degradation vs. time"),
+    (
+        "exp2",
+        "Percentage of flipped bits vs. time (paper: 32 % vs 7.7 %)",
+    ),
+    (
+        "exp3",
+        "Inter-chip Hamming distance (paper: ~45 % vs 49.67 %)",
+    ),
+    ("exp4", "Randomness and environmental reliability"),
+    ("exp5", "PUF + ECC area for a 128-bit key (paper: ~24x)"),
+    ("exp6", "Ablation: stress duty and temperature sweep"),
+    ("exp7", "Ablation: pairing / masking strategies"),
+    ("exp8", "End-to-end key generation over ten years"),
+    (
+        "exp9",
+        "Ablation: temporal majority voting vs. the aging floor",
+    ),
+    ("exp10", "Ablation: margin-threshold masking trade-off"),
+    (
+        "exp11",
+        "Ablation: spatially correlated variation vs. pairing distance",
+    ),
+    ("exp12", "Authentication FAR/FRR after ten years"),
+    ("exp13", "Seed robustness of the headline claims"),
+    ("exp14", "Soft-decision decoding gain"),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--quick] [--seed N] [--csv DIR] [--list] [exp1 .. exp11]");
+    std::process::exit(2);
+}
+
+/// Writes every table of a report as `DIR/<exp>_<index>.csv`.
+fn dump_csv(report: &Report, dir: &PathBuf) {
+    std::fs::create_dir_all(dir).expect("create csv directory");
+    for (i, table) in report.tables().iter().enumerate() {
+        let name = format!("{}_{i}.csv", report.id().to_lowercase().replace('-', ""));
+        let path = dir.join(name);
+        std::fs::write(&path, table.to_csv())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+}
+
+fn emit(report: &Report, csv_dir: Option<&PathBuf>) {
+    println!("{report}");
+    if let Some(dir) = csv_dir {
+        dump_csv(report, dir);
+    }
+}
+
+fn main() {
+    let mut cfg = SimConfig::paper();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = SimConfig::quick(),
+            "--seed" => {
+                let Some(seed) = args.next().and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                cfg = cfg.with_seed(seed);
+            }
+            "--csv" => {
+                let Some(dir) = args.next() else { usage() };
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--list" => {
+                for (id, title) in EXPERIMENTS {
+                    println!("{id}  {title}");
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            id if id.starts_with("exp") => ids.push(id.to_string()),
+            _ => usage(),
+        }
+    }
+
+    println!(
+        "# ARO-PUF (DATE 2014) reproduction — {} chips x {} ROs, seed {}\n",
+        cfg.n_chips, cfg.n_ros, cfg.seed
+    );
+
+    if ids.is_empty() {
+        for report in run_all(&cfg) {
+            emit(&report, csv_dir.as_ref());
+        }
+    } else {
+        for id in ids {
+            match run_by_id(&id, &cfg) {
+                Some(report) => emit(&report, csv_dir.as_ref()),
+                None => {
+                    eprintln!("unknown experiment `{id}` (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+}

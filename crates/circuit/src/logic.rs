@@ -1,0 +1,596 @@
+//! A small event-driven gate-level logic simulator.
+//!
+//! The RO-PUF's readout datapath — ripple counters behind muxes, a
+//! comparator — is digital hardware. The behavioural model in
+//! [`crate::readout`] is what the Monte Carlo experiments run (it is four
+//! orders of magnitude faster), but the substitution needs evidence: this
+//! module simulates the *actual netlist* of a ripple counter driven by an
+//! oscillating source and shows the behavioural counter matches it (see
+//! `counter_netlist_matches_behavioral_model` below and the
+//! `gate_level_readout` integration test).
+//!
+//! The simulator is a classic discrete-event kernel: nets carry boolean
+//! levels, gates re-evaluate when an input changes and schedule their
+//! output after a propagation delay, and edge-triggered D flip-flops
+//! sample on the rising clock edge.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A net (wire) in the circuit, identified by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+/// Combinational gate kinds (plus the sequential DFF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2:1 mux: inputs `[select, a, b]`, output = `select ? b : a`.
+    Mux2,
+    /// Rising-edge D flip-flop: inputs `[clk, d]`.
+    Dff,
+}
+
+impl GateKind {
+    /// Number of input pins.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            Self::Inv => 1,
+            Self::Mux2 => 3,
+            Self::Dff => 2,
+            _ => 2,
+        }
+    }
+
+    fn eval(self, inputs: &[bool], state: bool) -> bool {
+        match self {
+            Self::Inv => !inputs[0],
+            Self::Nand2 => !(inputs[0] && inputs[1]),
+            Self::Nor2 => !(inputs[0] || inputs[1]),
+            Self::And2 => inputs[0] && inputs[1],
+            Self::Or2 => inputs[0] || inputs[1],
+            Self::Xor2 => inputs[0] ^ inputs[1],
+            Self::Mux2 => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+            Self::Dff => state,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Gate {
+    kind: GateKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+    delay_ps: u64,
+    /// DFF stored value.
+    state: bool,
+}
+
+/// A gate-level netlist plus its event-driven simulation state.
+#[derive(Debug, Clone)]
+pub struct LogicCircuit {
+    gates: Vec<Gate>,
+    net_values: Vec<bool>,
+    /// For each net: gates watching it.
+    fanout: Vec<Vec<usize>>,
+    /// Event queue: (time_ps, net, value), min-heap by time then insertion.
+    events: BinaryHeap<Reverse<(u64, u64, usize, bool)>>,
+    sequence: u64,
+    now_ps: u64,
+}
+
+impl Default for LogicCircuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogicCircuit {
+    /// An empty circuit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            gates: Vec::new(),
+            net_values: Vec::new(),
+            fanout: Vec::new(),
+            events: BinaryHeap::new(),
+            sequence: 0,
+            now_ps: 0,
+        }
+    }
+
+    /// Allocates a new net, initially low.
+    pub fn net(&mut self) -> NetId {
+        self.net_at(false)
+    }
+
+    /// Allocates a new net with a chosen power-up level — needed to
+    /// initialize feedback loops into a single consistent state (an ideal
+    /// event-driven ring would otherwise sustain every wave launched by
+    /// an inconsistent power-up).
+    pub fn net_at(&mut self, level: bool) -> NetId {
+        self.net_values.push(level);
+        self.fanout.push(Vec::new());
+        NetId(self.net_values.len() - 1)
+    }
+
+    /// Adds a gate driving a fresh output net; returns that net.
+    ///
+    /// # Panics
+    /// Panics if the input count does not match the gate's arity or an
+    /// input net does not exist.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId], delay_ps: u64) -> NetId {
+        let output = self.net();
+        self.gate_into(kind, inputs, output, delay_ps);
+        output
+    }
+
+    /// Adds a gate driving an *existing* net — required for feedback
+    /// loops (e.g. a toggle flip-flop's D input). The caller is
+    /// responsible for single-driver discipline.
+    ///
+    /// # Panics
+    /// Panics if the input count does not match the gate's arity or any
+    /// net does not exist.
+    pub fn gate_into(&mut self, kind: GateKind, inputs: &[NetId], output: NetId, delay_ps: u64) {
+        assert_eq!(inputs.len(), kind.arity(), "wrong input count for {kind:?}");
+        for net in inputs.iter().chain(std::iter::once(&output)) {
+            assert!(net.0 < self.net_values.len(), "dangling net");
+        }
+        let index = self.gates.len();
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            delay_ps,
+            state: false,
+        });
+        for input in inputs {
+            self.fanout[input.0].push(index);
+        }
+        // Schedule the gate's power-up evaluation so constant-0 inputs
+        // still produce correct initial levels (an inverter of a low net
+        // must rise without waiting for an input *change*).
+        if kind != GateKind::Dff {
+            let input_levels: Vec<bool> = inputs.iter().map(|n| self.net_values[n.0]).collect();
+            let initial = kind.eval(&input_levels, false);
+            self.schedule_output(output, initial, delay_ps);
+        }
+    }
+
+    /// Current level of a net.
+    ///
+    /// # Panics
+    /// Panics if the net does not exist.
+    #[must_use]
+    pub fn level(&self, net: NetId) -> bool {
+        self.net_values[net.0]
+    }
+
+    /// Current simulation time in picoseconds.
+    #[must_use]
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    /// Schedules an external drive of `net` to `value` at absolute time
+    /// `at_ps`.
+    ///
+    /// # Panics
+    /// Panics if `at_ps` is in the past.
+    pub fn drive(&mut self, net: NetId, value: bool, at_ps: u64) {
+        assert!(at_ps >= self.now_ps, "cannot drive in the past");
+        self.sequence += 1;
+        self.events
+            .push(Reverse((at_ps, self.sequence, net.0, value)));
+    }
+
+    /// Schedules a square-wave clock on `net`: period `period_ps`,
+    /// starting with a rising edge at `start_ps`, for `cycles` cycles.
+    pub fn drive_clock(&mut self, net: NetId, period_ps: u64, start_ps: u64, cycles: usize) {
+        assert!(period_ps >= 2, "period must fit a high and a low phase");
+        for c in 0..cycles {
+            let rise = start_ps + c as u64 * period_ps;
+            self.drive(net, true, rise);
+            self.drive(net, false, rise + period_ps / 2);
+        }
+    }
+
+    /// Runs the simulation until the event queue drains or `until_ps` is
+    /// reached, whichever comes first.
+    pub fn run_until(&mut self, until_ps: u64) {
+        while let Some(Reverse((t, _, net, value))) = self.events.peek().copied() {
+            if t > until_ps {
+                break;
+            }
+            self.events.pop();
+            self.now_ps = t;
+            if self.net_values[net] == value {
+                continue;
+            }
+            // Capture rising edges before updating, for DFF clocking.
+            let rising = value && !self.net_values[net];
+            self.net_values[net] = value;
+            let watchers = self.fanout[net].clone();
+            for g in watchers {
+                self.evaluate_gate(g, net, rising);
+            }
+        }
+        self.now_ps = self.now_ps.max(until_ps);
+    }
+
+    fn evaluate_gate(&mut self, g: usize, changed_net: usize, rising: bool) {
+        let (kind, delay, output, state) = {
+            let gate = &self.gates[g];
+            (gate.kind, gate.delay_ps, gate.output, gate.state)
+        };
+        if kind == GateKind::Dff {
+            // Only a rising edge on the clock pin (input 0) matters.
+            let clk = self.gates[g].inputs[0];
+            if clk.0 != changed_net || !rising {
+                return;
+            }
+            let d = self.net_values[self.gates[g].inputs[1].0];
+            self.gates[g].state = d;
+            self.schedule_output(output, d, delay);
+            return;
+        }
+        let inputs: Vec<bool> = self.gates[g]
+            .inputs
+            .iter()
+            .map(|n| self.net_values[n.0])
+            .collect();
+        let new_value = kind.eval(&inputs, state);
+        self.schedule_output(output, new_value, delay);
+    }
+
+    fn schedule_output(&mut self, output: NetId, value: bool, delay_ps: u64) {
+        self.sequence += 1;
+        self.events.push(Reverse((
+            self.now_ps + delay_ps,
+            self.sequence,
+            output.0,
+            value,
+        )));
+    }
+}
+
+/// A free-running gate-level ring oscillator: an odd inverter chain with
+/// feedback, built in the event simulator.
+///
+/// Complements [`RippleCounter`]: together they re-create the whole
+/// oscillator-plus-counter readout in actual logic, cross-validating the
+/// analytic models (see `free_running_ring_period_is_the_delay_sum`).
+#[derive(Debug, Clone)]
+pub struct GateLevelRing {
+    circuit: LogicCircuit,
+    tap: NetId,
+    period_sum_ps: u64,
+}
+
+impl GateLevelRing {
+    /// Builds a free-running ring from per-stage delays (one inverter per
+    /// entry; the count must be odd) and lets it start oscillating.
+    ///
+    /// # Panics
+    /// Panics if the stage count is even, zero, or any delay is zero.
+    #[must_use]
+    pub fn new(stage_delays_ps: &[u64]) -> Self {
+        assert!(
+            !stage_delays_ps.is_empty() && stage_delays_ps.len() % 2 == 1,
+            "ring needs an odd stage count"
+        );
+        assert!(
+            stage_delays_ps.iter().all(|&d| d > 0),
+            "zero-delay stages oscillate unphysically"
+        );
+        let mut circuit = LogicCircuit::new();
+        // Preset a consistent alternating state so power-up launches
+        // exactly ONE wave (at the loop-closure contradiction) instead of
+        // one per stage.
+        let feedback = circuit.net_at(false);
+        let mut node = feedback;
+        let mut level = false;
+        let mut tap = feedback;
+        for &delay in stage_delays_ps {
+            level = !level;
+            let out = circuit.net_at(level);
+            circuit.gate_into(GateKind::Inv, &[node], out, delay);
+            node = out;
+            tap = out;
+        }
+        // Close the loop: the last node is high (odd count) but feedback
+        // was preset low — this single inconsistency starts the wave.
+        circuit.gate_into(GateKind::Or2, &[node, node], feedback, 1);
+        Self {
+            circuit,
+            tap,
+            period_sum_ps: 2 * (stage_delays_ps.iter().sum::<u64>() + 1),
+        }
+    }
+
+    /// The analytic period (twice the loop delay), in picoseconds.
+    #[must_use]
+    pub fn analytic_period_ps(&self) -> u64 {
+        self.period_sum_ps
+    }
+
+    /// Runs the ring and measures the mean period over `periods` cycles
+    /// from the output-tap rising edges, in picoseconds.
+    ///
+    /// # Panics
+    /// Panics if the ring fails to produce enough edges (cannot happen
+    /// for a validly constructed ring).
+    pub fn measure_period_ps(&mut self, periods: usize) -> f64 {
+        let deadline = self.circuit.now_ps() + (periods as u64 + 4) * self.period_sum_ps;
+        let mut rising: Vec<u64> = Vec::new();
+        let mut prev = self.circuit.level(self.tap);
+        // Step the simulation in small quanta, sampling edges on the tap.
+        let quantum = (self.period_sum_ps / 64).max(1);
+        let mut t = self.circuit.now_ps();
+        while t < deadline && rising.len() <= periods + 1 {
+            t += quantum;
+            self.circuit.run_until(t);
+            let now = self.circuit.level(self.tap);
+            if now && !prev {
+                rising.push(self.circuit.now_ps());
+            }
+            prev = now;
+        }
+        assert!(rising.len() >= 2, "ring did not oscillate");
+        let n = rising.len() - 1;
+        (rising[n] - rising[0]) as f64 / n as f64
+    }
+}
+
+/// A gate-level asynchronous (ripple) counter built from T-stages
+/// (a DFF whose D input is its inverted output).
+#[derive(Debug, Clone)]
+pub struct RippleCounter {
+    circuit: LogicCircuit,
+    clock: NetId,
+    bit_nets: Vec<NetId>,
+}
+
+impl RippleCounter {
+    /// Builds a `bits`-wide ripple counter clocked by an external net.
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero.
+    #[must_use]
+    pub fn new(bits: usize) -> Self {
+        assert!(bits >= 1, "counter needs at least one bit");
+        let mut circuit = LogicCircuit::new();
+        let clock = circuit.net();
+        let mut bit_nets = Vec::with_capacity(bits);
+        let mut stage_clock = clock;
+        for _ in 0..bits {
+            // T-stage: q = DFF(clk = stage_clock, d = !q). The feedback
+            // inverter is what turns the DFF into a toggle.
+            let q_feedback = circuit.net();
+            let q = circuit.gate(GateKind::Dff, &[stage_clock, q_feedback], 20);
+            let q_bar = circuit.gate(GateKind::Inv, &[q], 10);
+            // Close the loop: a buffer (OR of a net with itself) drives
+            // the pre-allocated feedback net from q_bar.
+            circuit.gate_into(GateKind::Or2, &[q_bar, q_bar], q_feedback, 1);
+            // Next stage clocks on this stage's inverted output (counts on
+            // falling edges of q, i.e. rising edges of q_bar).
+            stage_clock = q_bar;
+            bit_nets.push(q);
+        }
+        // Let power-up evaluation settle: q = 0, q_bar = 1, feedback = 1.
+        circuit.run_until(1_000);
+        Self {
+            circuit,
+            clock,
+            bit_nets,
+        }
+    }
+
+    /// Number of counter bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bit_nets.len()
+    }
+
+    /// Feeds `cycles` clock cycles of period `period_ps` and settles.
+    pub fn count_pulses(&mut self, cycles: usize, period_ps: u64) {
+        let start = self.circuit.now_ps() + period_ps;
+        self.circuit
+            .drive_clock(self.clock, period_ps, start, cycles);
+        let settle = start + (cycles as u64 + 2) * period_ps + 1_000;
+        self.circuit.run_until(settle);
+    }
+
+    /// The current counter value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.bit_nets
+            .iter()
+            .enumerate()
+            .map(|(i, &net)| u64::from(self.circuit.level(net)) << i)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_gates_evaluate_truth_tables() {
+        for (kind, table) in [
+            (GateKind::Nand2, [true, true, true, false]),
+            (GateKind::Nor2, [true, false, false, false]),
+            (GateKind::And2, [false, false, false, true]),
+            (GateKind::Or2, [false, true, true, true]),
+            (GateKind::Xor2, [false, true, true, false]),
+        ] {
+            for (i, expected) in table.iter().enumerate() {
+                let mut c = LogicCircuit::new();
+                let a = c.net();
+                let b = c.net();
+                let y = c.gate(kind, &[a, b], 5);
+                c.drive(a, i & 1 != 0, 10);
+                c.drive(b, i & 2 != 0, 10);
+                c.run_until(100);
+                assert_eq!(c.level(y), *expected, "{kind:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_chain_accumulates_delay() {
+        let mut c = LogicCircuit::new();
+        let input = c.net();
+        let n1 = c.gate(GateKind::Inv, &[input], 10);
+        let n2 = c.gate(GateKind::Inv, &[n1], 10);
+        let n3 = c.gate(GateKind::Inv, &[n2], 10);
+        c.drive(input, true, 100);
+        c.run_until(115);
+        assert!(!c.level(n1) || c.now_ps() < 110);
+        c.run_until(200);
+        assert!(!c.level(n3), "three inversions of 1 → 0");
+        assert!(c.level(n2));
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut c = LogicCircuit::new();
+        let sel = c.net();
+        let a = c.net();
+        let b = c.net();
+        let y = c.gate(GateKind::Mux2, &[sel, a, b], 5);
+        c.drive(a, true, 10);
+        c.drive(b, false, 10);
+        c.run_until(50);
+        assert!(c.level(y), "sel=0 picks a");
+        c.drive(sel, true, 60);
+        c.run_until(100);
+        assert!(!c.level(y), "sel=1 picks b");
+    }
+
+    #[test]
+    fn dff_samples_on_rising_edge_only() {
+        let mut c = LogicCircuit::new();
+        let clk = c.net();
+        let d = c.net();
+        let q = c.gate(GateKind::Dff, &[clk, d], 5);
+        c.drive(d, true, 10);
+        c.run_until(50);
+        assert!(!c.level(q), "no edge yet");
+        c.drive(clk, true, 100);
+        c.run_until(150);
+        assert!(c.level(q), "sampled 1 on the rising edge");
+        c.drive(d, false, 200);
+        c.drive(clk, false, 250); // falling edge: no sample
+        c.run_until(300);
+        assert!(c.level(q), "falling edge must not sample");
+        c.drive(clk, true, 400);
+        c.run_until(450);
+        assert!(!c.level(q), "next rising edge samples 0");
+    }
+
+    #[test]
+    fn free_running_ring_period_is_the_delay_sum() {
+        let mut ring = GateLevelRing::new(&[20, 25, 20, 25, 20]);
+        let analytic = ring.analytic_period_ps() as f64;
+        let measured = ring.measure_period_ps(20);
+        assert!(
+            (measured / analytic - 1.0).abs() < 0.05,
+            "measured {measured} ps vs analytic {analytic} ps"
+        );
+    }
+
+    #[test]
+    fn slower_stages_make_a_slower_gate_level_ring() {
+        let fast = GateLevelRing::new(&[20, 20, 20]).measure_period_ps(20);
+        let slow = GateLevelRing::new(&[30, 30, 30]).measure_period_ps(20);
+        assert!(slow > 1.3 * fast, "slow {slow} vs fast {fast}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd stage count")]
+    fn even_gate_level_ring_panics() {
+        let _ = GateLevelRing::new(&[10, 10]);
+    }
+
+    #[test]
+    fn ripple_counter_counts_exactly() {
+        let mut counter = RippleCounter::new(8);
+        assert_eq!(counter.value(), 0);
+        counter.count_pulses(1, 1_000);
+        assert_eq!(counter.value(), 1);
+        counter.count_pulses(4, 1_000);
+        assert_eq!(counter.value(), 5);
+        counter.count_pulses(95, 1_000);
+        assert_eq!(counter.value(), 100);
+    }
+
+    #[test]
+    fn ripple_counter_wraps_at_width() {
+        let mut counter = RippleCounter::new(4);
+        counter.count_pulses(18, 1_000);
+        assert_eq!(counter.value(), 2, "16 + 2 wraps a 4-bit counter");
+    }
+
+    #[test]
+    fn counter_netlist_matches_behavioral_model() {
+        // The central validation: gate-level count == floor(f · T) from
+        // the behavioural readout, for a noiseless source.
+        let f_hz = 1.0e9;
+        let gate_time_s = 257e-9; // 257 cycles
+        let period_ps = (1e12 / f_hz) as u64;
+        let cycles = (f_hz * gate_time_s) as usize;
+        let mut counter = RippleCounter::new(12);
+        counter.count_pulses(cycles, period_ps);
+        assert_eq!(counter.value(), cycles as u64);
+        let behavioral = crate::readout::ReadoutConfig::ideal();
+        let mut rng = aro_device::rng::SeedDomain::new(1).rng(0);
+        let mut cfg = behavioral;
+        cfg.gate_time_s = gate_time_s;
+        let m = cfg.measure(f_hz, &mut rng);
+        assert!(
+            (m.count() as i64 - counter.value() as i64).abs() <= 1,
+            "behavioural {} vs gate-level {}",
+            m.count(),
+            counter.value()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input count")]
+    fn arity_mismatch_panics() {
+        let mut c = LogicCircuit::new();
+        let a = c.net();
+        let _ = c.gate(GateKind::Nand2, &[a], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drive in the past")]
+    fn past_drive_panics() {
+        let mut c = LogicCircuit::new();
+        let a = c.net();
+        c.drive(a, true, 100);
+        c.run_until(200);
+        c.drive(a, false, 50);
+    }
+}

@@ -1,0 +1,261 @@
+//! Counter-based frequency readout.
+//!
+//! A real RO-PUF never sees a frequency directly: each selected ring drives
+//! a binary counter for a fixed **gate time**, and the pair's two counts
+//! are compared. Two noise sources matter:
+//!
+//! * **Quantization** — the count is `floor(f · T + phase)`; short gate
+//!   times leave few counts and the ±1 LSB matters for close pairs.
+//! * **Jitter and environmental micro-noise** — accumulated period jitter
+//!   shrinks with `1/sqrt(cycles)`, while supply/temperature
+//!   micro-fluctuations put a floor on the relative error that does not
+//!   average out within one gate window.
+//!
+//! The paper (like Suh & Devadas) reads all pairs with two shared counters
+//! behind muxes, so a ring only oscillates — and only *ages by HCI* —
+//! during its own measurement windows. [`ReadoutConfig::active_time_per_ro`]
+//! exposes exactly that duration to the mission-profile scheduler.
+
+use rand::Rng;
+
+use aro_device::rng::standard_normal;
+
+/// Configuration of the counter-based readout path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadoutConfig {
+    /// Counter gate time in seconds.
+    pub gate_time_s: f64,
+    /// Cycle-to-cycle period jitter, relative to the period. Its effect on
+    /// the count shrinks as `1/sqrt(cycles)`.
+    pub jitter_rel: f64,
+    /// Floor of the relative frequency error from supply/temperature
+    /// micro-fluctuation within a gate window (does not average out).
+    pub sigma_meas_rel: f64,
+}
+
+impl Default for ReadoutConfig {
+    /// 100 µs gate time, 1 % cycle jitter, 0.02 % environmental floor —
+    /// a counter resolution comparable to published RO-PUF testbeds.
+    fn default() -> Self {
+        Self {
+            gate_time_s: 100e-6,
+            jitter_rel: 0.01,
+            sigma_meas_rel: 2e-4,
+        }
+    }
+}
+
+impl ReadoutConfig {
+    /// A noiseless, quantization-only readout (for deterministic tests).
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self {
+            gate_time_s: 100e-6,
+            jitter_rel: 0.0,
+            sigma_meas_rel: 0.0,
+        }
+    }
+
+    /// The default readout with its environmental floor widened by the
+    /// RTN (random-telegraph-noise) contribution of the ring's devices —
+    /// trap occupancy does not average out within a gate window, so it
+    /// adds in quadrature to the floor. See [`aro_device::rtn`].
+    #[must_use]
+    pub fn with_rtn_floor(
+        tech: &aro_device::params::TechParams,
+        geometry: aro_device::mosfet::Geometry,
+        n_transistors: usize,
+    ) -> Self {
+        let base = Self::default();
+        let rtn = aro_device::rtn::frequency_sigma_rel(tech, geometry, n_transistors);
+        Self {
+            sigma_meas_rel: (base.sigma_meas_rel.powi(2) + rtn.powi(2)).sqrt(),
+            ..base
+        }
+    }
+
+    /// Relative 1-sigma error of a frequency estimate for a ring running
+    /// at `freq` hertz.
+    #[must_use]
+    pub fn sigma_rel_at(&self, freq: f64) -> f64 {
+        let cycles = (freq * self.gate_time_s).max(1.0);
+        ((self.jitter_rel * self.jitter_rel) / cycles + self.sigma_meas_rel * self.sigma_meas_rel)
+            .sqrt()
+    }
+
+    /// How long one ring oscillates (and accrues HCI) per response bit it
+    /// participates in: the gate time.
+    #[must_use]
+    pub fn active_time_per_ro(&self) -> f64 {
+        self.gate_time_s
+    }
+
+    /// Counts `f_true` through the gate window, adding jitter noise and
+    /// quantizing.
+    pub fn measure<R: Rng + ?Sized>(&self, f_true: f64, rng: &mut R) -> Measurement {
+        assert!(f_true > 0.0, "frequency must be positive");
+        let sigma = self.sigma_rel_at(f_true);
+        let f_noisy = f_true * (1.0 + sigma * standard_normal(rng));
+        let phase: f64 = rng.gen_range(0.0..1.0);
+        let count = (f_noisy * self.gate_time_s + phase).floor().max(0.0) as u64;
+        Measurement::new(count, self.gate_time_s)
+    }
+}
+
+/// One gated count of one ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    count: u64,
+    gate_time_s: f64,
+}
+
+impl Measurement {
+    /// Wraps a raw counter value taken over `gate_time_s` seconds.
+    ///
+    /// # Panics
+    /// Panics if `gate_time_s` is not strictly positive.
+    #[must_use]
+    pub fn new(count: u64, gate_time_s: f64) -> Self {
+        assert!(gate_time_s > 0.0, "gate time must be positive");
+        Self { count, gate_time_s }
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The gate time used, in seconds.
+    #[must_use]
+    pub fn gate_time_s(&self) -> f64 {
+        self.gate_time_s
+    }
+
+    /// The frequency estimate in hertz.
+    #[must_use]
+    pub fn frequency(&self) -> f64 {
+        self.count as f64 / self.gate_time_s
+    }
+
+    /// The response bit of a pair: `1` iff `self` counted strictly more
+    /// than `other` (a tie deterministically yields `0`, as a hardware
+    /// comparator would resolve `a > b`).
+    #[must_use]
+    pub fn bit_against(&self, other: &Measurement) -> bool {
+        self.count > other.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aro_device::rng::SeedDomain;
+
+    #[test]
+    fn ideal_readout_recovers_frequency_to_one_lsb() {
+        let cfg = ReadoutConfig::ideal();
+        let mut rng = SeedDomain::new(51).rng(0);
+        let f = 1.234_567e9;
+        let m = cfg.measure(f, &mut rng);
+        let err = (m.frequency() - f).abs();
+        assert!(err <= 1.0 / cfg.gate_time_s, "error {err} Hz within 1 LSB");
+    }
+
+    #[test]
+    fn sigma_shrinks_with_gate_time() {
+        let short = ReadoutConfig {
+            gate_time_s: 1e-6,
+            ..ReadoutConfig::default()
+        };
+        let long = ReadoutConfig {
+            gate_time_s: 1e-3,
+            ..ReadoutConfig::default()
+        };
+        assert!(long.sigma_rel_at(1e9) < short.sigma_rel_at(1e9));
+    }
+
+    #[test]
+    fn sigma_has_environmental_floor() {
+        let cfg = ReadoutConfig {
+            gate_time_s: 10.0,
+            ..ReadoutConfig::default()
+        };
+        assert!(cfg.sigma_rel_at(1e9) >= cfg.sigma_meas_rel);
+    }
+
+    #[test]
+    fn measurement_noise_spreads_counts() {
+        let cfg = ReadoutConfig::default();
+        let mut rng = SeedDomain::new(52).rng(0);
+        let f = 1e9;
+        let counts: Vec<u64> = (0..200).map(|_| cfg.measure(f, &mut rng).count()).collect();
+        let distinct: std::collections::HashSet<_> = counts.iter().collect();
+        assert!(distinct.len() > 5, "noise must spread repeated counts");
+    }
+
+    #[test]
+    fn close_pair_bits_are_noisy_but_distant_pair_bits_are_stable() {
+        let cfg = ReadoutConfig::default();
+        let mut rng = SeedDomain::new(53).rng(0);
+        let f = 1e9;
+        // Distant pair: 1 % apart — always resolves the same way.
+        let stable = (0..200)
+            .filter(|_| {
+                let a = cfg.measure(f * 1.01, &mut rng);
+                let b = cfg.measure(f, &mut rng);
+                a.bit_against(&b)
+            })
+            .count();
+        assert_eq!(stable, 200);
+        // Near-tie pair: flips sometimes.
+        let flips = (0..400)
+            .filter(|_| {
+                let a = cfg.measure(f * (1.0 + 1e-5), &mut rng);
+                let b = cfg.measure(f, &mut rng);
+                !a.bit_against(&b)
+            })
+            .count();
+        assert!(flips > 0, "a 10 ppm margin must occasionally flip");
+    }
+
+    #[test]
+    fn bit_against_is_antisymmetric_for_distinct_counts() {
+        let a = Measurement::new(100, 1e-4);
+        let b = Measurement::new(99, 1e-4);
+        assert!(a.bit_against(&b));
+        assert!(!b.bit_against(&a));
+        // Tie resolves to 0 both ways (hardware comparator semantics).
+        let c = Measurement::new(100, 1e-4);
+        assert!(!a.bit_against(&c));
+        assert!(!c.bit_against(&a));
+    }
+
+    #[test]
+    fn rtn_floor_widens_the_default_noise() {
+        let tech = aro_device::params::TechParams::default();
+        let base = ReadoutConfig::default();
+        let with_rtn =
+            ReadoutConfig::with_rtn_floor(&tech, aro_device::mosfet::Geometry::default(), 10);
+        assert!(with_rtn.sigma_meas_rel > base.sigma_meas_rel);
+        assert!(
+            with_rtn.sigma_meas_rel < 10.0 * base.sigma_meas_rel,
+            "RTN is a floor, not a wall"
+        );
+        assert_eq!(with_rtn.gate_time_s, base.gate_time_s);
+    }
+
+    #[test]
+    fn active_time_per_ro_is_the_gate_time() {
+        let cfg = ReadoutConfig::default();
+        assert_eq!(cfg.active_time_per_ro(), cfg.gate_time_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn measuring_nonpositive_frequency_panics() {
+        let cfg = ReadoutConfig::default();
+        let mut rng = SeedDomain::new(54).rng(0);
+        let _ = cfg.measure(0.0, &mut rng);
+    }
+}

@@ -1,0 +1,573 @@
+//! Ring oscillators: the conventional enable-NAND ring and the paper's
+//! aging-resistant (ARO) cell.
+//!
+//! # The aging asymmetry the paper exploits
+//!
+//! When a **conventional** ring is disabled (enable = 0), the NAND output
+//! locks high and the chain settles into alternating static levels. Every
+//! stage whose input rests at 1 keeps its NMOS under full DC PBTI stress;
+//! every stage whose input rests at 0 keeps its PMOS under full DC NBTI
+//! stress — for years, since a PUF is queried rarely. Aging variability
+//! then makes paired rings drift apart and bits flip.
+//!
+//! The **ARO** cell adds gating transistors that (a) decouple the inverter
+//! chain from the supply when idle and (b) equalize the internal nodes, so
+//! every gate-source voltage collapses to ~0. BTI stress drops to a
+//! leakage-level duty factor ([`TechParams::aro_idle_stress_fraction`]) and
+//! the devices spend essentially their whole life in recovery. The price is
+//! a slightly larger, slightly slower cell
+//! ([`TechParams::aro_load_factor`]) — and the symmetric layout that comes
+//! with it also suppresses the per-position bias that hurts the
+//! conventional array's uniqueness.
+
+use aro_device::aging::{BtiModel, HciModel, StressInterval};
+use aro_device::environment::Environment;
+use aro_device::mosfet::Geometry;
+use aro_device::params::TechParams;
+use aro_device::process::{ChipProcess, DiePosition};
+use rand::Rng;
+
+use crate::gates::{InverterStage, StageKind};
+
+/// The three wear-out models bundled, so callers don't rebuild them per
+/// stress call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingModels {
+    /// NBTI model applied to PMOS devices.
+    pub nbti: BtiModel,
+    /// PBTI model applied to NMOS devices.
+    pub pbti: BtiModel,
+    /// HCI model applied to switching devices.
+    pub hci: HciModel,
+}
+
+impl AgingModels {
+    /// Builds the models of a technology.
+    #[must_use]
+    pub fn new(tech: &TechParams) -> Self {
+        Self {
+            nbti: BtiModel::nbti(tech),
+            pbti: BtiModel::pbti(tech),
+            hci: HciModel::new(tech),
+        }
+    }
+}
+
+/// Which ring-oscillator cell a PUF instance is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoStyle {
+    /// Enable-NAND + inverter chain; idle state = static DC stress.
+    Conventional,
+    /// The paper's ARO cell: power-gated, node-equalized idle state with
+    /// BTI recovery; symmetric layout.
+    AgingResistant,
+}
+
+impl RoStyle {
+    /// Switched-load multiplier of the cell relative to the plain chain.
+    #[must_use]
+    pub fn load_factor(self, tech: &TechParams) -> f64 {
+        match self {
+            Self::Conventional => 1.0,
+            Self::AgingResistant => tech.aro_load_factor,
+        }
+    }
+
+    /// Sigma of the deterministic per-position layout bias for an array of
+    /// this cell.
+    #[must_use]
+    pub fn position_bias_sigma(self, tech: &TechParams) -> f64 {
+        match self {
+            Self::Conventional => tech.sigma_position_bias_rel,
+            Self::AgingResistant => tech.sigma_position_bias_rel_aro,
+        }
+    }
+
+    /// Short lowercase label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Conventional => "RO-PUF",
+            Self::AgingResistant => "ARO-PUF",
+        }
+    }
+}
+
+impl std::fmt::Display for RoStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One fabricated ring oscillator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingOscillator {
+    style: RoStyle,
+    stages: Vec<InverterStage>,
+    position: DiePosition,
+    freq_bias_rel: f64,
+    correlated_dvth: f64,
+}
+
+impl RingOscillator {
+    /// Fabricates a ring of `n_stages` at die position `position`,
+    /// sampling all per-device randomness from `rng`. Stage 0 is the
+    /// enable NAND; the rest are inverters.
+    ///
+    /// # Panics
+    /// Panics if `n_stages` is even or less than 3 (an even ring does not
+    /// oscillate).
+    pub fn new<R: Rng + ?Sized>(
+        style: RoStyle,
+        n_stages: usize,
+        position: DiePosition,
+        tech: &TechParams,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            n_stages >= 3 && n_stages % 2 == 1,
+            "ring needs an odd stage count >= 3"
+        );
+        let geometry = Geometry::default();
+        let stages = (0..n_stages)
+            .map(|i| {
+                let kind = if i == 0 {
+                    StageKind::EnableNand
+                } else {
+                    StageKind::Inverter
+                };
+                InverterStage::fabricate(kind, geometry, tech, rng)
+            })
+            .collect();
+        Self {
+            style,
+            stages,
+            position,
+            freq_bias_rel: 0.0,
+            correlated_dvth: 0.0,
+        }
+    }
+
+    /// The cell style.
+    #[must_use]
+    pub fn style(&self) -> RoStyle {
+        self.style
+    }
+
+    /// Number of stages (including the enable NAND).
+    #[must_use]
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Die position of this ring.
+    #[must_use]
+    pub fn position(&self) -> DiePosition {
+        self.position
+    }
+
+    /// The stages, NAND first.
+    #[must_use]
+    pub fn stages(&self) -> &[InverterStage] {
+        &self.stages
+    }
+
+    /// Deterministic relative frequency offset of this ring's array slot
+    /// (layout bias); set by the array builder.
+    #[must_use]
+    pub fn freq_bias_rel(&self) -> f64 {
+        self.freq_bias_rel
+    }
+
+    /// Sets the layout bias of this ring's slot.
+    pub fn set_freq_bias_rel(&mut self, bias_rel: f64) {
+        self.freq_bias_rel = bias_rel;
+    }
+
+    /// This ring's sampled mid-range correlated Vth offset in volts
+    /// (zero unless the design enables the correlated field).
+    #[must_use]
+    pub fn correlated_dvth(&self) -> f64 {
+        self.correlated_dvth
+    }
+
+    /// Sets the correlated Vth offset of this ring (set by the chip
+    /// builder from the design's [`aro_device::spatial::CorrelatedField`]).
+    pub fn set_correlated_dvth(&mut self, dvth: f64) {
+        self.correlated_dvth = dvth;
+    }
+
+    /// The oscillation frequency in hertz under environment `env` on a die
+    /// with process realization `chip`, including mismatch, systematic
+    /// variation, layout bias, and all accumulated wear.
+    #[must_use]
+    pub fn frequency(&self, tech: &TechParams, env: &Environment, chip: &ChipProcess) -> f64 {
+        let hci = HciModel::new(tech);
+        let c_load = tech.c_stage * self.style.load_factor(tech);
+        let systematic = chip.systematic_dvth(self.position) + self.correlated_dvth;
+        let period: f64 = self
+            .stages
+            .iter()
+            .map(|s| {
+                s.period_contribution(
+                    tech,
+                    env,
+                    &hci,
+                    c_load,
+                    chip.dvth_interdie_p(),
+                    chip.dvth_interdie_n(),
+                    chip.dbeta_interdie_rel(),
+                    systematic,
+                )
+            })
+            .sum();
+        (1.0 / period) * (1.0 + self.freq_bias_rel)
+    }
+
+    /// Ages the ring through `duration_s` seconds of *idle* time at die
+    /// temperature `temp_celsius` and supply `vdd`.
+    ///
+    /// * `Conventional`: the disabled chain holds alternating static
+    ///   levels — stage inputs are 1 for the NAND (its feedback rests
+    ///   high) and for odd inverters, 0 for even inverters. Input 1 puts
+    ///   full DC PBTI on the NMOS; input 0 puts full DC NBTI on the PMOS.
+    /// * `AgingResistant`: every device sees only the leakage-level
+    ///   residual duty [`TechParams::aro_idle_stress_fraction`].
+    pub fn stress_idle(
+        &mut self,
+        tech: &TechParams,
+        models: &AgingModels,
+        temp_celsius: f64,
+        vdd: f64,
+        duration_s: f64,
+    ) {
+        if duration_s <= 0.0 {
+            return;
+        }
+        match self.style {
+            RoStyle::Conventional => {
+                for (i, stage) in self.stages.iter_mut().enumerate() {
+                    // Idle node pattern of the disabled ring (see module docs).
+                    let input_high = i == 0 || i % 2 == 1;
+                    let interval = StressInterval::static_dc(duration_s, temp_celsius, vdd);
+                    if input_high {
+                        stage
+                            .nmos_mut()
+                            .aging_mut()
+                            .apply_bti(&models.pbti, &interval);
+                    } else {
+                        stage
+                            .pmos_mut()
+                            .aging_mut()
+                            .apply_bti(&models.nbti, &interval);
+                    }
+                }
+            }
+            RoStyle::AgingResistant => {
+                let interval = StressInterval::duty_cycled(
+                    duration_s,
+                    temp_celsius,
+                    vdd,
+                    tech.aro_idle_stress_fraction,
+                );
+                for stage in &mut self.stages {
+                    stage
+                        .pmos_mut()
+                        .aging_mut()
+                        .apply_bti(&models.nbti, &interval);
+                    stage
+                        .nmos_mut()
+                        .aging_mut()
+                        .apply_bti(&models.pbti, &interval);
+                }
+            }
+        }
+    }
+
+    /// Ages the ring through `duration_s` seconds of *oscillation* (a
+    /// measurement window) under `env` on die `chip`: 50 %-duty AC BTI on
+    /// every device plus HCI proportional to the number of transitions.
+    pub fn stress_active(
+        &mut self,
+        tech: &TechParams,
+        models: &AgingModels,
+        env: &Environment,
+        chip: &ChipProcess,
+        duration_s: f64,
+    ) {
+        if duration_s <= 0.0 {
+            return;
+        }
+        let freq = self.frequency(tech, env, chip);
+        let cycles = freq * duration_s;
+        let interval = StressInterval::oscillating(duration_s, env.temp_celsius(), env.vdd());
+        for stage in &mut self.stages {
+            stage
+                .pmos_mut()
+                .aging_mut()
+                .apply_bti(&models.nbti, &interval);
+            stage
+                .nmos_mut()
+                .aging_mut()
+                .apply_bti(&models.pbti, &interval);
+            stage.pmos_mut().stress_hci(&models.hci, cycles, env.vdd());
+            stage.nmos_mut().stress_hci(&models.hci, cycles, env.vdd());
+        }
+    }
+
+    /// Clears all accumulated wear (keeps fabrication randomness).
+    pub fn reset_wear(&mut self) {
+        for stage in &mut self.stages {
+            stage.pmos_mut().aging_mut().reset_wear();
+            stage.nmos_mut().aging_mut().reset_wear();
+        }
+    }
+
+    /// Mean BTI threshold shift over all devices in the ring, in volts —
+    /// a diagnostic for degradation plots.
+    #[must_use]
+    pub fn mean_dvth_bti(&self) -> f64 {
+        let sum: f64 = self
+            .stages
+            .iter()
+            .map(|s| s.pmos().aging().dvth_bti() + s.nmos().aging().dvth_bti())
+            .sum();
+        sum / (2.0 * self.stages.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aro_device::rng::SeedDomain;
+    use aro_device::units::YEAR;
+
+    fn setup() -> (TechParams, Environment, ChipProcess, AgingModels) {
+        let tech = TechParams::default();
+        let env = Environment::nominal(&tech);
+        (
+            tech.clone(),
+            env,
+            ChipProcess::typical(),
+            AgingModels::new(&tech),
+        )
+    }
+
+    fn make_ring(style: RoStyle, seed: u64) -> (RingOscillator, TechParams) {
+        let tech = TechParams::default();
+        let mut rng = SeedDomain::new(seed).rng(0);
+        (
+            RingOscillator::new(style, 5, DiePosition::new(0.5, 0.5), &tech, &mut rng),
+            tech,
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "odd stage count")]
+    fn even_stage_count_panics() {
+        let tech = TechParams::default();
+        let mut rng = SeedDomain::new(0).rng(0);
+        let _ = RingOscillator::new(
+            RoStyle::Conventional,
+            4,
+            DiePosition::new(0.5, 0.5),
+            &tech,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn nominal_frequency_is_in_the_gigahertz_range() {
+        let (tech, env, chip, _) = setup();
+        let (ro, _) = make_ring(RoStyle::Conventional, 31);
+        let f = ro.frequency(&tech, &env, &chip);
+        assert!(f > 2e8 && f < 2e10, "f = {f} Hz");
+    }
+
+    #[test]
+    fn aro_cell_is_slightly_slower_due_to_gating_load() {
+        let (tech, env, chip, _) = setup();
+        let mut rng_a = SeedDomain::new(32).rng(0);
+        let mut rng_b = SeedDomain::new(32).rng(0);
+        let conv = RingOscillator::new(
+            RoStyle::Conventional,
+            5,
+            DiePosition::new(0.5, 0.5),
+            &tech,
+            &mut rng_a,
+        );
+        let aro = RingOscillator::new(
+            RoStyle::AgingResistant,
+            5,
+            DiePosition::new(0.5, 0.5),
+            &tech,
+            &mut rng_b,
+        );
+        let fc = conv.frequency(&tech, &env, &chip);
+        let fa = aro.frequency(&tech, &env, &chip);
+        assert!(fa < fc);
+        assert!(
+            (fc / fa - tech.aro_load_factor).abs() < 1e-9,
+            "ratio = {}",
+            fc / fa
+        );
+    }
+
+    #[test]
+    fn rings_of_one_chip_differ_in_frequency() {
+        let (tech, env, chip, _) = setup();
+        let dom = SeedDomain::new(33);
+        let mut rng = dom.rng(0);
+        let a = RingOscillator::new(
+            RoStyle::Conventional,
+            5,
+            DiePosition::new(0.2, 0.2),
+            &tech,
+            &mut rng,
+        );
+        let b = RingOscillator::new(
+            RoStyle::Conventional,
+            5,
+            DiePosition::new(0.8, 0.8),
+            &tech,
+            &mut rng,
+        );
+        let fa = a.frequency(&tech, &env, &chip);
+        let fb = b.frequency(&tech, &env, &chip);
+        assert!(
+            (fa - fb).abs() / fa > 1e-4,
+            "mismatch must separate rings: {fa} vs {fb}"
+        );
+    }
+
+    #[test]
+    fn conventional_idle_stress_slows_the_ring() {
+        let (tech, env, chip, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 34);
+        let fresh = ro.frequency(&tech, &env, &chip);
+        ro.stress_idle(&tech, &models, 25.0, tech.vdd_nominal, 10.0 * YEAR);
+        let aged = ro.frequency(&tech, &env, &chip);
+        assert!(aged < fresh);
+        let degradation = (fresh - aged) / fresh;
+        assert!(
+            degradation > 0.01,
+            "ten idle years must cost >1 %: {degradation}"
+        );
+    }
+
+    #[test]
+    fn aro_idle_stress_is_far_smaller() {
+        let (tech, env, chip, models) = setup();
+        let (mut conv, _) = make_ring(RoStyle::Conventional, 35);
+        let (mut aro, _) = make_ring(RoStyle::AgingResistant, 35);
+        let f_conv = conv.frequency(&tech, &env, &chip);
+        let f_aro = aro.frequency(&tech, &env, &chip);
+        conv.stress_idle(&tech, &models, 25.0, tech.vdd_nominal, 10.0 * YEAR);
+        aro.stress_idle(&tech, &models, 25.0, tech.vdd_nominal, 10.0 * YEAR);
+        let d_conv = (f_conv - conv.frequency(&tech, &env, &chip)) / f_conv;
+        let d_aro = (f_aro - aro.frequency(&tech, &env, &chip)) / f_aro;
+        assert!(
+            d_aro < 0.25 * d_conv,
+            "ARO degradation {d_aro} must be well under conventional {d_conv}"
+        );
+    }
+
+    #[test]
+    fn conventional_idle_stresses_alternating_devices() {
+        let (tech, _, _, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 36);
+        ro.stress_idle(&tech, &models, 25.0, tech.vdd_nominal, YEAR);
+        for (i, stage) in ro.stages().iter().enumerate() {
+            let input_high = i == 0 || i % 2 == 1;
+            if input_high {
+                assert!(
+                    stage.nmos().aging().dvth_bti() > 0.0,
+                    "stage {i} NMOS stressed"
+                );
+                assert_eq!(
+                    stage.pmos().aging().dvth_bti(),
+                    0.0,
+                    "stage {i} PMOS spared"
+                );
+            } else {
+                assert!(
+                    stage.pmos().aging().dvth_bti() > 0.0,
+                    "stage {i} PMOS stressed"
+                );
+                assert_eq!(
+                    stage.nmos().aging().dvth_bti(),
+                    0.0,
+                    "stage {i} NMOS spared"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn active_stress_applies_hci_and_ac_bti_to_everything() {
+        let (tech, env, chip, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::AgingResistant, 37);
+        ro.stress_active(&tech, &models, &env, &chip, 1.0);
+        for stage in ro.stages() {
+            assert!(stage.pmos().aging().dvth_bti() > 0.0);
+            assert!(stage.nmos().aging().dvth_bti() > 0.0);
+            assert!(stage.pmos().aging().dvth_hci_with(&models.hci) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_duration_stress_is_a_no_op() {
+        let (tech, env, chip, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 38);
+        let before = ro.clone();
+        ro.stress_idle(&tech, &models, 25.0, tech.vdd_nominal, 0.0);
+        ro.stress_active(&tech, &models, &env, &chip, 0.0);
+        assert_eq!(ro, before);
+    }
+
+    #[test]
+    fn reset_wear_restores_fresh_frequency() {
+        let (tech, env, chip, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 39);
+        let fresh = ro.frequency(&tech, &env, &chip);
+        ro.stress_idle(&tech, &models, 85.0, tech.vdd_nominal, 10.0 * YEAR);
+        assert!(ro.frequency(&tech, &env, &chip) < fresh);
+        ro.reset_wear();
+        assert_eq!(ro.frequency(&tech, &env, &chip), fresh);
+    }
+
+    #[test]
+    fn layout_bias_scales_frequency() {
+        let (tech, env, chip, _) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 40);
+        let base = ro.frequency(&tech, &env, &chip);
+        ro.set_freq_bias_rel(0.01);
+        assert!((ro.frequency(&tech, &env, &chip) / base - 1.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_and_low_vdd_environment_slows_ring() {
+        let (tech, env, chip, _) = setup();
+        let (ro, _) = make_ring(RoStyle::Conventional, 41);
+        let nominal = ro.frequency(&tech, &env, &chip);
+        let hot = ro.frequency(&tech, &env.with_temp_celsius(85.0), &chip);
+        let droop = ro.frequency(&tech, &env.with_vdd(tech.vdd_nominal * 0.9), &chip);
+        assert!(hot < nominal);
+        assert!(droop < nominal);
+    }
+
+    #[test]
+    fn mean_dvth_diagnostic_tracks_stress() {
+        let (tech, _, _, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 42);
+        assert_eq!(ro.mean_dvth_bti(), 0.0);
+        ro.stress_idle(&tech, &models, 25.0, tech.vdd_nominal, YEAR);
+        assert!(ro.mean_dvth_bti() > 0.0);
+    }
+
+    #[test]
+    fn style_labels_and_display() {
+        assert_eq!(RoStyle::Conventional.label(), "RO-PUF");
+        assert_eq!(RoStyle::AgingResistant.to_string(), "ARO-PUF");
+    }
+}

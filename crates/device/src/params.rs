@@ -1,0 +1,221 @@
+//! Technology parameters: every physical constant of the simulated process
+//! in one place.
+//!
+//! Values marked **published** are representative 90 nm-class numbers from
+//! the open literature (Sakurai–Newton alpha-power law fits, Pelgrom mismatch
+//! coefficients, long-term NBTI reaction–diffusion fits). Values marked
+//! **CALIBRATED** were tuned so the end-to-end Monte Carlo reproduces the
+//! ARO-PUF paper's headline numbers (32 %/7.7 % ten-year bit flips,
+//! ~45 %/49.67 % inter-chip HD); see `EXPERIMENTS.md`.
+
+/// All technology, variation, and aging constants for the simulated process.
+///
+/// Construct with [`TechParams::default`] for the calibrated 90 nm-class
+/// process used throughout the reproduction, then override individual fields
+/// for sensitivity studies:
+///
+/// ```
+/// use aro_device::params::TechParams;
+/// let mut tech = TechParams::default();
+/// tech.vdd_nominal = 1.0; // low-power corner
+/// assert!(tech.vdd_nominal < 1.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechParams {
+    // ------------------------------------------------------------------
+    // Supply / device core (published 90 nm-class values)
+    // ------------------------------------------------------------------
+    /// Nominal supply voltage in volts. *Published*: 1.2 V at 90 nm.
+    pub vdd_nominal: f64,
+    /// Zero-bias NMOS threshold voltage magnitude in volts.
+    pub vth0_n: f64,
+    /// Zero-bias PMOS threshold voltage magnitude in volts.
+    pub vth0_p: f64,
+    /// Velocity-saturation index of the alpha-power law. *Published*:
+    /// 1.2–1.4 for deep-submicron CMOS; we use 1.3.
+    pub alpha: f64,
+    /// NMOS drive factor in A/V^alpha for a device of reference geometry.
+    pub beta_n: f64,
+    /// PMOS drive factor in A/V^alpha for a device of reference geometry.
+    /// PMOS mobility is roughly 40–50 % of NMOS.
+    pub beta_p: f64,
+    /// Switched load capacitance per ring-oscillator stage in farads
+    /// (gate + junction + local wire). Sets the absolute frequency scale.
+    pub c_stage: f64,
+
+    // ------------------------------------------------------------------
+    // Temperature / supply sensitivity (published)
+    // ------------------------------------------------------------------
+    /// Threshold-voltage temperature coefficient in V/K (Vth drops as the
+    /// die heats). *Published*: ≈ −1 mV/K.
+    pub vth_temp_coeff: f64,
+    /// Mobility temperature exponent: mobility ∝ (T/T_ref)^(−k).
+    /// *Published*: 1.2–1.6; we use 1.5.
+    pub mobility_temp_exp: f64,
+    /// Reference temperature for temperature scaling, in kelvin (25 °C).
+    pub t_ref_kelvin: f64,
+
+    // ------------------------------------------------------------------
+    // Process variation (published mismatch physics, CALIBRATED scales)
+    // ------------------------------------------------------------------
+    /// Inter-die (chip-to-chip, common-mode) threshold-voltage sigma in
+    /// volts. Cancels almost fully in RO pairs.
+    pub sigma_vth_interdie: f64,
+    /// Pelgrom mismatch coefficient A_VT in V·m: the per-device random
+    /// threshold sigma is `a_vt / sqrt(W·L)`. *Published*: ≈ 4.5 mV·µm at
+    /// 90 nm, i.e. 4.5e-9 V·m.
+    pub a_vt: f64,
+    /// Relative sigma of the per-device random drive-factor (beta) mismatch.
+    pub sigma_beta_rel: f64,
+    /// Peak-to-peak amplitude of the systematic within-die Vth gradient
+    /// across the RO array, in volts (per-chip random direction).
+    pub sys_gradient_vpp: f64,
+    /// Sigma of the mid-range spatially *correlated* intra-die Vth
+    /// variation (exponential kernel; see `spatial::CorrelatedField`), in
+    /// volts. Defaults to 0 — the smooth gradient/bowl surface carries
+    /// the systematic component in the calibrated model — and is enabled
+    /// by the EXP-11 pairing-distance ablation.
+    pub sigma_vth_correlated: f64,
+    /// Correlation length of the correlated field in normalized die
+    /// units.
+    pub correlation_length: f64,
+    /// Sigma of the deterministic per-*position* frequency bias shared by
+    /// every chip of the design, expressed as a relative frequency offset.
+    /// Models layout-induced asymmetry (routing to the readout mux, supply
+    /// IR gradients baked into the floorplan). This is what pulls the
+    /// conventional RO-PUF's inter-chip HD below 50 %. **CALIBRATED** to
+    /// the paper's ~45 %.
+    pub sigma_position_bias_rel: f64,
+    /// Residual relative per-position bias of the ARO symmetric cell.
+    /// **CALIBRATED** to the paper's 49.67 % inter-chip HD.
+    pub sigma_position_bias_rel_aro: f64,
+
+    // ------------------------------------------------------------------
+    // BTI aging (published model form; prefactor CALIBRATED)
+    // ------------------------------------------------------------------
+    /// NBTI prefactor `A` in volts: ΔVth after 1 s of static stress at the
+    /// reference temperature and nominal Vdd, before the power law.
+    /// **CALIBRATED** so 10 years of static stress gives ≈ 100 mV.
+    pub nbti_a: f64,
+    /// PBTI prefactor in volts. PBTI on NMOS is weaker than NBTI at this
+    /// node (high-k era made them comparable; at 90 nm PBTI ≈ 40 % of NBTI).
+    pub pbti_a: f64,
+    /// Time exponent `n` of the long-term reaction–diffusion power law
+    /// ΔVth ∝ t^n. *Published*: 1/6 for H2 diffusion.
+    pub bti_time_exp: f64,
+    /// Arrhenius activation energy in eV. *Published*: ≈ 0.08–0.1 eV for
+    /// the long-term NBTI prefactor at use conditions.
+    pub bti_ea_ev: f64,
+    /// Gate-overdrive voltage acceleration exponent: prefactor ∝
+    /// (|Vgs|/Vdd_nominal)^gamma. *Published*: 2–3.
+    pub bti_vgs_exp: f64,
+    /// Relative sigma of the per-device log-normal aging variability
+    /// multiplier. This is the source of *differential* pair aging and thus
+    /// of bit flips. **CALIBRATED** to the paper's 32 % ten-year flips.
+    pub sigma_aging_rel: f64,
+
+    // ------------------------------------------------------------------
+    // HCI aging (published model form; prefactor CALIBRATED small)
+    // ------------------------------------------------------------------
+    /// HCI prefactor in volts: ΔVth per sqrt(1e9 transitions) at nominal
+    /// Vdd. Only accrues while a ring actually oscillates.
+    pub hci_b: f64,
+    /// HCI supply-voltage acceleration exponent.
+    pub hci_vdd_exp: f64,
+    /// HCI time/cycles exponent (ΔVth ∝ N^m). *Published*: ≈ 0.5.
+    pub hci_cycle_exp: f64,
+
+    // ------------------------------------------------------------------
+    // ARO cell specifics
+    // ------------------------------------------------------------------
+    /// Fraction of full static stress still experienced by an idle ARO cell
+    /// (gate leakage keeps internal nodes from floating perfectly).
+    /// **CALIBRATED** (with the mission profile) to the paper's 7.7 %.
+    pub aro_idle_stress_fraction: f64,
+    /// Extra switched load of the ARO cell relative to the plain inverter
+    /// chain (the gating transistors add diffusion capacitance).
+    pub aro_load_factor: f64,
+}
+
+impl TechParams {
+    /// Effective gate overdrive `Vdd − Vth` available to an NMOS with
+    /// threshold shift `dvth` at supply `vdd`, clamped at a small positive
+    /// floor so aged devices never produce a negative drive.
+    #[must_use]
+    pub fn overdrive(&self, vdd: f64, vth: f64) -> f64 {
+        (vdd - vth).max(0.05)
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self {
+            vdd_nominal: 1.2,
+            vth0_n: 0.40,
+            vth0_p: 0.40,
+            alpha: 1.3,
+            beta_n: 5.0e-4,
+            beta_p: 5.0e-4, // per-device width already compensates mobility
+            c_stage: 50e-15,
+
+            vth_temp_coeff: -1.0e-3,
+            mobility_temp_exp: 1.5,
+            t_ref_kelvin: 298.15,
+
+            sigma_vth_interdie: 0.020,
+            a_vt: 4.5e-9,
+            sigma_beta_rel: 0.02,
+            sys_gradient_vpp: 0.010,
+            sigma_vth_correlated: 0.0,
+            correlation_length: 0.25,
+            sigma_position_bias_rel: 0.0070,
+            sigma_position_bias_rel_aro: 0.0016,
+
+            nbti_a: 0.0038,
+            pbti_a: 0.0015,
+            bti_time_exp: 1.0 / 6.0,
+            bti_ea_ev: 0.09,
+            bti_vgs_exp: 2.5,
+            sigma_aging_rel: 0.50,
+
+            hci_b: 1.0e-4,
+            hci_vdd_exp: 3.0,
+            hci_cycle_exp: 0.5,
+
+            aro_idle_stress_fraction: 0.014,
+            aro_load_factor: 1.15,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_physically_sane() {
+        let p = TechParams::default();
+        assert!(p.vdd_nominal > p.vth0_n, "supply must exceed threshold");
+        assert!(p.vdd_nominal > p.vth0_p);
+        assert!(p.alpha >= 1.0 && p.alpha <= 2.0, "alpha-power range");
+        assert!(p.bti_time_exp > 0.0 && p.bti_time_exp < 0.5);
+        assert!(p.aro_idle_stress_fraction < 0.05);
+        assert!(p.aro_load_factor >= 1.0);
+    }
+
+    #[test]
+    fn overdrive_is_clamped_for_degenerate_inputs() {
+        let p = TechParams::default();
+        assert!(p.overdrive(1.2, 0.4) > 0.7);
+        // An absurdly aged device still yields a positive drive.
+        assert_eq!(p.overdrive(1.2, 2.0), 0.05);
+    }
+
+    #[test]
+    fn pelgrom_sigma_at_reference_geometry_is_tens_of_millivolts() {
+        let p = TechParams::default();
+        // W = 400 nm, L = 100 nm reference device.
+        let sigma = p.a_vt / (400e-9_f64 * 100e-9).sqrt();
+        assert!(sigma > 0.010 && sigma < 0.040, "sigma = {sigma}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Spatially correlated intra-die variation.
+//!
+//! Beyond the smooth gradient/bowl surface in [`crate::process`], real
+//! dies show *mid-range* correlated variation: nearby devices share
+//! lithography and stress conditions, so their parameters co-vary with a
+//! correlation that decays with distance. The standard model is a
+//! zero-mean Gaussian field with an exponential kernel
+//! `cov(a, b) = sigma² · exp(−d(a,b)/L)`.
+//!
+//! [`CorrelatedField`] factors the covariance matrix of a fixed site list
+//! once (Cholesky) and then draws per-chip realizations cheaply. The
+//! EXP-11 ablation uses it to show why *neighbour* pairing is the right
+//! choice: close pairs share the correlated component, so it cancels in
+//! the comparison, while distant pairs absorb it into their margins.
+
+use rand::Rng;
+
+use crate::process::DiePosition;
+use crate::rng::standard_normal;
+
+/// A sampler for a zero-mean Gaussian field with exponential covariance
+/// over a fixed list of die sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedField {
+    /// Lower-triangular Cholesky factor, row-major packed.
+    chol: Vec<f64>,
+    n: usize,
+    sigma: f64,
+}
+
+impl CorrelatedField {
+    /// Builds the field for `sites` with standard deviation `sigma` and
+    /// correlation length `length` (in normalized die units; the die is
+    /// the unit square).
+    ///
+    /// # Panics
+    /// Panics if `sites` is empty, `sigma` is negative, or `length` is
+    /// not strictly positive.
+    #[must_use]
+    pub fn build(sites: &[DiePosition], sigma: f64, length: f64) -> Self {
+        assert!(!sites.is_empty(), "field needs at least one site");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(length > 0.0, "correlation length must be positive");
+        let n = sites.len();
+        // Covariance matrix (unit variance; sigma applied at sampling).
+        let mut cov = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let dx = sites[i].x - sites[j].x;
+                let dy = sites[i].y - sites[j].y;
+                let d = (dx * dx + dy * dy).sqrt();
+                let c = (-d / length).exp();
+                cov[i * n + j] = c;
+                cov[j * n + i] = c;
+            }
+        }
+        // Cholesky with a small jitter on the diagonal for numerical
+        // robustness (the exponential kernel is positive definite, but
+        // coincident sites would make it singular).
+        let mut chol = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = cov[i * n + j];
+                for k in 0..j {
+                    sum -= chol[i * n + k] * chol[j * n + k];
+                }
+                if i == j {
+                    chol[i * n + i] = (sum + 1e-12).max(1e-12).sqrt();
+                } else {
+                    chol[i * n + j] = sum / chol[j * n + j];
+                }
+            }
+        }
+        Self { chol, n, sigma }
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the field covers zero sites (never true after `build`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The field's standard deviation.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one chip's realization: a correlated offset per site.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let z: Vec<f64> = (0..self.n).map(|_| standard_normal(rng)).collect();
+        (0..self.n)
+            .map(|i| {
+                let mut acc = 0.0;
+                for (k, zk) in z.iter().enumerate().take(i + 1) {
+                    acc += self.chol[i * self.n + k] * zk;
+                }
+                self.sigma * acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_field(n: usize, sigma: f64, length: f64) -> (CorrelatedField, Vec<DiePosition>) {
+        let sites = DiePosition::grid(n);
+        (CorrelatedField::build(&sites, sigma, length), sites)
+    }
+
+    fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n;
+        let sx = (xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (ys.iter().map(|y| (y - my).powi(2)).sum::<f64>() / n).sqrt();
+        cov / (sx * sy)
+    }
+
+    #[test]
+    fn marginal_sigma_matches() {
+        let (field, _) = grid_field(16, 0.01, 0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut site0 = Vec::new();
+        for _ in 0..5000 {
+            site0.push(field.sample(&mut rng)[0]);
+        }
+        let mean = site0.iter().sum::<f64>() / site0.len() as f64;
+        let sd = (site0.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (site0.len() - 1) as f64)
+            .sqrt();
+        assert!(mean.abs() < 5e-4, "mean {mean}");
+        assert!((sd - 0.01).abs() < 5e-4, "sd {sd}");
+    }
+
+    #[test]
+    fn nearby_sites_correlate_more_than_distant_ones() {
+        let (field, sites) = grid_field(64, 1.0, 0.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Pick a reference site, its nearest neighbour, and the farthest.
+        let reference = 0usize;
+        let dist = |i: usize| {
+            let dx = sites[i].x - sites[reference].x;
+            let dy = sites[i].y - sites[reference].y;
+            (dx * dx + dy * dy).sqrt()
+        };
+        let near = (1..64)
+            .min_by(|&a, &b| dist(a).partial_cmp(&dist(b)).unwrap())
+            .unwrap();
+        let far = (1..64)
+            .max_by(|&a, &b| dist(a).partial_cmp(&dist(b)).unwrap())
+            .unwrap();
+        let mut ref_vals = Vec::new();
+        let mut near_vals = Vec::new();
+        let mut far_vals = Vec::new();
+        for _ in 0..3000 {
+            let s = field.sample(&mut rng);
+            ref_vals.push(s[reference]);
+            near_vals.push(s[near]);
+            far_vals.push(s[far]);
+        }
+        let c_near = correlation(&ref_vals, &near_vals);
+        let c_far = correlation(&ref_vals, &far_vals);
+        assert!(c_near > 0.5, "nearest-neighbour correlation {c_near}");
+        assert!(c_far < c_near - 0.2, "far {c_far} vs near {c_near}");
+        // And the near correlation matches the kernel within sampling
+        // error.
+        let expected = (-dist(near) / 0.2f64).exp();
+        assert!(
+            (c_near - expected).abs() < 0.1,
+            "{c_near} vs kernel {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_sigma_field_is_identically_zero() {
+        let (field, _) = grid_field(9, 0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(field.sample(&mut rng).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sample_length_matches_sites() {
+        let (field, _) = grid_field(23, 0.01, 0.4);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(field.sample(&mut rng).len(), 23);
+        assert_eq!(field.len(), 23);
+        assert!(!field.is_empty());
+    }
+
+    #[test]
+    fn single_site_field_works() {
+        let (field, _) = grid_field(1, 0.02, 0.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = field.sample(&mut rng)[0];
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation length must be positive")]
+    fn zero_length_panics() {
+        let sites = DiePosition::grid(4);
+        let _ = CorrelatedField::build(&sites, 0.01, 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The common interface of the binary block codes in this crate.
+
+use aro_metrics::bits::BitString;
+use rand::Rng;
+
+/// A binary block code with systematic-style message recovery.
+pub trait Code {
+    /// Codeword length in bits.
+    fn n(&self) -> usize;
+
+    /// Message (dimension) length in bits.
+    fn k(&self) -> usize;
+
+    /// Guaranteed error-correction capability in bits per codeword.
+    fn t(&self) -> usize;
+
+    /// Encodes a `k`-bit message into an `n`-bit codeword.
+    ///
+    /// # Panics
+    /// Implementations panic if `message.len() != k`.
+    fn encode(&self, message: &BitString) -> BitString;
+
+    /// Decodes a (possibly corrupted) `n`-bit word into the nearest
+    /// codeword, or `None` if the error weight exceeds the decoder's
+    /// capability.
+    ///
+    /// # Panics
+    /// Implementations panic if `received.len() != n`.
+    fn decode(&self, received: &BitString) -> Option<BitString>;
+
+    /// Recovers the message from a clean codeword.
+    ///
+    /// # Panics
+    /// Implementations panic if `codeword.len() != n`.
+    fn extract_message(&self, codeword: &BitString) -> BitString;
+
+    /// A uniformly random codeword (encode a random message) — the masking
+    /// value of the code-offset fuzzy extractor.
+    fn random_codeword<R: Rng + ?Sized>(&self, rng: &mut R) -> BitString
+    where
+        Self: Sized,
+    {
+        let message: BitString = (0..self.k()).map(|_| rng.gen::<bool>()).collect();
+        self.encode(&message)
+    }
+
+    /// Code rate `k/n`.
+    fn rate(&self) -> f64 {
+        self.k() as f64 / self.n() as f64
+    }
+}

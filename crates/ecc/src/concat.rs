@@ -1,0 +1,223 @@
+//! The standard PUF key-generation code: inner repetition ⊗ outer BCH.
+//!
+//! Encoding: BCH-encode the message, then repeat each codeword bit `r`
+//! times. Decoding: majority-vote each `r`-group, then BCH-decode. The
+//! analytic failure model (`block_failure_probability`) is what the
+//! design-space search in [`crate::area`] sweeps.
+
+use aro_metrics::bits::BitString;
+
+use crate::bch::BchCode;
+use crate::code::Code;
+use crate::repetition::{binomial_tail_gt, RepetitionCode};
+
+/// Inner repetition ⊗ outer BCH.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcatenatedCode {
+    outer: BchCode,
+    inner: RepetitionCode,
+}
+
+impl ConcatenatedCode {
+    /// Combines an outer BCH code with an inner repetition code.
+    #[must_use]
+    pub fn new(outer: BchCode, inner: RepetitionCode) -> Self {
+        Self { outer, inner }
+    }
+
+    /// The outer BCH code.
+    #[must_use]
+    pub fn outer(&self) -> &BchCode {
+        &self.outer
+    }
+
+    /// The inner repetition code.
+    #[must_use]
+    pub fn inner(&self) -> &RepetitionCode {
+        &self.inner
+    }
+
+    /// Probability the whole block fails to decode when each raw bit flips
+    /// independently with probability `p`: majority-decode each group,
+    /// then require more than `t` of the `n` BCH symbols wrong.
+    #[must_use]
+    pub fn block_failure_probability(&self, p: f64) -> f64 {
+        let p_symbol = self.inner.bit_failure_probability(p);
+        binomial_tail_gt(self.outer.n(), self.outer.t(), p_symbol)
+    }
+}
+
+impl Code for ConcatenatedCode {
+    fn n(&self) -> usize {
+        self.outer.n() * self.inner.r()
+    }
+
+    fn k(&self) -> usize {
+        self.outer.k()
+    }
+
+    fn t(&self) -> usize {
+        // Guaranteed correction: any error pattern of weight <= this is
+        // fixed (each group absorbs floor(r/2), plus t whole groups may be
+        // completely wrong). The analytic failure model is tighter; this
+        // is the conservative combinatorial bound.
+        self.inner.t() + self.outer.t() * self.inner.r()
+    }
+
+    fn encode(&self, message: &BitString) -> BitString {
+        let outer_word = self.outer.encode(message);
+        let mut bits = BitString::zeros(self.n());
+        for i in 0..outer_word.len() {
+            if outer_word.get(i) {
+                for j in 0..self.inner.r() {
+                    bits.set(i * self.inner.r() + j, true);
+                }
+            }
+        }
+        bits
+    }
+
+    fn decode(&self, received: &BitString) -> Option<BitString> {
+        assert_eq!(received.len(), self.n(), "received word must be n bits");
+        let r = self.inner.r();
+        // Majority per group → outer received word.
+        let outer_received: BitString = (0..self.outer.n())
+            .map(|i| {
+                let ones = (0..r).filter(|&j| received.get(i * r + j)).count();
+                ones * 2 > r
+            })
+            .collect();
+        let outer_corrected = self.outer.decode(&outer_received)?;
+        // Re-encode to produce the corrected concatenated codeword.
+        Some(self.encode(&self.outer.extract_message(&outer_corrected)))
+    }
+
+    fn extract_message(&self, codeword: &BitString) -> BitString {
+        assert_eq!(codeword.len(), self.n(), "codeword must be n bits");
+        let r = self.inner.r();
+        let outer_word: BitString = (0..self.outer.n()).map(|i| codeword.get(i * r)).collect();
+        self.outer.extract_message(&outer_word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn code() -> ConcatenatedCode {
+        ConcatenatedCode::new(BchCode::new(4, 2), RepetitionCode::new(3))
+    }
+
+    #[test]
+    fn dimensions_compose() {
+        let c = code();
+        assert_eq!(c.n(), 45);
+        assert_eq!(c.k(), 7);
+        assert_eq!(c.t(), 1 + 2 * 3);
+        assert!(c.rate() < 0.2);
+    }
+
+    #[test]
+    fn roundtrip_without_errors() {
+        let c = code();
+        let mut rng = StdRng::seed_from_u64(1);
+        let msg: BitString = (0..c.k()).map(|_| rng.gen::<bool>()).collect();
+        let word = c.encode(&msg);
+        assert_eq!(c.extract_message(&word), msg);
+        assert_eq!(c.decode(&word), Some(word));
+    }
+
+    #[test]
+    fn corrects_scattered_errors_beyond_bch_alone() {
+        let c = code();
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg: BitString = (0..c.k()).map(|_| rng.gen::<bool>()).collect();
+        let word = c.encode(&msg);
+        // One flip in each of 7 different groups: inner majority absorbs
+        // them all (7 > t_bch·r would defeat BCH alone in raw positions).
+        let mut corrupted = word.clone();
+        for group in 0..7 {
+            corrupted.flip(group * 3);
+        }
+        let decoded = c
+            .decode(&corrupted)
+            .expect("inner code absorbs scattered flips");
+        assert_eq!(c.extract_message(&decoded), msg);
+    }
+
+    #[test]
+    fn corrects_whole_destroyed_groups_up_to_outer_t() {
+        let c = code();
+        let mut rng = StdRng::seed_from_u64(3);
+        let msg: BitString = (0..c.k()).map(|_| rng.gen::<bool>()).collect();
+        let word = c.encode(&msg);
+        let mut corrupted = word.clone();
+        // Obliterate two whole groups (all three copies) → two symbol
+        // errors for the outer BCH(15, 7, 2).
+        for group in [4usize, 11] {
+            for j in 0..3 {
+                corrupted.flip(group * 3 + j);
+            }
+        }
+        let decoded = c
+            .decode(&corrupted)
+            .expect("outer BCH absorbs two symbol errors");
+        assert_eq!(c.extract_message(&decoded), msg);
+    }
+
+    #[test]
+    fn failure_probability_composes_analytically() {
+        let c = code();
+        let p = 0.1;
+        let p_sym = c.inner().bit_failure_probability(p);
+        let expected = binomial_tail_gt(15, 2, p_sym);
+        assert!((c.block_failure_probability(p) - expected).abs() < 1e-15);
+        assert!(c.block_failure_probability(0.0) < 1e-12);
+    }
+
+    #[test]
+    fn failure_probability_is_monotone_in_p() {
+        let c = code();
+        let mut last = 0.0;
+        for p in [0.0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4] {
+            let f = c.block_failure_probability(p);
+            assert!(f >= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn monte_carlo_failure_rate_matches_model() {
+        // At a deliberately high p, decode failures should appear at
+        // roughly the analytic rate.
+        let c = ConcatenatedCode::new(BchCode::new(4, 1), RepetitionCode::new(3));
+        let p = 0.15;
+        let mut rng = StdRng::seed_from_u64(4);
+        let msg: BitString = (0..c.k()).map(|_| rng.gen::<bool>()).collect();
+        let word = c.encode(&msg);
+        let trials = 3000;
+        let mut failures = 0;
+        for _ in 0..trials {
+            let mut corrupted = word.clone();
+            for i in 0..c.n() {
+                if rng.gen::<f64>() < p {
+                    corrupted.flip(i);
+                }
+            }
+            match c.decode(&corrupted) {
+                Some(decoded) if c.extract_message(&decoded) == msg => {}
+                _ => failures += 1,
+            }
+        }
+        let empirical = failures as f64 / trials as f64;
+        let model = c.block_failure_probability(p);
+        // Model counts detected failures; miscorrections also land in
+        // `failures`, so empirical can exceed the model somewhat.
+        assert!(
+            empirical < 3.0 * model + 0.02 && empirical > 0.2 * model - 0.02,
+            "empirical {empirical} vs model {model}"
+        );
+    }
+}

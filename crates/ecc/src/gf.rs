@@ -1,0 +1,236 @@
+//! GF(2^m) arithmetic via log/antilog tables.
+//!
+//! BCH codes of length `2^m − 1` live over the field GF(2^m). Elements are
+//! represented as `u16` bit vectors over the polynomial basis; addition is
+//! XOR; multiplication goes through discrete logarithms to the primitive
+//! element α (one table lookup each way).
+
+/// Primitive polynomials (bit `i` = coefficient of `x^i`) for
+/// GF(2^m), m = 2..=14 — the standard minimal-weight choices.
+const PRIMITIVE_POLYS: [u32; 13] = [
+    0b111,             // m=2:  x^2 + x + 1
+    0b1011,            // m=3:  x^3 + x + 1
+    0b10011,           // m=4:  x^4 + x + 1
+    0b100101,          // m=5:  x^5 + x^2 + 1
+    0b1000011,         // m=6:  x^6 + x + 1
+    0b10001001,        // m=7:  x^7 + x^3 + 1
+    0b100011101,       // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,      // m=9:  x^9 + x^4 + 1
+    0b10000001001,     // m=10: x^10 + x^3 + 1
+    0b100000000101,    // m=11: x^11 + x^2 + 1
+    0b1000001010011,   // m=12: x^12 + x^6 + x^4 + x + 1
+    0b10000000011011,  // m=13: x^13 + x^4 + x^3 + x + 1
+    0b100010001000011, // m=14: x^14 + x^10 + x^6 + x + 1
+];
+
+/// The field GF(2^m), 2 ≤ m ≤ 14.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf {
+    m: u32,
+    n: usize,
+    exp: Vec<u16>,
+    log: Vec<u16>,
+}
+
+impl Gf {
+    /// Builds GF(2^m).
+    ///
+    /// # Panics
+    /// Panics if `m` is outside `2..=14`.
+    #[must_use]
+    pub fn new(m: u32) -> Self {
+        assert!((2..=14).contains(&m), "GF(2^m) supported for 2 <= m <= 14");
+        let n = (1usize << m) - 1;
+        let poly = PRIMITIVE_POLYS[(m - 2) as usize];
+        let mut exp = vec![0u16; 2 * n];
+        let mut log = vec![0u16; n + 1];
+        let mut value: u32 = 1;
+        for (i, slot) in exp.iter_mut().enumerate().take(n) {
+            *slot = value as u16;
+            log[value as usize] = i as u16;
+            value <<= 1;
+            if value & (1 << m) != 0 {
+                value ^= poly;
+            }
+        }
+        // Double the exp table so mul never needs a modulo.
+        for i in n..2 * n {
+            exp[i] = exp[i - n];
+        }
+        Self { m, n, exp, log }
+    }
+
+    /// The extension degree m.
+    #[must_use]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// The multiplicative-group order `2^m − 1` (and BCH code length).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// α^power (power taken modulo `n`).
+    #[must_use]
+    pub fn alpha_pow(&self, power: usize) -> u16 {
+        self.exp[power % self.n]
+    }
+
+    /// Field addition (= subtraction): XOR.
+    #[must_use]
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    ///
+    /// # Panics
+    /// Panics in debug builds if an operand is out of range.
+    #[must_use]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        debug_assert!((a as usize) <= self.n && (b as usize) <= self.n);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `a` is zero.
+    #[must_use]
+    pub fn inv(&self, a: u16) -> u16 {
+        assert!(a != 0, "zero has no inverse");
+        self.exp[self.n - self.log[a as usize] as usize]
+    }
+
+    /// `a^e` by log arithmetic.
+    #[must_use]
+    pub fn pow(&self, a: u16, e: usize) -> u16 {
+        if a == 0 {
+            return u16::from(e == 0);
+        }
+        let log = self.log[a as usize] as usize;
+        self.exp[(log * e) % self.n]
+    }
+
+    /// Discrete log base α of a non-zero element.
+    ///
+    /// # Panics
+    /// Panics if `a` is zero.
+    #[must_use]
+    pub fn log(&self, a: u16) -> usize {
+        assert!(a != 0, "zero has no discrete log");
+        self.log[a as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_field_multiplication_table() {
+        // GF(4) = {0, 1, a, a+1} with a^2 = a + 1.
+        let gf = Gf::new(2);
+        assert_eq!(gf.mul(0b10, 0b10), 0b11);
+        assert_eq!(gf.mul(0b10, 0b11), 0b01);
+        assert_eq!(gf.mul(0b11, 0b11), 0b10);
+    }
+
+    #[test]
+    fn alpha_generates_the_whole_group() {
+        for m in [3u32, 4, 8, 10] {
+            let gf = Gf::new(m);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..gf.n() {
+                assert!(
+                    seen.insert(gf.alpha_pow(i)),
+                    "alpha^i repeats early at m={m}, i={i}"
+                );
+            }
+            assert_eq!(seen.len(), gf.n());
+            assert!(
+                !seen.contains(&0),
+                "zero is not in the multiplicative group"
+            );
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold_exhaustively_in_gf16() {
+        let gf = Gf::new(4);
+        for a in 0..=15u16 {
+            for b in 0..=15u16 {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a), "commutativity");
+                for c in 0..=15u16 {
+                    assert_eq!(
+                        gf.mul(a, gf.mul(b, c)),
+                        gf.mul(gf.mul(a, b), c),
+                        "associativity"
+                    );
+                    assert_eq!(
+                        gf.mul(a, gf.add(b, c)),
+                        gf.add(gf.mul(a, b), gf.mul(a, c)),
+                        "distributivity"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let gf = Gf::new(8);
+        for a in 1..=255u16 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a * a^-1 = 1 for a = {a}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let gf = Gf::new(5);
+        for a in 1..=31u16 {
+            let mut acc = 1u16;
+            for e in 0..40 {
+                assert_eq!(gf.pow(a, e), acc, "a={a} e={e}");
+                acc = gf.mul(acc, a);
+            }
+        }
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        for m in [3u32, 6, 9] {
+            let gf = Gf::new(m);
+            for a in 1..=(gf.n() as u16) {
+                assert_eq!(gf.pow(a, gf.n()), 1, "a^(2^m-1) = 1");
+            }
+        }
+    }
+
+    #[test]
+    fn log_is_inverse_of_alpha_pow() {
+        let gf = Gf::new(7);
+        for i in 0..gf.n() {
+            assert_eq!(gf.log(gf.alpha_pow(i)), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn inverse_of_zero_panics() {
+        let _ = Gf::new(4).inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported for")]
+    fn oversized_field_panics() {
+        let _ = Gf::new(15);
+    }
+}

@@ -1,0 +1,266 @@
+//! The binary Golay code G23 = (23, 12, 7): the classic *perfect*
+//! 3-error-correcting code.
+//!
+//! Several PUF key generators (including follow-ups to the ARO-PUF paper)
+//! use Golay instead of a small BCH because its decoder is a tiny
+//! syndrome lookup: the code is perfect, so the 2¹¹ syndromes map
+//! one-to-one onto the 1 + 23 + 253 + 1771 = 2048 correctable error
+//! patterns. This implementation builds that table once at construction
+//! and decodes in a single polynomial division + lookup.
+
+use aro_metrics::bits::BitString;
+
+use crate::code::Code;
+use crate::poly::BinPoly;
+
+/// Codeword length.
+const N: usize = 23;
+/// Message length.
+const K: usize = 12;
+/// Parity bits.
+const PARITY: usize = N - K;
+
+/// The (23, 12) binary Golay code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GolayCode {
+    generator: BinPoly,
+    /// Error pattern (as a 23-bit mask) for each 11-bit syndrome.
+    syndrome_table: Vec<u32>,
+}
+
+impl Default for GolayCode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GolayCode {
+    /// Builds the code and its syndrome table.
+    #[must_use]
+    pub fn new() -> Self {
+        // g(x) = x^11 + x^10 + x^6 + x^5 + x^4 + x^2 + 1.
+        let coeffs: [usize; 7] = [0, 2, 4, 5, 6, 10, 11];
+        let mut bits = vec![false; 12];
+        for &c in &coeffs {
+            bits[c] = true;
+        }
+        let generator = BinPoly::from_bits(bits);
+
+        // Syndrome of every error pattern of weight <= 3. The code is
+        // perfect, so the table fills completely with no collisions.
+        let mut syndrome_table = vec![u32::MAX; 1 << PARITY];
+        let mut insert = |pattern: u32, generator: &BinPoly| {
+            let syndrome = Self::syndrome_of_mask(pattern, generator);
+            assert_eq!(
+                syndrome_table[syndrome],
+                u32::MAX,
+                "perfect-code property violated: duplicate syndrome"
+            );
+            syndrome_table[syndrome] = pattern;
+        };
+        insert(0, &generator);
+        for a in 0..N {
+            insert(1 << a, &generator);
+            for b in (a + 1)..N {
+                insert((1 << a) | (1 << b), &generator);
+                for c in (b + 1)..N {
+                    insert((1 << a) | (1 << b) | (1 << c), &generator);
+                }
+            }
+        }
+        assert!(
+            syndrome_table.iter().all(|&p| p != u32::MAX),
+            "perfect-code property violated: uncovered syndrome"
+        );
+        Self {
+            generator,
+            syndrome_table,
+        }
+    }
+
+    /// The generator polynomial.
+    #[must_use]
+    pub fn generator(&self) -> &BinPoly {
+        &self.generator
+    }
+
+    fn syndrome_of_mask(mask: u32, generator: &BinPoly) -> usize {
+        let bits: Vec<bool> = (0..N).map(|i| mask >> i & 1 == 1).collect();
+        let rem = BinPoly::from_bits(bits).rem(generator);
+        rem.bits()
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| usize::from(b) << i)
+            .sum()
+    }
+
+    fn syndrome(&self, word: &BitString) -> usize {
+        let mask: u32 = (0..N)
+            .map(|i| u32::from(word.get(i)) << i)
+            .fold(0, |acc, b| acc | b);
+        Self::syndrome_of_mask(mask, &self.generator)
+    }
+}
+
+impl Code for GolayCode {
+    fn n(&self) -> usize {
+        N
+    }
+
+    fn k(&self) -> usize {
+        K
+    }
+
+    fn t(&self) -> usize {
+        3
+    }
+
+    fn encode(&self, message: &BitString) -> BitString {
+        assert_eq!(message.len(), K, "message must be k bits");
+        let mut shifted = vec![false; PARITY];
+        shifted.extend(message.iter());
+        let rem = BinPoly::from_bits(shifted).rem(&self.generator);
+        let mut codeword = BitString::zeros(N);
+        for (i, &bit) in rem.bits().iter().enumerate() {
+            codeword.set(i, bit);
+        }
+        for i in 0..K {
+            codeword.set(PARITY + i, message.get(i));
+        }
+        codeword
+    }
+
+    fn decode(&self, received: &BitString) -> Option<BitString> {
+        assert_eq!(received.len(), N, "received word must be n bits");
+        let pattern = self.syndrome_table[self.syndrome(received)];
+        let mut corrected = received.clone();
+        for i in 0..N {
+            if pattern >> i & 1 == 1 {
+                corrected.flip(i);
+            }
+        }
+        // A perfect code decodes *every* word to the nearest codeword —
+        // there is no detected-failure case; beyond t errors it silently
+        // miscorrects, exactly like the hardware would.
+        Some(corrected)
+    }
+
+    fn extract_message(&self, codeword: &BitString) -> BitString {
+        assert_eq!(codeword.len(), N, "codeword must be n bits");
+        codeword.slice(PARITY, K)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_message(rng: &mut StdRng) -> BitString {
+        (0..K).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn construction_validates_the_perfect_code_property() {
+        // `new` asserts all 2048 syndromes are covered exactly once.
+        let code = GolayCode::new();
+        assert_eq!(code.n(), 23);
+        assert_eq!(code.k(), 12);
+        assert_eq!(code.t(), 3);
+        assert_eq!(code.generator().degree(), Some(11));
+    }
+
+    #[test]
+    fn encoding_is_systematic_and_divisible_by_g() {
+        let code = GolayCode::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let msg = random_message(&mut rng);
+            let word = code.encode(&msg);
+            assert_eq!(code.extract_message(&word), msg);
+            let as_poly = BinPoly::from_bits(word.to_bools());
+            assert_eq!(as_poly.rem(code.generator()).degree(), None);
+        }
+    }
+
+    #[test]
+    fn corrects_every_pattern_up_to_three_errors() {
+        let code = GolayCode::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg = random_message(&mut rng);
+        let word = code.encode(&msg);
+        // Exhaustive: all 1-, 2-, and 3-bit patterns.
+        for a in 0..23 {
+            for b in a..23 {
+                for c in b..23 {
+                    let mut corrupted = word.clone();
+                    let mut positions = std::collections::HashSet::new();
+                    positions.insert(a);
+                    positions.insert(b);
+                    positions.insert(c);
+                    for &p in &positions {
+                        corrupted.flip(p);
+                    }
+                    let decoded = code.decode(&corrupted).unwrap();
+                    assert_eq!(decoded, word, "pattern {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_errors_miscorrect_to_a_codeword() {
+        // Perfect codes have no detection margin: weight-4 errors land in
+        // another codeword's sphere. The output must still be a codeword.
+        let code = GolayCode::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let msg = random_message(&mut rng);
+        let word = code.encode(&msg);
+        let mut corrupted = word.clone();
+        for i in [0, 5, 11, 17] {
+            corrupted.flip(i);
+        }
+        let decoded = code.decode(&corrupted).unwrap();
+        assert_ne!(decoded, word, "weight-4 must miscorrect");
+        let as_poly = BinPoly::from_bits(decoded.to_bools());
+        assert_eq!(
+            as_poly.rem(code.generator()).degree(),
+            None,
+            "output is a codeword"
+        );
+    }
+
+    #[test]
+    fn minimum_distance_is_seven() {
+        // Check a sample of codeword pairs: distance >= 7 (d_min of G23).
+        let code = GolayCode::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let m1 = random_message(&mut rng);
+            let mut m2 = random_message(&mut rng);
+            if m1 == m2 {
+                m2.flip(0);
+            }
+            let d = code.encode(&m1).hamming_distance(&code.encode(&m2));
+            assert!(d >= 7, "distance {d} < 7");
+        }
+    }
+
+    #[test]
+    fn works_in_the_fuzzy_extractor() {
+        use crate::fuzzy::FuzzyExtractor;
+        let fe = FuzzyExtractor::new(GolayCode::new(), 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let w: BitString = (0..fe.response_bits()).map(|_| rng.gen::<bool>()).collect();
+        let (key, helper) = fe.generate(&w, &mut rng);
+        let mut noisy = w.clone();
+        // Three errors in each of the three blocks.
+        for block in 0..3 {
+            for j in 0..3 {
+                noisy.flip(block * 23 + 7 * j + 1);
+            }
+        }
+        assert_eq!(fe.reproduce(&noisy, &helper), Some(key));
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end 128-bit key generation: design-point selection + fuzzy
+//! extraction.
+
+use aro_metrics::bits::BitString;
+use rand::Rng;
+
+use crate::area::{search_design, KeyGenSpec, PufAreaParams};
+use crate::bch::BchCode;
+use crate::concat::ConcatenatedCode;
+use crate::fuzzy::{FuzzyExtractor, HelperData, Key};
+use crate::repetition::RepetitionCode;
+
+/// A complete PUF key generator: a concatenated code sized for a target
+/// BER, wrapped in a code-offset fuzzy extractor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyGenerator {
+    extractor: FuzzyExtractor<ConcatenatedCode>,
+    spec: KeyGenSpec,
+    key_bits: usize,
+}
+
+impl KeyGenerator {
+    /// Builds the generator for a previously searched design point.
+    ///
+    /// # Panics
+    /// Panics if the spec has no outer BCH code (`bch_m == 0`); pure
+    /// repetition points are handled by re-running
+    /// [`Self::for_bit_error_rate`] with a nonzero floor, and never win
+    /// the search at realistic BERs anyway.
+    #[must_use]
+    pub fn from_spec(spec: &KeyGenSpec, key_bits: usize) -> Self {
+        assert!(spec.bch_m > 0, "spec must include an outer BCH code");
+        let code = ConcatenatedCode::new(
+            BchCode::new(spec.bch_m, spec.bch_t),
+            RepetitionCode::new(spec.rep_r),
+        );
+        Self {
+            extractor: FuzzyExtractor::new(code, spec.blocks),
+            spec: spec.clone(),
+            key_bits,
+        }
+    }
+
+    /// Searches the design space for `p_bit` and builds the winning
+    /// generator. Returns `None` if no swept design meets the failure
+    /// target.
+    #[must_use]
+    pub fn for_bit_error_rate(
+        p_bit: f64,
+        key_bits: usize,
+        p_fail_target: f64,
+        puf: &PufAreaParams,
+    ) -> Option<Self> {
+        let mut spec = search_design(p_bit, key_bits, p_fail_target, puf)?;
+        if spec.bch_m == 0 {
+            // Promote a repetition-only winner to a degenerate BCH wrapper
+            // by re-searching with repetition excluded — keeps the
+            // generator uniform. In practice this only triggers at p ≈ 0.
+            spec = search_design(p_bit.max(1e-4), key_bits, p_fail_target, puf)?;
+            if spec.bch_m == 0 {
+                return None;
+            }
+        }
+        Some(Self::from_spec(&spec, key_bits))
+    }
+
+    /// The chosen design point.
+    #[must_use]
+    pub fn spec(&self) -> &KeyGenSpec {
+        &self.spec
+    }
+
+    /// Raw PUF response bits consumed per enrollment.
+    #[must_use]
+    pub fn response_bits(&self) -> usize {
+        self.extractor.response_bits()
+    }
+
+    /// Key width in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> usize {
+        self.key_bits
+    }
+
+    /// Enrollment: derive the key and helper data from the enrollment
+    /// response.
+    ///
+    /// # Panics
+    /// Panics if `response` is shorter than [`Self::response_bits`].
+    pub fn enroll<R: Rng + ?Sized>(
+        &self,
+        response: &BitString,
+        rng: &mut R,
+    ) -> (BitString, HelperData) {
+        let (key, helper) = self.extractor.generate(response, rng);
+        (key.truncated(self.key_bits), helper)
+    }
+
+    /// Reconstruction from a noisy re-reading; `None` when the response
+    /// drifted beyond the code's capability (a key failure).
+    #[must_use]
+    pub fn reconstruct(&self, response: &BitString, helper: &HelperData) -> Option<BitString> {
+        self.extractor
+            .reproduce(response, helper)
+            .map(|key: Key| key.truncated(self.key_bits))
+    }
+
+    /// Soft-decision reconstruction: the inner repetition majority is
+    /// confidence-weighted (see [`crate::soft`]), recovering keys that a
+    /// hard reading at the same silicon would lose. Feed it the readout's
+    /// `(bit, |Δcount|)` pairs.
+    #[must_use]
+    pub fn reconstruct_soft(
+        &self,
+        response: &[crate::soft::SoftBit],
+        helper: &HelperData,
+    ) -> Option<BitString> {
+        let decoder = crate::soft::SoftConcatDecoder::new(
+            BchCode::new(self.spec.bch_m, self.spec.bch_t),
+            RepetitionCode::new(self.spec.rep_r),
+        );
+        decoder
+            .reproduce_soft(response, helper)
+            .map(|key: Key| key.truncated(self.key_bits))
+    }
+
+    /// Helper-data security accounting for a source with `min_entropy_per_bit`
+    /// bits of min-entropy per response bit (from
+    /// `aro_metrics::entropy::min_entropy_from_aliasing`).
+    #[must_use]
+    pub fn security_accounting(&self, min_entropy_per_bit: f64) -> SecurityAccounting {
+        let entropy_in = self.response_bits() as f64 * min_entropy_per_bit;
+        let leakage = self.extractor.max_leakage_bits() as f64;
+        SecurityAccounting {
+            entropy_in_bits: entropy_in,
+            helper_leakage_bits: leakage,
+            key_bits: self.key_bits,
+        }
+    }
+}
+
+/// The entropy budget of a key generator: what the PUF delivers, what the
+/// public helper data gives away (worst case), and what the key needs.
+///
+/// A *negative* [`Self::residual_entropy_bits`] is the well-known
+/// repetition-code leakage problem (Koeberl et al., 2014): the
+/// code-offset sketch over a low-rate inner code can leak more than the
+/// source provides, so an information-theoretic adversary is not excluded.
+/// The original ARO-PUF paper — like most 2014 PUF key generators — does
+/// its area comparison without this accounting; we surface it because a
+/// downstream user should see it (and because the ARO-PUF's *higher*
+/// per-bit entropy and *lighter* code make its budget strictly better
+/// than the conventional design's).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityAccounting {
+    /// Min-entropy the PUF response delivers, in bits.
+    pub entropy_in_bits: f64,
+    /// Worst-case helper-data leakage `blocks · (n − k)`, in bits.
+    pub helper_leakage_bits: f64,
+    /// Key width in bits.
+    pub key_bits: usize,
+}
+
+impl SecurityAccounting {
+    /// Entropy left after helper-data leakage (may be negative — see the
+    /// type-level docs).
+    #[must_use]
+    pub fn residual_entropy_bits(&self) -> f64 {
+        self.entropy_in_bits - self.helper_leakage_bits
+    }
+
+    /// Whether the residual entropy covers the key width — the
+    /// information-theoretic bar a conservative design aims for.
+    #[must_use]
+    pub fn covers_key(&self) -> bool {
+        self.residual_entropy_bits() >= self.key_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn puf_params() -> PufAreaParams {
+        PufAreaParams {
+            ro_cell_ge: 3.0,
+            readout_fixed_ge: 120.0,
+            readout_per_ro_ge: 3.0,
+            ros_per_bit: 2.0,
+        }
+    }
+
+    fn random_bits(n: usize, rng: &mut StdRng) -> BitString {
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn generator_enrolls_and_reconstructs_128_bit_keys() {
+        let kg = KeyGenerator::for_bit_error_rate(0.08, 128, 1e-6, &puf_params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let response = random_bits(kg.response_bits(), &mut rng);
+        let (key, helper) = kg.enroll(&response, &mut rng);
+        assert_eq!(key.len(), 128);
+        assert_eq!(kg.reconstruct(&response, &helper), Some(key));
+    }
+
+    #[test]
+    fn reconstruction_survives_the_design_ber() {
+        let p = 0.08;
+        let kg = KeyGenerator::for_bit_error_rate(p, 128, 1e-6, &puf_params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let response = random_bits(kg.response_bits(), &mut rng);
+        let (key, helper) = kg.enroll(&response, &mut rng);
+        let mut successes = 0;
+        let trials = 25;
+        for _ in 0..trials {
+            let mut noisy = response.clone();
+            for i in 0..noisy.len() {
+                if rng.gen::<f64>() < p {
+                    noisy.flip(i);
+                }
+            }
+            if kg.reconstruct(&noisy, &helper) == Some(key.clone()) {
+                successes += 1;
+            }
+        }
+        assert_eq!(
+            successes, trials,
+            "a 1e-6 design point must not fail in 25 trials"
+        );
+    }
+
+    #[test]
+    fn hopeless_ber_is_rejected() {
+        assert!(KeyGenerator::for_bit_error_rate(0.5, 128, 1e-6, &puf_params()).is_none());
+    }
+
+    #[test]
+    fn higher_ber_costs_more_response_bits() {
+        let low = KeyGenerator::for_bit_error_rate(0.05, 128, 1e-6, &puf_params()).unwrap();
+        let high = KeyGenerator::for_bit_error_rate(0.30, 128, 1e-6, &puf_params()).unwrap();
+        assert!(high.response_bits() > low.response_bits());
+        assert!(high.spec().total_ge() > low.spec().total_ge());
+    }
+
+    #[test]
+    fn security_accounting_adds_up() {
+        let kg = KeyGenerator::for_bit_error_rate(0.08, 128, 1e-6, &puf_params()).unwrap();
+        let acct = kg.security_accounting(1.0);
+        assert_eq!(acct.entropy_in_bits, kg.response_bits() as f64);
+        assert!(acct.helper_leakage_bits > 0.0);
+        assert!(
+            (acct.residual_entropy_bits() - (acct.entropy_in_bits - acct.helper_leakage_bits))
+                .abs()
+                < 1e-9
+        );
+        // A perfect source through any code leaves exactly blocks·k bits,
+        // which covers a 128-bit key whenever blocks·k >= 128.
+        let spec = kg.spec();
+        let expected_residual = (spec.blocks * spec.bch_k) as f64;
+        assert!((acct.residual_entropy_bits() - expected_residual).abs() < 1e-6);
+        assert!(acct.covers_key());
+    }
+
+    #[test]
+    fn repetition_heavy_codes_leak_more_than_biased_sources_provide() {
+        // The Koeberl effect: at realistic per-bit entropy, a large inner
+        // repetition factor drives the residual negative.
+        let kg = KeyGenerator::for_bit_error_rate(0.30, 128, 1e-6, &puf_params()).unwrap();
+        assert!(kg.spec().rep_r >= 15, "a 30 % BER forces heavy repetition");
+        let acct = kg.security_accounting(0.65); // conventional RO-PUF entropy
+        assert!(
+            !acct.covers_key(),
+            "residual {} should expose the leakage problem",
+            acct.residual_entropy_bits()
+        );
+    }
+
+    #[test]
+    fn key_width_is_configurable() {
+        let kg = KeyGenerator::for_bit_error_rate(0.05, 256, 1e-6, &puf_params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let response = random_bits(kg.response_bits(), &mut rng);
+        let (key, _) = kg.enroll(&response, &mut rng);
+        assert_eq!(key.len(), 256);
+        assert_eq!(kg.key_bits(), 256);
+    }
+}

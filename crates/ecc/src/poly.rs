@@ -1,0 +1,307 @@
+//! Polynomials over GF(2^m) (for generator construction and decoding) and
+//! over GF(2) (code generators and systematic encoding).
+
+use crate::gf::Gf;
+
+/// A polynomial over GF(2^m), coefficients little-endian
+/// (`coeffs[i]` multiplies `x^i`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfPoly {
+    coeffs: Vec<u16>,
+}
+
+impl GfPoly {
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    #[must_use]
+    pub fn one() -> Self {
+        Self { coeffs: vec![1] }
+    }
+
+    /// Builds from little-endian coefficients (trailing zeros trimmed).
+    #[must_use]
+    pub fn from_coeffs(coeffs: Vec<u16>) -> Self {
+        let mut p = Self { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The monic linear factor `x + a` (over GF(2^m), `x − a = x + a`).
+    #[must_use]
+    pub fn linear(a: u16) -> Self {
+        Self { coeffs: vec![a, 1] }
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last() == Some(&0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// The little-endian coefficients.
+    #[must_use]
+    pub fn coeffs(&self) -> &[u16] {
+        &self.coeffs
+    }
+
+    /// Whether this is the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Polynomial addition over the field.
+    #[must_use]
+    pub fn add(&self, other: &Self, _gf: &Gf) -> Self {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..len)
+            .map(|i| {
+                self.coeffs.get(i).copied().unwrap_or(0) ^ other.coeffs.get(i).copied().unwrap_or(0)
+            })
+            .collect();
+        Self::from_coeffs(coeffs)
+    }
+
+    /// Polynomial multiplication over the field.
+    #[must_use]
+    pub fn mul(&self, other: &Self, gf: &Gf) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut coeffs = vec![0u16; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] ^= gf.mul(a, b);
+            }
+        }
+        Self::from_coeffs(coeffs)
+    }
+
+    /// Evaluates the polynomial at `x` (Horner).
+    #[must_use]
+    pub fn eval(&self, x: u16, gf: &Gf) -> u16 {
+        let mut acc = 0u16;
+        for &c in self.coeffs.iter().rev() {
+            acc = gf.mul(acc, x) ^ c;
+        }
+        acc
+    }
+
+    /// Scales every coefficient by `s`.
+    #[must_use]
+    pub fn scale(&self, s: u16, gf: &Gf) -> Self {
+        Self::from_coeffs(self.coeffs.iter().map(|&c| gf.mul(c, s)).collect())
+    }
+}
+
+/// A polynomial over GF(2), bits little-endian.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinPoly {
+    bits: Vec<bool>,
+}
+
+impl BinPoly {
+    /// The constant polynomial `1`.
+    #[must_use]
+    pub fn one() -> Self {
+        Self { bits: vec![true] }
+    }
+
+    /// Builds from little-endian bits (trailing zeros trimmed).
+    #[must_use]
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        let mut p = Self { bits };
+        p.trim();
+        p
+    }
+
+    /// Converts a GF(2^m) polynomial whose coefficients happen to be
+    /// binary (a minimal polynomial / generator) into a GF(2) polynomial.
+    ///
+    /// # Panics
+    /// Panics if any coefficient is neither 0 nor 1 — that would mean the
+    /// cyclotomic-coset product was computed incorrectly.
+    #[must_use]
+    pub fn from_gf_poly(p: &GfPoly) -> Self {
+        let bits = p
+            .coeffs()
+            .iter()
+            .map(|&c| {
+                assert!(c <= 1, "generator coefficient {c} is not binary");
+                c == 1
+            })
+            .collect();
+        Self::from_bits(bits)
+    }
+
+    fn trim(&mut self) {
+        while self.bits.last() == Some(&false) {
+            self.bits.pop();
+        }
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.bits.len().checked_sub(1)
+    }
+
+    /// Little-endian coefficient bits.
+    #[must_use]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Carry-less multiplication over GF(2).
+    #[must_use]
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.bits.is_empty() || other.bits.is_empty() {
+            return Self { bits: Vec::new() };
+        }
+        let mut bits = vec![false; self.bits.len() + other.bits.len() - 1];
+        for (i, &a) in self.bits.iter().enumerate() {
+            if !a {
+                continue;
+            }
+            for (j, &b) in other.bits.iter().enumerate() {
+                bits[i + j] ^= b;
+            }
+        }
+        Self::from_bits(bits)
+    }
+
+    /// Remainder of `self` modulo `divisor` (schoolbook XOR division).
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn rem(&self, divisor: &Self) -> Self {
+        let d_deg = divisor.degree().expect("division by the zero polynomial");
+        let mut rem = self.bits.clone();
+        while rem.len() > d_deg {
+            let lead = rem.len() - 1;
+            if rem[lead] {
+                for (j, &bit) in divisor.bits.iter().enumerate() {
+                    if bit {
+                        let idx = lead - d_deg + j;
+                        rem[idx] = !rem[idx];
+                    }
+                }
+            }
+            rem.pop();
+        }
+        Self::from_bits(rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_poly_degree_and_trim() {
+        let p = GfPoly::from_coeffs(vec![1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        assert!(GfPoly::zero().is_zero());
+        assert_eq!(GfPoly::zero().degree(), None);
+        assert_eq!(GfPoly::one().degree(), Some(0));
+    }
+
+    #[test]
+    fn gf_poly_eval_horner() {
+        let gf = Gf::new(4);
+        // p(x) = x^2 + x + 1 over GF(16); p(a) = a^2 + a + 1.
+        let p = GfPoly::from_coeffs(vec![1, 1, 1]);
+        let a = gf.alpha_pow(1);
+        let expected = gf.pow(a, 2) ^ a ^ 1;
+        assert_eq!(p.eval(a, &gf), expected);
+        assert_eq!(p.eval(0, &gf), 1);
+    }
+
+    #[test]
+    fn gf_poly_product_of_linear_factors_has_roots() {
+        let gf = Gf::new(4);
+        let roots = [gf.alpha_pow(1), gf.alpha_pow(2), gf.alpha_pow(7)];
+        let mut p = GfPoly::one();
+        for &r in &roots {
+            p = p.mul(&GfPoly::linear(r), &gf);
+        }
+        assert_eq!(p.degree(), Some(3));
+        for &r in &roots {
+            assert_eq!(p.eval(r, &gf), 0, "constructed root must vanish");
+        }
+        assert_ne!(p.eval(gf.alpha_pow(3), &gf), 0);
+    }
+
+    #[test]
+    fn gf_poly_add_is_xor_of_coeffs() {
+        let gf = Gf::new(3);
+        let a = GfPoly::from_coeffs(vec![1, 2, 3]);
+        let b = GfPoly::from_coeffs(vec![3, 2, 1]);
+        let sum = a.add(&b, &gf);
+        assert_eq!(sum.coeffs(), &[2, 0, 2]);
+        assert!(a.add(&a, &gf).is_zero(), "characteristic 2");
+    }
+
+    #[test]
+    fn gf_poly_scale() {
+        let gf = Gf::new(4);
+        let p = GfPoly::from_coeffs(vec![1, 3, 7]);
+        let s = gf.alpha_pow(5);
+        let scaled = p.scale(s, &gf);
+        for (orig, sc) in p.coeffs().iter().zip(scaled.coeffs()) {
+            assert_eq!(*sc, gf.mul(*orig, s));
+        }
+    }
+
+    #[test]
+    fn bin_poly_mul_known_product() {
+        // (x + 1)(x + 1) = x^2 + 1 over GF(2).
+        let x1 = BinPoly::from_bits(vec![true, true]);
+        let sq = x1.mul(&x1);
+        assert_eq!(sq.bits(), &[true, false, true]);
+    }
+
+    #[test]
+    fn bin_poly_rem_known_case() {
+        // x^3 mod (x^2 + x + 1): x^3 = (x+1)(x^2+x+1) + 1 → remainder 1.
+        let x3 = BinPoly::from_bits(vec![false, false, false, true]);
+        let d = BinPoly::from_bits(vec![true, true, true]);
+        assert_eq!(x3.rem(&d).bits(), &[true]);
+    }
+
+    #[test]
+    fn bin_poly_rem_of_multiple_is_zero() {
+        let g = BinPoly::from_bits(vec![true, false, true, true]); // x^3+x^2+1
+        let q = BinPoly::from_bits(vec![true, true, false, false, true]);
+        let product = g.mul(&q);
+        assert_eq!(product.rem(&g).degree(), None);
+    }
+
+    #[test]
+    fn from_gf_poly_accepts_binary_coefficients() {
+        let p = GfPoly::from_coeffs(vec![1, 0, 1, 1]);
+        let b = BinPoly::from_gf_poly(&p);
+        assert_eq!(b.bits(), &[true, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not binary")]
+    fn from_gf_poly_rejects_field_coefficients() {
+        let _ = BinPoly::from_gf_poly(&GfPoly::from_coeffs(vec![1, 5]));
+    }
+}

@@ -1,0 +1,271 @@
+//! Repetition codes with majority decoding — the inner code of the
+//! standard PUF key-generation stack.
+//!
+//! A repetition code is feeble per bit of rate, but it turns a raw bit
+//! error probability `p` into `P(majority of r flips)`, which collapses
+//! fast when `p < 0.5`. The paper's conventional-RO-PUF area blow-up comes
+//! from exactly this: at ten-year error rates above 30 %, the inner
+//! repetition factor explodes before the outer BCH even starts.
+
+use aro_metrics::bits::BitString;
+
+use crate::code::Code;
+
+/// A length-`r` repetition code (`r` odd).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RepetitionCode {
+    r: usize,
+}
+
+impl RepetitionCode {
+    /// Creates a repetition code of odd length `r` (1 = no coding).
+    ///
+    /// # Panics
+    /// Panics if `r` is even or zero.
+    #[must_use]
+    pub fn new(r: usize) -> Self {
+        assert!(r >= 1 && r % 2 == 1, "repetition length must be odd");
+        Self { r }
+    }
+
+    /// The repetition factor.
+    #[must_use]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Probability that majority decoding of one bit fails when each raw
+    /// bit flips independently with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn bit_failure_probability(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let r = self.r;
+        let threshold = r / 2 + 1;
+        let mut total = 0.0;
+        for j in threshold..=r {
+            total += binomial_pmf(r, j, p);
+        }
+        total.clamp(0.0, 1.0)
+    }
+}
+
+/// Binomial probability mass `C(n, j) p^j (1-p)^(n-j)` computed in log
+/// space (stable for n up to thousands).
+///
+/// # Panics
+/// Panics if `j > n`.
+#[must_use]
+pub fn binomial_pmf(n: usize, j: usize, p: f64) -> f64 {
+    assert!(j <= n, "j must not exceed n");
+    if p == 0.0 {
+        return if j == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if j == n { 1.0 } else { 0.0 };
+    }
+    let ln_choose = ln_factorial(n) - ln_factorial(j) - ln_factorial(n - j);
+    (ln_choose + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Binomial upper tail `P(X > t)` for `X ~ B(n, p)`.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn binomial_tail_gt(n: usize, t: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    if t >= n {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for j in (t + 1)..=n {
+        let term = binomial_pmf(n, j, p);
+        total += term;
+        // Past the mode the terms decay monotonically; stop when they no
+        // longer move the sum.
+        if j as f64 > n as f64 * p && term < 1e-22 * total.max(1e-300) {
+            break;
+        }
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// `ln(n!)`: exact table for small `n`, Stirling series beyond.
+fn ln_factorial(n: usize) -> f64 {
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        std::f64::consts::LN_2, // ln(2!)
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_89,
+        30.671_860_106_080_672,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if n <= 20 {
+        return TABLE[n];
+    }
+    let x = n as f64 + 1.0;
+    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x.powi(3))
+}
+
+impl Code for RepetitionCode {
+    fn n(&self) -> usize {
+        self.r
+    }
+
+    fn k(&self) -> usize {
+        1
+    }
+
+    fn t(&self) -> usize {
+        self.r / 2
+    }
+
+    fn encode(&self, message: &BitString) -> BitString {
+        assert_eq!(message.len(), 1, "message must be k bits");
+        let bit = message.get(0);
+        (0..self.r).map(|_| bit).collect()
+    }
+
+    fn decode(&self, received: &BitString) -> Option<BitString> {
+        assert_eq!(received.len(), self.r, "received word must be n bits");
+        let bit = received.count_ones() * 2 > self.r;
+        Some((0..self.r).map(|_| bit).collect())
+    }
+
+    fn extract_message(&self, codeword: &BitString) -> BitString {
+        assert_eq!(codeword.len(), self.r, "codeword must be n bits");
+        std::iter::once(codeword.get(0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let code = RepetitionCode::new(5);
+        for bit in [false, true] {
+            let msg: BitString = std::iter::once(bit).collect();
+            let word = code.encode(&msg);
+            assert_eq!(word.len(), 5);
+            assert_eq!(code.extract_message(&code.decode(&word).unwrap()), msg);
+        }
+    }
+
+    #[test]
+    fn majority_corrects_floor_half_errors() {
+        let code = RepetitionCode::new(7);
+        let msg: BitString = std::iter::once(true).collect();
+        let mut word = code.encode(&msg);
+        word.flip(0);
+        word.flip(3);
+        word.flip(6);
+        let decoded = code.decode(&word).unwrap();
+        assert_eq!(code.extract_message(&decoded), msg);
+        assert_eq!(code.t(), 3);
+    }
+
+    #[test]
+    fn majority_fails_beyond_half() {
+        let code = RepetitionCode::new(3);
+        let msg: BitString = std::iter::once(true).collect();
+        let mut word = code.encode(&msg);
+        word.flip(0);
+        word.flip(1);
+        let decoded = code.decode(&word).unwrap();
+        assert_ne!(code.extract_message(&decoded), msg, "majority flipped");
+    }
+
+    #[test]
+    fn failure_probability_matches_exhaustive_enumeration() {
+        let code = RepetitionCode::new(5);
+        let p: f64 = 0.3;
+        let mut exact = 0.0;
+        for pattern in 0u32..32 {
+            let weight = pattern.count_ones() as usize;
+            if weight >= 3 {
+                exact += p.powi(weight as i32) * (1.0 - p).powi(5 - weight as i32);
+            }
+        }
+        assert!((code.bit_failure_probability(p) - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_probability_decreases_with_r_when_p_below_half() {
+        let p = 0.2;
+        let p3 = RepetitionCode::new(3).bit_failure_probability(p);
+        let p7 = RepetitionCode::new(7).bit_failure_probability(p);
+        let p15 = RepetitionCode::new(15).bit_failure_probability(p);
+        assert!(p3 > p7 && p7 > p15);
+        assert!(p15 < 5e-3, "p15 = {p15}");
+    }
+
+    #[test]
+    fn failure_probability_stalls_near_half() {
+        for r in [1, 5, 21] {
+            let f = RepetitionCode::new(r).bit_failure_probability(0.5);
+            assert!((f - 0.5).abs() < 1e-9, "r={r}: {f}");
+        }
+    }
+
+    #[test]
+    fn r_equals_one_is_identity() {
+        let code = RepetitionCode::new(1);
+        assert_eq!(code.bit_failure_probability(0.32), 0.32);
+        assert_eq!(code.t(), 0);
+    }
+
+    #[test]
+    fn binomial_tail_matches_complement() {
+        let (n, p) = (50, 0.3);
+        for t in [0usize, 10, 25, 49] {
+            let gt = binomial_tail_gt(n, t, p);
+            let le: f64 = (0..=t).map(|j| binomial_pmf(n, j, p)).sum();
+            assert!((gt + le - 1.0).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn binomial_tail_extremes() {
+        assert_eq!(binomial_tail_gt(10, 10, 0.4), 0.0);
+        assert!((binomial_tail_gt(10, 0, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_tail_gt(10, 0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn large_n_tail_is_stable() {
+        let tail = binomial_tail_gt(2000, 700, 0.32);
+        assert!((0.0..=1.0).contains(&tail));
+        let mean_tail = binomial_tail_gt(2000, 640, 0.32);
+        assert!(
+            mean_tail > 0.4 && mean_tail < 0.6,
+            "tail at the mean ≈ 0.5: {mean_tail}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_repetition_panics() {
+        let _ = RepetitionCode::new(4);
+    }
+}

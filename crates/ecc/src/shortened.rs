@@ -1,0 +1,182 @@
+//! Shortened block codes: trimming a code's dimension to fit a key
+//! exactly.
+//!
+//! A `(n, k, t)` code shortened by `s` information positions becomes a
+//! `(n−s, k−s, ≥t)` code: encode with the first `s` message bits pinned
+//! to zero and drop them from the codeword; decode by re-inserting the
+//! zeros. PUF key generators shorten so that `blocks · k'` hits the key
+//! width exactly instead of over-provisioning the PUF array.
+
+use aro_metrics::bits::BitString;
+
+use crate::code::Code;
+
+/// A code shortened by `s` information bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortenedCode<C: Code> {
+    inner: C,
+    s: usize,
+}
+
+impl<C: Code> ShortenedCode<C> {
+    /// Shortens `inner` by `s` information positions.
+    ///
+    /// # Panics
+    /// Panics if `s >= k` (no message bits would remain).
+    #[must_use]
+    pub fn new(inner: C, s: usize) -> Self {
+        assert!(s < inner.k(), "cannot shorten away the whole message");
+        Self { inner, s }
+    }
+
+    /// The underlying full-length code.
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The number of shortened positions.
+    #[must_use]
+    pub fn shortening(&self) -> usize {
+        self.s
+    }
+
+    /// Pads a shortened word back to full length with the pinned zeros.
+    ///
+    /// The systematic layout of the inner codes is `[parity | message]`
+    /// with the shortened (zero) message bits occupying the *last*
+    /// positions, so extension appends zeros.
+    fn extend_to_full(&self, word: &BitString) -> BitString {
+        let mut full = word.clone();
+        full.extend(std::iter::repeat_n(false, self.s));
+        full
+    }
+}
+
+impl<C: Code> Code for ShortenedCode<C> {
+    fn n(&self) -> usize {
+        self.inner.n() - self.s
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k() - self.s
+    }
+
+    fn t(&self) -> usize {
+        self.inner.t()
+    }
+
+    fn encode(&self, message: &BitString) -> BitString {
+        assert_eq!(message.len(), self.k(), "message must be k bits");
+        // Pin the shortened (trailing) message positions to zero.
+        let full_message = message.concat(&BitString::zeros(self.s));
+        let full_word = self.inner.encode(&full_message);
+        full_word.slice(0, self.n())
+    }
+
+    fn decode(&self, received: &BitString) -> Option<BitString> {
+        assert_eq!(received.len(), self.n(), "received word must be n bits");
+        let full = self.extend_to_full(received);
+        let corrected = self.inner.decode(&full)?;
+        // Reject patterns that "corrected" the pinned zeros: the true
+        // codeword has zeros there, so such a result is a miscorrection.
+        if (self.n()..self.inner.n()).any(|i| corrected.get(i)) {
+            return None;
+        }
+        Some(corrected.slice(0, self.n()))
+    }
+
+    fn extract_message(&self, codeword: &BitString) -> BitString {
+        assert_eq!(codeword.len(), self.n(), "codeword must be n bits");
+        let full = self.extend_to_full(codeword);
+        self.inner.extract_message(&full).slice(0, self.k())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bch::BchCode;
+    use crate::golay::GolayCode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn dimensions_shrink_together() {
+        // BCH(31, 16, 3) shortened by 8 → (23, 8, 3).
+        let code = ShortenedCode::new(BchCode::new(5, 3), 8);
+        assert_eq!(code.n(), 23);
+        assert_eq!(code.k(), 8);
+        assert_eq!(code.t(), 3);
+        assert_eq!(code.shortening(), 8);
+    }
+
+    #[test]
+    fn roundtrip_and_systematic_extraction() {
+        let code = ShortenedCode::new(BchCode::new(5, 2), 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let msg: BitString = (0..code.k()).map(|_| rng.gen::<bool>()).collect();
+            let word = code.encode(&msg);
+            assert_eq!(word.len(), code.n());
+            assert_eq!(code.extract_message(&word), msg);
+            assert_eq!(code.decode(&word), Some(word));
+        }
+    }
+
+    #[test]
+    fn corrects_t_errors_after_shortening() {
+        let code = ShortenedCode::new(BchCode::new(6, 4), 20); // (43, 19, 4)
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let msg: BitString = (0..code.k()).map(|_| rng.gen::<bool>()).collect();
+            let word = code.encode(&msg);
+            let mut corrupted = word.clone();
+            let mut flipped = std::collections::HashSet::new();
+            while flipped.len() < code.t() {
+                let pos = rng.gen_range(0..code.n());
+                if flipped.insert(pos) {
+                    corrupted.flip(pos);
+                }
+            }
+            assert_eq!(code.decode(&corrupted), Some(word));
+        }
+    }
+
+    #[test]
+    fn shortened_golay_exactly_fits_a_byte() {
+        // Golay(23, 12) shortened by 4 → (19, 8): one key byte per block.
+        let code = ShortenedCode::new(GolayCode::new(), 4);
+        assert_eq!(code.k(), 8);
+        let msg = BitString::from_fn(8, |i| i % 3 == 0);
+        let mut word = code.encode(&msg);
+        word.flip(2);
+        word.flip(11);
+        word.flip(17);
+        let decoded = code.decode(&word).expect("3 errors within capability");
+        assert_eq!(code.extract_message(&decoded), msg);
+    }
+
+    #[test]
+    fn works_in_the_fuzzy_extractor() {
+        use crate::fuzzy::FuzzyExtractor;
+        let code = ShortenedCode::new(BchCode::new(5, 3), 6); // (25, 10, 3)
+        let fe = FuzzyExtractor::new(code, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w: BitString = (0..fe.response_bits()).map(|_| rng.gen::<bool>()).collect();
+        let (key, helper) = fe.generate(&w, &mut rng);
+        let mut noisy = w.clone();
+        for block in 0..2 {
+            for j in 0..3 {
+                noisy.flip(block * 25 + 8 * j + 1);
+            }
+        }
+        assert_eq!(fe.reproduce(&noisy, &helper), Some(key));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shorten away the whole message")]
+    fn overshortening_panics() {
+        let _ = ShortenedCode::new(BchCode::new(4, 2), 7);
+    }
+}

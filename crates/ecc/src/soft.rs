@@ -1,0 +1,260 @@
+//! Soft-decision decoding: using measurement confidence instead of hard
+//! bits.
+//!
+//! A counter readout knows more than the sign: the *magnitude* of the
+//! count difference says how far the pair was from the decision boundary.
+//! Soft-decision PUF decoders (Maes et al.) exploit that: the inner
+//! repetition majority becomes a confidence-weighted vote, so one
+//! hesitant wrong read cannot outvote two near-boundary right ones — and
+//! the outer code sees a lower symbol error rate at the *same* silicon
+//! and code. EXP-14 measures the gain.
+
+use aro_metrics::bits::BitString;
+
+use crate::bch::BchCode;
+use crate::concat::ConcatenatedCode;
+use crate::fuzzy::{HelperData, Key};
+use crate::repetition::RepetitionCode;
+
+/// One response bit with its measurement confidence (any non-negative
+/// monotone reliability score; the readout's |Δcount| works directly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftBit {
+    /// The hard decision.
+    pub value: bool,
+    /// Non-negative reliability weight.
+    pub weight: f64,
+}
+
+impl SoftBit {
+    /// Creates a soft bit.
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or non-finite.
+    #[must_use]
+    pub fn new(value: bool, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be a non-negative number"
+        );
+        Self { value, weight }
+    }
+
+    /// The bit as a signed weight (+w for 1, −w for 0).
+    #[must_use]
+    pub fn signed(&self) -> f64 {
+        if self.value {
+            self.weight
+        } else {
+            -self.weight
+        }
+    }
+
+    /// The same soft bit with its hard value flipped (confidence kept) —
+    /// what XOR-ing with helper data does.
+    #[must_use]
+    pub fn flipped(&self) -> Self {
+        Self {
+            value: !self.value,
+            weight: self.weight,
+        }
+    }
+}
+
+impl From<(bool, f64)> for SoftBit {
+    fn from((value, weight): (bool, f64)) -> Self {
+        Self::new(value, weight)
+    }
+}
+
+/// Confidence-weighted majority of a repetition group (ties resolve to 0,
+/// like the hard majority's comparator).
+///
+/// # Panics
+/// Panics if `group` is empty.
+#[must_use]
+pub fn soft_majority(group: &[SoftBit]) -> bool {
+    assert!(!group.is_empty(), "majority of an empty group");
+    group.iter().map(SoftBit::signed).sum::<f64>() > 0.0
+}
+
+/// Soft-decision decoder for the concatenated (repetition ⊗ BCH) code:
+/// weighted inner majority, then hard outer BCH.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftConcatDecoder {
+    code: ConcatenatedCode,
+}
+
+impl SoftConcatDecoder {
+    /// Wraps a concatenated code.
+    #[must_use]
+    pub fn new(outer: BchCode, inner: RepetitionCode) -> Self {
+        Self {
+            code: ConcatenatedCode::new(outer, inner),
+        }
+    }
+
+    /// The wrapped code.
+    #[must_use]
+    pub fn code(&self) -> &ConcatenatedCode {
+        &self.code
+    }
+
+    /// Decodes `n` soft bits into the corrected concatenated codeword, or
+    /// `None` beyond the outer code's capability.
+    ///
+    /// # Panics
+    /// Panics if `received` is not exactly `n` soft bits.
+    #[must_use]
+    pub fn decode_soft(&self, received: &[SoftBit]) -> Option<BitString> {
+        use crate::code::Code;
+        assert_eq!(
+            received.len(),
+            self.code.n(),
+            "received word must be n soft bits"
+        );
+        let r = self.code.inner().r();
+        let outer_received: BitString = received.chunks(r).map(soft_majority).collect();
+        let outer_corrected = self.code.outer().decode(&outer_received)?;
+        Some(
+            self.code
+                .encode(&self.code.outer().extract_message(&outer_corrected)),
+        )
+    }
+
+    /// Soft-decision key reconstruction through a code-offset helper: the
+    /// offset flips hard values (weights are unaffected), the soft
+    /// decoder recovers each block's codeword, and the enrollment
+    /// response and key are re-derived exactly as in
+    /// [`crate::fuzzy::FuzzyExtractor::reproduce`].
+    ///
+    /// # Panics
+    /// Panics if the response is shorter than `blocks · n` or the helper
+    /// block count differs.
+    #[must_use]
+    pub fn reproduce_soft(&self, response: &[SoftBit], helper: &HelperData) -> Option<Key> {
+        use crate::code::Code;
+        let n = self.code.n();
+        assert!(response.len() >= helper.blocks() * n, "response too short");
+        let mut w = BitString::zeros(0);
+        for (block_index, offset) in helper.offsets().iter().enumerate() {
+            let shifted: Vec<SoftBit> = response[block_index * n..(block_index + 1) * n]
+                .iter()
+                .enumerate()
+                .map(|(i, soft)| if offset.get(i) { soft.flipped() } else { *soft })
+                .collect();
+            let codeword = self.decode_soft(&shifted)?;
+            w = w.concat(&codeword.xor(offset));
+        }
+        Some(helper.derive_key_for(&w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::Code;
+    use crate::fuzzy::FuzzyExtractor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn soft(bits: &[(bool, f64)]) -> Vec<SoftBit> {
+        bits.iter().map(|&b| SoftBit::from(b)).collect()
+    }
+
+    #[test]
+    fn soft_majority_weighs_confidence() {
+        // Two hesitant zeros vs one confident one: the one wins.
+        let group = soft(&[(false, 0.5), (false, 0.4), (true, 2.0)]);
+        assert!(soft_majority(&group));
+        // Hard majority would have said zero.
+        let hard_ones = group.iter().filter(|b| b.value).count();
+        assert!(hard_ones * 2 < group.len());
+    }
+
+    #[test]
+    fn soft_majority_reduces_to_hard_with_equal_weights() {
+        for pattern in 0u8..8 {
+            let group: Vec<SoftBit> = (0..3)
+                .map(|i| SoftBit::new(pattern >> i & 1 == 1, 1.0))
+                .collect();
+            let hard = group.iter().filter(|b| b.value).count() * 2 > 3;
+            assert_eq!(soft_majority(&group), hard, "pattern {pattern:#b}");
+        }
+    }
+
+    #[test]
+    fn soft_decoder_matches_hard_decoder_on_confident_input() {
+        let decoder = SoftConcatDecoder::new(BchCode::new(4, 2), RepetitionCode::new(3));
+        let mut rng = StdRng::seed_from_u64(1);
+        let msg: BitString = (0..decoder.code().k()).map(|_| rng.gen::<bool>()).collect();
+        let word = decoder.code().encode(&msg);
+        let soft_word: Vec<SoftBit> = word.iter().map(|b| SoftBit::new(b, 1.0)).collect();
+        assert_eq!(decoder.decode_soft(&soft_word), Some(word));
+    }
+
+    #[test]
+    fn soft_decoding_survives_where_hard_fails() {
+        // Per group: two wrong reads with tiny confidence, one right read
+        // with high confidence. Hard majority gets every symbol wrong;
+        // soft majority gets every symbol right.
+        let decoder = SoftConcatDecoder::new(BchCode::new(4, 2), RepetitionCode::new(3));
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg: BitString = (0..decoder.code().k()).map(|_| rng.gen::<bool>()).collect();
+        let word = decoder.code().encode(&msg);
+        let corrupted: Vec<SoftBit> = word
+            .iter()
+            .enumerate()
+            .map(|(i, bit)| {
+                if i % 3 == 0 {
+                    SoftBit::new(bit, 3.0) // the confident truthful read
+                } else {
+                    SoftBit::new(!bit, 0.2) // hesitant wrong reads
+                }
+            })
+            .collect();
+        assert_eq!(
+            decoder.decode_soft(&corrupted),
+            Some(word.clone()),
+            "soft succeeds"
+        );
+
+        // The equivalent hard word fails: every group majority is wrong.
+        use crate::concat::ConcatenatedCode;
+        let hard_code = ConcatenatedCode::new(BchCode::new(4, 2), RepetitionCode::new(3));
+        let hard_word: BitString = corrupted.iter().map(|s| s.value).collect();
+        match hard_code.decode(&hard_word) {
+            None => {}
+            Some(decoded) => assert_ne!(decoded, word, "hard decode cannot recover"),
+        }
+    }
+
+    #[test]
+    fn soft_reproduction_recovers_the_enrolled_key() {
+        let decoder = SoftConcatDecoder::new(BchCode::new(5, 2), RepetitionCode::new(3));
+        let fe = FuzzyExtractor::new(decoder.code().clone(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w: BitString = (0..fe.response_bits()).map(|_| rng.gen::<bool>()).collect();
+        let (key, helper) = fe.generate(&w, &mut rng);
+
+        // A noisy soft re-reading: a few hesitant flips.
+        let soft_reading: Vec<SoftBit> = w
+            .iter()
+            .enumerate()
+            .map(|(i, bit)| {
+                if i % 17 == 3 {
+                    SoftBit::new(!bit, 0.3)
+                } else {
+                    SoftBit::new(bit, 1.5)
+                }
+            })
+            .collect();
+        assert_eq!(decoder.reproduce_soft(&soft_reading, &helper), Some(key));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = SoftBit::new(true, -1.0);
+    }
+}

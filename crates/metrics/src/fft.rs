@@ -1,0 +1,196 @@
+//! Radix-2 complex FFT, implemented in-house for the NIST spectral test.
+//!
+//! The discrete Fourier transform test (SP 800-22 §2.6) needs the
+//! magnitude spectrum of the ±1-mapped sequence. No FFT crate is in the
+//! offline allowlist; an iterative radix-2 Cooley–Tukey fits in a page
+//! and is exact enough (f64) for p-values.
+
+use std::f64::consts::PI;
+
+/// One complex sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// A complex number.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Magnitude `sqrt(re² + im²)`.
+    #[must_use]
+    pub fn abs(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    fn mul(self, other: Self) -> Self {
+        Self::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    fn add(self, other: Self) -> Self {
+        Self::new(self.re + other.re, self.im + other.im)
+    }
+
+    fn sub(self, other: Self) -> Self {
+        Self::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+/// In-place iterative radix-2 FFT.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * PI / len as f64;
+        let w_len = Complex::new(angle.cos(), angle.sin());
+        for chunk in data.chunks_exact_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let t = w.mul(*b);
+                *b = a.sub(t);
+                *a = a.add(t);
+                w = w.mul(w_len);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Magnitudes of the first `n/2` DFT bins of a real ±1 sequence derived
+/// from bits (true → +1, false → −1), zero-padded to a power of two.
+#[must_use]
+pub fn real_half_spectrum(bits: impl Iterator<Item = bool>, n: usize) -> Vec<f64> {
+    let padded = n.next_power_of_two();
+    let mut data = vec![Complex::default(); padded];
+    for (slot, bit) in data.iter_mut().zip(bits) {
+        slot.re = if bit { 1.0 } else { -1.0 };
+    }
+    fft(&mut data);
+    data.iter().take(n / 2).map(Complex::abs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data);
+        for c in &data {
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_in_dc() {
+        let mut data = vec![Complex::new(1.0, 0.0); 16];
+        fft(&mut data);
+        assert!((data[0].abs() - 16.0).abs() < 1e-9);
+        for c in &data[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let k = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| {
+                let phase = 2.0 * PI * k as f64 * i as f64 / n as f64;
+                Complex::new(phase.cos(), 0.0)
+            })
+            .collect();
+        fft(&mut data);
+        // A real cosine splits between bins k and n−k.
+        assert!((data[k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((data[n - k].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (i, c) in data.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(c.abs() < 1e-9, "leak at bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_dft_on_random_input() {
+        let n = 32;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| {
+                // Deterministic pseudo-random values.
+                let x = ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.5;
+                let y = ((i * 40503_usize) % 1000) as f64 / 1000.0 - 0.5;
+                Complex::new(x, y)
+            })
+            .collect();
+        let mut fast = input.clone();
+        fft(&mut fast);
+        for (k, fast_bin) in fast.iter().enumerate() {
+            let mut direct = Complex::default();
+            for (i, x) in input.iter().enumerate() {
+                let angle = -2.0 * PI * (k * i) as f64 / n as f64;
+                direct = direct.add(x.mul(Complex::new(angle.cos(), angle.sin())));
+            }
+            assert!(
+                (fast_bin.re - direct.re).abs() < 1e-9 && (fast_bin.im - direct.im).abs() < 1e-9,
+                "bin {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let n = 128;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(((i * 7919) % 17) as f64 - 8.0, 0.0))
+            .collect();
+        let time_energy: f64 = input.iter().map(|c| c.abs().powi(2)).sum();
+        let mut data = input;
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.abs().powi(2)).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn half_spectrum_length_and_padding() {
+        let bits = (0..100).map(|i| i % 2 == 0);
+        let spectrum = real_half_spectrum(bits, 100);
+        assert_eq!(spectrum.len(), 50);
+        assert!(spectrum.iter().all(|m| m.is_finite() && *m >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::default(); 12];
+        fft(&mut data);
+    }
+}

@@ -1,0 +1,498 @@
+//! NIST SP 800-22-lite randomness battery.
+//!
+//! The subset of the NIST statistical test suite that is meaningful at PUF
+//! response sizes (a few hundred to a few hundred thousand bits): monobit
+//! frequency, block frequency, runs, longest run of ones, serial,
+//! approximate entropy, and cumulative sums. Each test returns a true
+//! p-value (via [`crate::special`]); a sequence passes a test at the NIST
+//! significance level `alpha = 0.01`.
+//!
+//! The battery backs the paper's claim that ARO-PUF keys are "unique and
+//! random": concatenated chip responses should pass, and a deliberately
+//! biased source should fail.
+
+use crate::bits::BitString;
+use crate::fft::real_half_spectrum;
+use crate::special::{erfc, gamma_q, normal_cdf};
+
+/// NIST significance level: a p-value below this fails the test.
+pub const ALPHA: f64 = 0.01;
+
+/// Outcome of one statistical test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Test name, e.g. `"monobit"`.
+    pub name: &'static str,
+    /// The p-value (probability a perfect RNG looks at least this extreme).
+    pub p_value: f64,
+    /// `p_value >= ALPHA`.
+    pub pass: bool,
+}
+
+impl TestResult {
+    fn new(name: &'static str, p_value: f64) -> Self {
+        let p = p_value.clamp(0.0, 1.0);
+        Self {
+            name,
+            p_value: p,
+            pass: p >= ALPHA,
+        }
+    }
+}
+
+/// Frequency (monobit) test.
+///
+/// # Panics
+/// Panics if the sequence is empty.
+#[must_use]
+pub fn monobit(bits: &BitString) -> TestResult {
+    assert!(!bits.is_empty(), "empty sequence");
+    let n = bits.len() as f64;
+    let sum: f64 = bits.iter().map(|b| if b { 1.0 } else { -1.0 }).sum();
+    let s_obs = sum.abs() / n.sqrt();
+    TestResult::new("monobit", erfc(s_obs / std::f64::consts::SQRT_2))
+}
+
+/// Block-frequency test with block length `m`.
+///
+/// # Panics
+/// Panics if fewer than one full block fits.
+#[must_use]
+pub fn block_frequency(bits: &BitString, m: usize) -> TestResult {
+    assert!(m > 0 && bits.len() >= m, "sequence shorter than one block");
+    let n_blocks = bits.len() / m;
+    let chi2: f64 = (0..n_blocks)
+        .map(|b| {
+            let ones = (0..m).filter(|&i| bits.get(b * m + i)).count();
+            let pi = ones as f64 / m as f64;
+            (pi - 0.5).powi(2)
+        })
+        .sum::<f64>()
+        * 4.0
+        * m as f64;
+    TestResult::new(
+        "block_frequency",
+        gamma_q(n_blocks as f64 / 2.0, chi2 / 2.0),
+    )
+}
+
+/// Runs test (number of maximal same-bit runs).
+///
+/// # Panics
+/// Panics if the sequence is empty.
+#[must_use]
+pub fn runs(bits: &BitString) -> TestResult {
+    assert!(!bits.is_empty(), "empty sequence");
+    let n = bits.len() as f64;
+    let pi = bits.count_ones() as f64 / n;
+    // NIST pre-test: a heavily biased sequence auto-fails.
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        return TestResult::new("runs", 0.0);
+    }
+    let v_obs = 1
+        + (1..bits.len())
+            .filter(|&i| bits.get(i) != bits.get(i - 1))
+            .count();
+    let num = (v_obs as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    TestResult::new("runs", erfc(num / den))
+}
+
+/// Longest-run-of-ones test (NIST parameterization for 128 ≤ n < 6272:
+/// 8-bit blocks, categories {≤1, 2, 3, ≥4}).
+///
+/// # Panics
+/// Panics if the sequence is shorter than 128 bits.
+#[must_use]
+pub fn longest_run_of_ones(bits: &BitString) -> TestResult {
+    assert!(
+        bits.len() >= 128,
+        "longest-run test needs at least 128 bits"
+    );
+    const M: usize = 8;
+    const PI: [f64; 4] = [0.2148, 0.3672, 0.2305, 0.1875];
+    let n_blocks = bits.len() / M;
+    let mut v = [0usize; 4];
+    for b in 0..n_blocks {
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        for i in 0..M {
+            if bits.get(b * M + i) {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        let category = match longest {
+            0 | 1 => 0,
+            2 => 1,
+            3 => 2,
+            _ => 3,
+        };
+        v[category] += 1;
+    }
+    let n = n_blocks as f64;
+    let chi2: f64 = v
+        .iter()
+        .zip(PI.iter())
+        .map(|(&obs, &pi)| (obs as f64 - n * pi).powi(2) / (n * pi))
+        .sum();
+    TestResult::new("longest_run", gamma_q(1.5, chi2 / 2.0))
+}
+
+/// Counts overlapping `m`-bit patterns with wrap-around and returns the
+/// NIST `psi²_m` statistic (0 for `m == 0`).
+fn psi_squared(bits: &BitString, m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = bits.len();
+    let mut counts = vec![0usize; 1 << m];
+    for i in 0..n {
+        let mut pattern = 0usize;
+        for j in 0..m {
+            pattern = (pattern << 1) | usize::from(bits.get((i + j) % n));
+        }
+        counts[pattern] += 1;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64).powi(2)).sum();
+    (1 << m) as f64 / n as f64 * sum_sq - n as f64
+}
+
+/// Serial test with pattern length `m`; returns the first of the two NIST
+/// p-values (`∇ψ²`).
+///
+/// # Panics
+/// Panics if `m < 2` or the sequence is shorter than `m + 2` bits.
+#[must_use]
+pub fn serial(bits: &BitString, m: usize) -> TestResult {
+    assert!(m >= 2, "serial test needs m >= 2");
+    assert!(bits.len() > m + 1, "sequence too short for serial test");
+    let d1 = psi_squared(bits, m) - psi_squared(bits, m - 1);
+    TestResult::new("serial", gamma_q(2f64.powi(m as i32 - 2), d1 / 2.0))
+}
+
+/// Approximate-entropy test with block length `m`.
+///
+/// # Panics
+/// Panics if the sequence is shorter than `m + 2` bits.
+#[must_use]
+pub fn approximate_entropy(bits: &BitString, m: usize) -> TestResult {
+    assert!(
+        bits.len() > m + 1,
+        "sequence too short for approximate entropy"
+    );
+    let n = bits.len() as f64;
+    let phi = |m: usize| -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        let mut counts = vec![0usize; 1 << m];
+        for i in 0..bits.len() {
+            let mut pattern = 0usize;
+            for j in 0..m {
+                pattern = (pattern << 1) | usize::from(bits.get((i + j) % bits.len()));
+            }
+            counts[pattern] += 1;
+        }
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.ln()
+            })
+            .sum()
+    };
+    let ap_en = phi(m) - phi(m + 1);
+    let chi2 = 2.0 * n * (std::f64::consts::LN_2 - ap_en);
+    TestResult::new(
+        "approximate_entropy",
+        gamma_q(2f64.powi(m as i32 - 1), chi2.max(0.0) / 2.0),
+    )
+}
+
+/// Cumulative-sums (forward) test.
+///
+/// # Panics
+/// Panics if the sequence is empty.
+#[must_use]
+pub fn cumulative_sums(bits: &BitString) -> TestResult {
+    assert!(!bits.is_empty(), "empty sequence");
+    let n = bits.len() as f64;
+    let mut s = 0i64;
+    let mut z = 0i64;
+    for b in bits.iter() {
+        s += if b { 1 } else { -1 };
+        z = z.max(s.abs());
+    }
+    let z = z as f64;
+    if z == 0.0 {
+        return TestResult::new("cumulative_sums", 0.0);
+    }
+    let sqrt_n = n.sqrt();
+    let mut p = 1.0;
+    let k_lo = ((-(n / z) + 1.0) / 4.0).ceil() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        p -= normal_cdf((4.0 * k + 1.0) * z / sqrt_n) - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+    }
+    let k_lo = ((-(n / z) - 3.0) / 4.0).ceil() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        p += normal_cdf((4.0 * k + 3.0) * z / sqrt_n) - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+    }
+    TestResult::new("cumulative_sums", p)
+}
+
+/// Discrete-Fourier-transform (spectral) test.
+///
+/// Detects periodic features: too many high-magnitude spectral peaks
+/// reject randomness. Deviation from SP 800-22: the sequence is
+/// **truncated to the largest power of two** so the radix-2 FFT applies
+/// exactly (zero-padding would distort the peak statistics); the
+/// truncated length is what enters the thresholds.
+///
+/// # Panics
+/// Panics if the sequence is shorter than 64 bits.
+#[must_use]
+pub fn spectral(bits: &BitString) -> TestResult {
+    assert!(bits.len() >= 64, "spectral test needs at least 64 bits");
+    let n = if bits.len().is_power_of_two() {
+        bits.len()
+    } else {
+        bits.len().next_power_of_two() / 2
+    };
+    let magnitudes = real_half_spectrum(bits.iter().take(n), n);
+    let threshold = ((1.0f64 / 0.05).ln() * n as f64).sqrt();
+    let expected_below = 0.95 * n as f64 / 2.0;
+    let observed_below = magnitudes.iter().filter(|&&m| m < threshold).count() as f64;
+    let d = (observed_below - expected_below) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    TestResult::new("spectral", erfc(d.abs() / std::f64::consts::SQRT_2))
+}
+
+/// Non-overlapping template matching test with the given aperiodic
+/// template, over `n_blocks` blocks.
+///
+/// # Panics
+/// Panics if the template is empty or longer than a block.
+#[must_use]
+pub fn non_overlapping_template(
+    bits: &BitString,
+    template: &[bool],
+    n_blocks: usize,
+) -> TestResult {
+    let m = template.len();
+    let block_len = bits.len() / n_blocks;
+    assert!(m >= 1 && m <= block_len, "template must fit in a block");
+    let mu = (block_len - m + 1) as f64 / 2f64.powi(m as i32);
+    let sigma2 = block_len as f64
+        * (1.0 / 2f64.powi(m as i32) - (2.0 * m as f64 - 1.0) / 2f64.powi(2 * m as i32));
+    let chi2: f64 = (0..n_blocks)
+        .map(|b| {
+            let start = b * block_len;
+            let mut hits = 0usize;
+            let mut i = 0usize;
+            while i + m <= block_len {
+                let matched = (0..m).all(|j| bits.get(start + i + j) == template[j]);
+                if matched {
+                    hits += 1;
+                    i += m; // non-overlapping: jump past the match
+                } else {
+                    i += 1;
+                }
+            }
+            (hits as f64 - mu).powi(2) / sigma2
+        })
+        .sum();
+    TestResult::new(
+        "non_overlapping_template",
+        gamma_q(n_blocks as f64 / 2.0, chi2 / 2.0),
+    )
+}
+
+/// The default 9-bit aperiodic template `000000001` (NIST's first).
+#[must_use]
+pub fn default_template() -> Vec<bool> {
+    let mut t = vec![false; 9];
+    t[8] = true;
+    t
+}
+
+/// Runs every test applicable at the sequence length and returns all
+/// results. Uses the NIST-recommended parameters for short sequences;
+/// the spectral test joins at 128 bits and template matching at 2048.
+///
+/// # Panics
+/// Panics if the sequence is shorter than 128 bits.
+#[must_use]
+pub fn battery(bits: &BitString) -> Vec<TestResult> {
+    assert!(bits.len() >= 128, "battery needs at least 128 bits");
+    let mut results = vec![
+        monobit(bits),
+        block_frequency(bits, 16),
+        runs(bits),
+        longest_run_of_ones(bits),
+        serial(bits, 3),
+        approximate_entropy(bits, 2),
+        cumulative_sums(bits),
+        spectral(bits),
+    ];
+    if bits.len() >= 2048 {
+        results.push(non_overlapping_template(bits, &default_template(), 8));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random string (SplitMix-style) long enough
+    /// for every test.
+    fn random_bits(n: usize, seed: u64) -> BitString {
+        let mut state = seed;
+        BitString::from_fn(n, |_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) & 1 == 1
+        })
+    }
+
+    #[test]
+    fn nist_reference_monobit_example() {
+        // SP 800-22 §2.1.8 example: n=100 digits of e; p = 0.109599.
+        // We use the shorter worked example: 1011010101, p = 0.527089.
+        let bits = BitString::from_bools(&[
+            true, false, true, true, false, true, false, true, false, true,
+        ]);
+        let r = monobit(&bits);
+        assert!((r.p_value - 0.527_089).abs() < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn nist_reference_runs_example() {
+        // SP 800-22 §2.3.8 example: 1001101011, n=10, p = 0.147232.
+        let bits = BitString::from_bools(&[
+            true, false, false, true, true, false, true, false, true, true,
+        ]);
+        let r = runs(&bits);
+        assert!((r.p_value - 0.147_232).abs() < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn nist_reference_block_frequency_example() {
+        // SP 800-22 §2.2.8 example: 0110011010, M=3, p = 0.801252.
+        let bits = BitString::from_bools(&[
+            false, true, true, false, false, true, true, false, true, false,
+        ]);
+        let r = block_frequency(&bits, 3);
+        assert!((r.p_value - 0.801_252).abs() < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn nist_reference_cusum_example() {
+        // SP 800-22 §2.13.8 example: 1011010111, z=4, p = 0.4116588.
+        let bits = BitString::from_bools(&[
+            true, false, true, true, false, true, false, true, true, true,
+        ]);
+        let r = cumulative_sums(&bits);
+        assert!((r.p_value - 0.411_658_8).abs() < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn random_data_passes_battery() {
+        let bits = random_bits(4096, 0xfeed);
+        for result in battery(&bits) {
+            assert!(
+                result.pass,
+                "{} failed with p = {}",
+                result.name, result.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn all_zeros_fails_almost_everything() {
+        let bits = BitString::zeros(512);
+        let failures = battery(&bits).iter().filter(|r| !r.pass).count();
+        assert!(
+            failures >= 5,
+            "only {failures} failures on a constant string"
+        );
+    }
+
+    #[test]
+    fn alternating_pattern_fails_runs_and_serial() {
+        let bits = BitString::from_fn(512, |i| i % 2 == 0);
+        assert!(
+            !runs(&bits).pass,
+            "perfect alternation has far too many runs"
+        );
+        assert!(!serial(&bits, 3).pass);
+        assert!(!approximate_entropy(&bits, 2).pass);
+        // But its monobit balance is perfect.
+        assert!(monobit(&bits).pass);
+    }
+
+    #[test]
+    fn biased_source_fails_monobit() {
+        // 62 % ones.
+        let bits = BitString::from_fn(1024, |i| (i * 13) % 100 < 62);
+        assert!(!monobit(&bits).pass);
+    }
+
+    #[test]
+    fn p_values_are_probabilities() {
+        let bits = random_bits(2048, 7);
+        for r in battery(&bits) {
+            assert!(
+                (0.0..=1.0).contains(&r.p_value),
+                "{}: {}",
+                r.name,
+                r.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_passes_random_and_fails_periodic() {
+        assert!(spectral(&random_bits(2048, 3)).pass);
+        // A strong period-8 tone concentrates spectral energy.
+        let periodic = BitString::from_fn(2048, |i| i % 8 < 4);
+        assert!(
+            !spectral(&periodic).pass,
+            "p = {}",
+            spectral(&periodic).p_value
+        );
+    }
+
+    #[test]
+    fn template_test_passes_random_and_fails_stuffed_input() {
+        let template = default_template();
+        assert!(non_overlapping_template(&random_bits(4096, 5), &template, 8).pass);
+        // Stuff the exact template everywhere: far too many hits.
+        let stuffed = BitString::from_fn(4096, |i| i % 9 == 8);
+        let r = non_overlapping_template(&stuffed, &template, 8);
+        assert!(!r.pass, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn battery_includes_template_only_for_long_sequences() {
+        assert_eq!(battery(&random_bits(512, 9)).len(), 8);
+        assert_eq!(battery(&random_bits(4096, 9)).len(), 9);
+    }
+
+    #[test]
+    fn longest_run_detects_clustered_ones() {
+        // Blocks of 8 ones followed by 8 zeros: every 8-bit window category
+        // is extreme.
+        let bits = BitString::from_fn(1024, |i| (i / 8) % 2 == 0);
+        assert!(!longest_run_of_ones(&bits).pass);
+    }
+}

@@ -1,0 +1,95 @@
+//! Challenge → pair-set mapping for challenge/response operation.
+//!
+//! A RO-PUF's challenge selects *which* rings are compared. We model the
+//! standard construction: the challenge seeds a permutation of the array,
+//! and consecutive permuted slots form disjoint pairs. Distinct challenges
+//! exercise distinct pairings of the same silicon, so one array yields a
+//! (bounded) exponential challenge space.
+
+use aro_device::rng::SeedDomain;
+use rand::Rng;
+
+/// A 64-bit PUF challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Challenge(pub u64);
+
+impl Challenge {
+    /// Derives the disjoint pair list this challenge selects on an array
+    /// of `n_ros` rings, yielding `n_bits` pairs.
+    ///
+    /// The mapping is a public, deterministic function of the challenge
+    /// (a Fisher–Yates permutation seeded by it) — like real hardware,
+    /// there is no secret in the pair selection, only in the frequencies.
+    ///
+    /// # Panics
+    /// Panics if `2 * n_bits > n_ros`.
+    #[must_use]
+    pub fn pairs(&self, n_ros: usize, n_bits: usize) -> Vec<(usize, usize)> {
+        assert!(
+            2 * n_bits <= n_ros,
+            "challenge asks for more pairs than the array holds"
+        );
+        let mut order: Vec<usize> = (0..n_ros).collect();
+        let mut rng = SeedDomain::new(self.0).child("challenge").rng(0);
+        // Fisher–Yates.
+        for i in (1..n_ros).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        (0..n_bits)
+            .map(|i| (order[2 * i], order[2 * i + 1]))
+            .collect()
+    }
+}
+
+impl From<u64> for Challenge {
+    fn from(value: u64) -> Self {
+        Self(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_deterministic_per_challenge() {
+        let c = Challenge(0xdead_beef);
+        assert_eq!(c.pairs(64, 16), c.pairs(64, 16));
+    }
+
+    #[test]
+    fn distinct_challenges_give_distinct_pairings() {
+        let a = Challenge(1).pairs(64, 16);
+        let b = Challenge(2).pairs(64, 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pairs_are_disjoint_and_in_range() {
+        let pairs = Challenge(7).pairs(32, 16);
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in pairs {
+            assert!(a < 32 && b < 32 && a != b);
+            assert!(seen.insert(a), "ring {a} reused");
+            assert!(seen.insert(b), "ring {b} reused");
+        }
+    }
+
+    #[test]
+    fn partial_challenge_uses_a_subset() {
+        let pairs = Challenge(9).pairs(64, 4);
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "more pairs than the array")]
+    fn oversized_challenge_panics() {
+        let _ = Challenge(0).pairs(8, 5);
+    }
+
+    #[test]
+    fn from_u64_round_trips() {
+        assert_eq!(Challenge::from(5), Challenge(5));
+    }
+}

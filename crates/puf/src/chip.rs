@@ -1,0 +1,437 @@
+//! One fabricated chip: a process realization plus its RO array.
+
+use aro_circuit::readout::Measurement;
+use aro_circuit::ring::{AgingModels, RingOscillator};
+use aro_device::environment::Environment;
+use aro_device::process::{ChipProcess, DiePosition};
+use aro_device::rng::SeedDomain;
+use aro_metrics::bits::BitString;
+use rand::rngs::StdRng;
+
+use crate::design::PufDesign;
+
+/// One fabricated chip of a [`PufDesign`].
+///
+/// All randomness is deterministic: the chip's mismatch comes from the
+/// design seed domain at `("chip", id)`, and every measurement draws fresh
+/// noise from a per-chip nonce stream, so re-running an experiment
+/// reproduces it bit for bit while repeated measurements still see fresh
+/// noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chip {
+    id: u64,
+    process: ChipProcess,
+    ros: Vec<RingOscillator>,
+    noise_domain: SeedDomain,
+    measure_nonce: u64,
+    age_s: f64,
+}
+
+impl Chip {
+    /// Fabricates chip `id` of a design: samples the die's process
+    /// realization and every transistor's mismatch, and stamps the
+    /// design's layout bias onto each array slot.
+    #[must_use]
+    pub fn fabricate(design: &PufDesign, id: u64) -> Self {
+        let chip_domain = design.seed_domain().child("chip");
+        let mut rng = chip_domain.rng(id);
+        let process = ChipProcess::sample(design.tech(), &mut rng);
+        let correlated: Option<Vec<f64>> = design
+            .correlated_field()
+            .map(|field| field.sample(&mut rng));
+        let positions = DiePosition::grid(design.n_ros());
+        let ros = positions
+            .into_iter()
+            .enumerate()
+            .map(|(slot, pos)| {
+                let mut ro = RingOscillator::new(
+                    design.style(),
+                    design.n_stages(),
+                    pos,
+                    design.tech(),
+                    &mut rng,
+                );
+                ro.set_freq_bias_rel(design.position_bias().offset_rel(slot));
+                if let Some(field) = &correlated {
+                    ro.set_correlated_dvth(field[slot]);
+                }
+                ro
+            })
+            .collect();
+        Self {
+            id,
+            process,
+            ros,
+            noise_domain: chip_domain.child("noise"),
+            measure_nonce: id << 32,
+            age_s: 0.0,
+        }
+    }
+
+    /// The chip id within its design.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Total simulated deployment time of this chip, in seconds.
+    #[must_use]
+    pub fn age_s(&self) -> f64 {
+        self.age_s
+    }
+
+    /// The die's shared process realization.
+    #[must_use]
+    pub fn process(&self) -> &ChipProcess {
+        &self.process
+    }
+
+    /// The ring array.
+    #[must_use]
+    pub fn ros(&self) -> &[RingOscillator] {
+        &self.ros
+    }
+
+    pub(crate) fn add_age(&mut self, seconds: f64) {
+        self.age_s += seconds;
+    }
+
+    /// The *true* (noiseless) frequency of ring `index` under `env`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn frequency(&self, design: &PufDesign, env: &Environment, index: usize) -> f64 {
+        self.ros[index].frequency(design.tech(), env, &self.process)
+    }
+
+    /// The true frequencies of every ring under `env`.
+    #[must_use]
+    pub fn frequencies(&self, design: &PufDesign, env: &Environment) -> Vec<f64> {
+        (0..self.ros.len())
+            .map(|i| self.frequency(design, env, i))
+            .collect()
+    }
+
+    /// A fresh deterministic noise stream for the next measurement.
+    fn next_noise_rng(&mut self) -> StdRng {
+        let rng = self.noise_domain.rng(self.measure_nonce);
+        self.measure_nonce += 1;
+        rng
+    }
+
+    /// Runs ring `index` through the counter for one gate window and
+    /// returns the (noisy, quantized) measurement.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn measure_ro(
+        &mut self,
+        design: &PufDesign,
+        env: &Environment,
+        index: usize,
+    ) -> Measurement {
+        let f_true = self.frequency(design, env, index);
+        let mut rng = self.next_noise_rng();
+        design.readout().measure(f_true, &mut rng)
+    }
+
+    /// Measures a pair and returns its response bit
+    /// (`1` iff ring `pair.0` counts strictly higher than ring `pair.1`).
+    pub fn measure_pair(
+        &mut self,
+        design: &PufDesign,
+        env: &Environment,
+        pair: (usize, usize),
+    ) -> bool {
+        let a = self.measure_ro(design, env, pair.0);
+        let b = self.measure_ro(design, env, pair.1);
+        a.bit_against(&b)
+    }
+
+    /// Generates the response for a list of pairs with real measurement
+    /// noise.
+    pub fn response(
+        &mut self,
+        design: &PufDesign,
+        env: &Environment,
+        pairs: &[(usize, usize)],
+    ) -> BitString {
+        pairs
+            .iter()
+            .map(|&p| self.measure_pair(design, env, p))
+            .collect()
+    }
+
+    /// Generates the response with **soft information**: each bit comes
+    /// with the magnitude of its pair's count difference — the
+    /// reliability score a soft-decision decoder
+    /// (`aro_ecc::soft`) consumes. A hard response is just the `bool`
+    /// halves of this.
+    pub fn response_soft(
+        &mut self,
+        design: &PufDesign,
+        env: &Environment,
+        pairs: &[(usize, usize)],
+    ) -> Vec<(bool, f64)> {
+        pairs
+            .iter()
+            .map(|&(i, j)| {
+                let a = self.measure_ro(design, env, i);
+                let b = self.measure_ro(design, env, j);
+                let confidence = a.count().abs_diff(b.count()) as f64;
+                (a.bit_against(&b), confidence)
+            })
+            .collect()
+    }
+
+    /// Generates the response with **temporal majority voting**: each
+    /// pair is measured `votes` times and the majority bit wins. TMV is
+    /// the standard architectural defence against *measurement noise*; it
+    /// cannot repair *aging* flips, whose sign error is persistent — the
+    /// EXP-9 ablation quantifies exactly that.
+    ///
+    /// # Panics
+    /// Panics if `votes` is even or zero.
+    pub fn response_voted(
+        &mut self,
+        design: &PufDesign,
+        env: &Environment,
+        pairs: &[(usize, usize)],
+        votes: usize,
+    ) -> BitString {
+        assert!(votes >= 1 && votes % 2 == 1, "votes must be odd");
+        pairs
+            .iter()
+            .map(|&p| {
+                let ones = (0..votes)
+                    .filter(|_| self.measure_pair(design, env, p))
+                    .count();
+                ones * 2 > votes
+            })
+            .collect()
+    }
+
+    /// The *golden* (noiseless) response: the comparison of true
+    /// frequencies. This is what a factory would converge to by majority
+    /// voting many enrollment reads.
+    #[must_use]
+    pub fn golden_response(
+        &self,
+        design: &PufDesign,
+        env: &Environment,
+        pairs: &[(usize, usize)],
+    ) -> BitString {
+        let freqs = self.frequencies(design, env);
+        pairs.iter().map(|&(a, b)| freqs[a] > freqs[b]).collect()
+    }
+
+    /// Clears all wear on every ring (fresh-silicon what-if).
+    pub fn reset_wear(&mut self) {
+        for ro in &mut self.ros {
+            ro.reset_wear();
+        }
+        self.age_s = 0.0;
+    }
+
+    /// Applies idle-state stress to every ring for `duration_s` seconds at
+    /// the given die conditions (the style decides what "idle" means).
+    pub fn stress_idle(
+        &mut self,
+        design: &PufDesign,
+        models: &AgingModels,
+        temp_celsius: f64,
+        vdd: f64,
+        duration_s: f64,
+    ) {
+        for ro in &mut self.ros {
+            ro.stress_idle(design.tech(), models, temp_celsius, vdd, duration_s);
+        }
+    }
+
+    /// Applies oscillation (measurement) stress to every ring for
+    /// `duration_s` seconds of accumulated gate time per ring.
+    pub fn stress_active(
+        &mut self,
+        design: &PufDesign,
+        models: &AgingModels,
+        env: &Environment,
+        duration_s: f64,
+    ) {
+        let process = self.process;
+        for ro in &mut self.ros {
+            ro.stress_active(design.tech(), models, env, &process, duration_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aro_circuit::ring::RoStyle;
+    use aro_device::units::YEAR;
+
+    fn small_design(style: RoStyle) -> PufDesign {
+        PufDesign::builder(style).n_ros(16).seed(1234).build()
+    }
+
+    #[test]
+    fn fabrication_is_deterministic_per_id() {
+        let design = small_design(RoStyle::Conventional);
+        let a = Chip::fabricate(&design, 3);
+        let b = Chip::fabricate(&design, 3);
+        assert_eq!(a, b);
+        let c = Chip::fabricate(&design, 4);
+        assert_ne!(a.process(), c.process());
+    }
+
+    #[test]
+    fn chips_have_distinct_frequency_signatures() {
+        let design = small_design(RoStyle::Conventional);
+        let env = Environment::nominal(design.tech());
+        let a = Chip::fabricate(&design, 0).frequencies(&design, &env);
+        let b = Chip::fabricate(&design, 1).frequencies(&design, &env);
+        assert_eq!(a.len(), 16);
+        let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert_eq!(same, 0, "no two chips share a ring frequency");
+    }
+
+    #[test]
+    fn frequency_spread_within_chip_is_percent_level() {
+        let design = small_design(RoStyle::Conventional);
+        let env = Environment::nominal(design.tech());
+        let freqs = Chip::fabricate(&design, 7).frequencies(&design, &env);
+        let mean = freqs.iter().sum::<f64>() / freqs.len() as f64;
+        let sd = (freqs.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / (freqs.len() - 1) as f64)
+            .sqrt();
+        let rel = sd / mean;
+        assert!(rel > 0.003 && rel < 0.05, "relative sigma {rel}");
+    }
+
+    #[test]
+    fn golden_response_is_reproducible_and_noisy_response_is_close() {
+        let design = small_design(RoStyle::AgingResistant);
+        let env = Environment::nominal(design.tech());
+        let mut chip = Chip::fabricate(&design, 2);
+        let pairs: Vec<(usize, usize)> = (0..8).map(|i| (2 * i, 2 * i + 1)).collect();
+        let golden = chip.golden_response(&design, &env, &pairs);
+        assert_eq!(golden, chip.golden_response(&design, &env, &pairs));
+        let noisy = chip.response(&design, &env, &pairs);
+        let hd = golden.hamming_distance(&noisy);
+        assert!(
+            hd <= 2,
+            "noise should flip at most a couple of 8 bits, flipped {hd}"
+        );
+    }
+
+    #[test]
+    fn repeated_measurements_draw_fresh_noise() {
+        let design = small_design(RoStyle::Conventional);
+        let env = Environment::nominal(design.tech());
+        let mut chip = Chip::fabricate(&design, 2);
+        let a = chip.measure_ro(&design, &env, 0);
+        let b = chip.measure_ro(&design, &env, 0);
+        // Same true frequency, but counts may differ; at minimum the noise
+        // stream must advance (no frozen RNG).
+        let c = chip.measure_ro(&design, &env, 0);
+        assert!(a != b || b != c || a.count() > 0);
+    }
+
+    #[test]
+    fn idle_stress_ages_the_whole_array() {
+        let design = small_design(RoStyle::Conventional);
+        let env = Environment::nominal(design.tech());
+        let models = AgingModels::new(design.tech());
+        let mut chip = Chip::fabricate(&design, 5);
+        let fresh = chip.frequencies(&design, &env);
+        chip.stress_idle(
+            &design,
+            &models,
+            25.0,
+            design.tech().vdd_nominal,
+            5.0 * YEAR,
+        );
+        let aged = chip.frequencies(&design, &env);
+        assert!(fresh.iter().zip(&aged).all(|(f, a)| a < f));
+    }
+
+    #[test]
+    fn reset_wear_restores_fresh_state() {
+        let design = small_design(RoStyle::Conventional);
+        let env = Environment::nominal(design.tech());
+        let models = AgingModels::new(design.tech());
+        let mut chip = Chip::fabricate(&design, 6);
+        let fresh = chip.frequencies(&design, &env);
+        chip.stress_idle(&design, &models, 85.0, design.tech().vdd_nominal, YEAR);
+        chip.reset_wear();
+        assert_eq!(chip.frequencies(&design, &env), fresh);
+        assert_eq!(chip.age_s(), 0.0);
+    }
+
+    #[test]
+    fn voted_response_is_at_least_as_clean_as_a_single_read() {
+        let design = small_design(RoStyle::Conventional);
+        let env = Environment::nominal(design.tech());
+        let mut chip = Chip::fabricate(&design, 3);
+        let pairs: Vec<(usize, usize)> = (0..8).map(|i| (2 * i, 2 * i + 1)).collect();
+        let golden = chip.golden_response(&design, &env, &pairs);
+        let single_flips: usize = (0..30)
+            .map(|_| golden.hamming_distance(&chip.response(&design, &env, &pairs)))
+            .sum();
+        let voted_flips: usize = (0..30)
+            .map(|_| golden.hamming_distance(&chip.response_voted(&design, &env, &pairs, 9)))
+            .sum();
+        assert!(
+            voted_flips <= single_flips,
+            "9-vote TMV ({voted_flips}) must not exceed single-read flips ({single_flips})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "votes must be odd")]
+    fn even_votes_panics() {
+        let design = small_design(RoStyle::Conventional);
+        let env = Environment::nominal(design.tech());
+        let mut chip = Chip::fabricate(&design, 0);
+        let _ = chip.response_voted(&design, &env, &[(0, 1)], 2);
+    }
+
+    #[test]
+    fn correlated_field_is_sampled_when_enabled() {
+        let tech = aro_device::params::TechParams {
+            sigma_vth_correlated: 0.01,
+            ..aro_device::params::TechParams::default()
+        };
+        let design = PufDesign::builder(RoStyle::Conventional)
+            .n_ros(16)
+            .tech(tech)
+            .seed(9)
+            .build();
+        assert!(design.correlated_field().is_some());
+        let a = Chip::fabricate(&design, 0);
+        let b = Chip::fabricate(&design, 1);
+        assert!(a.ros().iter().any(|ro| ro.correlated_dvth() != 0.0));
+        // Per-chip realizations differ.
+        assert!(a
+            .ros()
+            .iter()
+            .zip(b.ros())
+            .any(|(x, y)| x.correlated_dvth() != y.correlated_dvth()));
+        // Default designs carry no field.
+        let plain = small_design(RoStyle::Conventional);
+        assert!(plain.correlated_field().is_none());
+        assert!(Chip::fabricate(&plain, 0)
+            .ros()
+            .iter()
+            .all(|ro| ro.correlated_dvth() == 0.0));
+    }
+
+    #[test]
+    fn layout_bias_is_stamped_onto_slots() {
+        let design = small_design(RoStyle::Conventional);
+        let chip = Chip::fabricate(&design, 0);
+        for (slot, ro) in chip.ros().iter().enumerate() {
+            assert_eq!(ro.freq_bias_rel(), design.position_bias().offset_rel(slot));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The PUF *design*: everything fixed at tape-out and shared by every
+//! fabricated chip.
+//!
+//! A design pins the cell style (conventional vs ARO), the array geometry,
+//! the technology, the readout configuration — and, crucially, the
+//! **design-wide layout bias**: the deterministic per-slot frequency
+//! offsets baked into the floorplan. Every chip of the design shares those
+//! offsets, which is exactly why they hurt uniqueness; the ARO cell's
+//! symmetric layout shrinks them.
+
+use aro_circuit::readout::ReadoutConfig;
+use aro_circuit::ring::RoStyle;
+use aro_device::params::TechParams;
+use aro_device::process::{DiePosition, PositionBias};
+use aro_device::rng::SeedDomain;
+use aro_device::spatial::CorrelatedField;
+
+/// The default array size: 256 rings → 128 disjoint-pair bits, the paper's
+/// 128-bit key width.
+pub const DEFAULT_N_ROS: usize = 256;
+
+/// The default ring length (enable NAND + 4 inverters).
+pub const DEFAULT_N_STAGES: usize = 5;
+
+/// An immutable PUF design; fabricate chips from it with
+/// [`crate::population::Population`] or [`crate::chip::Chip::fabricate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PufDesign {
+    style: RoStyle,
+    n_ros: usize,
+    n_stages: usize,
+    tech: TechParams,
+    readout: ReadoutConfig,
+    position_bias: PositionBias,
+    correlated_field: Option<CorrelatedField>,
+    seed_domain: SeedDomain,
+}
+
+impl PufDesign {
+    /// Starts a builder for a design of the given cell style.
+    #[must_use]
+    pub fn builder(style: RoStyle) -> PufDesignBuilder {
+        PufDesignBuilder {
+            style,
+            n_ros: DEFAULT_N_ROS,
+            n_stages: DEFAULT_N_STAGES,
+            tech: TechParams::default(),
+            readout: ReadoutConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// The standard evaluation design of the reproduction: 256 five-stage
+    /// rings, default technology and readout, seeded by `seed`.
+    #[must_use]
+    pub fn standard(style: RoStyle, seed: u64) -> Self {
+        Self::builder(style).seed(seed).build()
+    }
+
+    /// Cell style.
+    #[must_use]
+    pub fn style(&self) -> RoStyle {
+        self.style
+    }
+
+    /// Number of rings in the array.
+    #[must_use]
+    pub fn n_ros(&self) -> usize {
+        self.n_ros
+    }
+
+    /// Stages per ring (including the enable NAND).
+    #[must_use]
+    pub fn n_stages(&self) -> usize {
+        self.n_stages
+    }
+
+    /// Technology parameters.
+    #[must_use]
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// Readout configuration.
+    #[must_use]
+    pub fn readout(&self) -> &ReadoutConfig {
+        &self.readout
+    }
+
+    /// The design-wide per-slot layout bias.
+    #[must_use]
+    pub fn position_bias(&self) -> &PositionBias {
+        &self.position_bias
+    }
+
+    /// The mid-range correlated-variation field, if the technology
+    /// enables it (`sigma_vth_correlated > 0`).
+    #[must_use]
+    pub fn correlated_field(&self) -> Option<&CorrelatedField> {
+        self.correlated_field.as_ref()
+    }
+
+    /// The root seed domain of this design (chips, readout noise, and
+    /// challenges all derive from it).
+    #[must_use]
+    pub fn seed_domain(&self) -> SeedDomain {
+        self.seed_domain
+    }
+
+    /// Response width with disjoint neighbour pairing.
+    #[must_use]
+    pub fn response_bits(&self) -> usize {
+        self.n_ros / 2
+    }
+}
+
+/// Builder for [`PufDesign`].
+#[derive(Debug, Clone)]
+pub struct PufDesignBuilder {
+    style: RoStyle,
+    n_ros: usize,
+    n_stages: usize,
+    tech: TechParams,
+    readout: ReadoutConfig,
+    seed: u64,
+}
+
+impl PufDesignBuilder {
+    /// Sets the array size (must be even and at least 4).
+    #[must_use]
+    pub fn n_ros(mut self, n_ros: usize) -> Self {
+        self.n_ros = n_ros;
+        self
+    }
+
+    /// Sets the ring length (must be odd and at least 3).
+    #[must_use]
+    pub fn n_stages(mut self, n_stages: usize) -> Self {
+        self.n_stages = n_stages;
+        self
+    }
+
+    /// Overrides the technology.
+    #[must_use]
+    pub fn tech(mut self, tech: TechParams) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Overrides the readout configuration.
+    #[must_use]
+    pub fn readout(mut self, readout: ReadoutConfig) -> Self {
+        self.readout = readout;
+        self
+    }
+
+    /// Sets the design master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes the design: samples the design-wide layout bias from the
+    /// design seed.
+    ///
+    /// # Panics
+    /// Panics if the array size is odd or below 4, or the ring length is
+    /// even or below 3.
+    #[must_use]
+    pub fn build(self) -> PufDesign {
+        assert!(
+            self.n_ros >= 4 && self.n_ros.is_multiple_of(2),
+            "array needs an even RO count >= 4"
+        );
+        assert!(
+            self.n_stages >= 3 && self.n_stages % 2 == 1,
+            "ring needs an odd stage count >= 3"
+        );
+        let seed_domain = SeedDomain::new(self.seed);
+        let mut bias_rng = seed_domain.child("layout-bias").rng(0);
+        let sigma = self.style.position_bias_sigma(&self.tech);
+        let position_bias = PositionBias::sample(self.n_ros, sigma, &mut bias_rng);
+        let correlated_field = (self.tech.sigma_vth_correlated > 0.0).then(|| {
+            CorrelatedField::build(
+                &DiePosition::grid(self.n_ros),
+                self.tech.sigma_vth_correlated,
+                self.tech.correlation_length,
+            )
+        });
+        PufDesign {
+            style: self.style,
+            n_ros: self.n_ros,
+            n_stages: self.n_stages,
+            tech: self.tech,
+            readout: self.readout,
+            position_bias,
+            correlated_field,
+            seed_domain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_design_has_paper_dimensions() {
+        let d = PufDesign::standard(RoStyle::Conventional, 1);
+        assert_eq!(d.n_ros(), 256);
+        assert_eq!(d.n_stages(), 5);
+        assert_eq!(d.response_bits(), 128);
+        assert_eq!(d.position_bias().len(), 256);
+    }
+
+    #[test]
+    fn same_seed_same_design() {
+        let a = PufDesign::standard(RoStyle::AgingResistant, 42);
+        let b = PufDesign::standard(RoStyle::AgingResistant, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_layout_bias() {
+        let a = PufDesign::standard(RoStyle::Conventional, 1);
+        let b = PufDesign::standard(RoStyle::Conventional, 2);
+        assert_ne!(a.position_bias(), b.position_bias());
+    }
+
+    #[test]
+    fn aro_design_has_smaller_layout_bias() {
+        let conv = PufDesign::standard(RoStyle::Conventional, 3);
+        let aro = PufDesign::standard(RoStyle::AgingResistant, 3);
+        let rms = |d: &PufDesign| {
+            let n = d.position_bias().len();
+            ((0..n)
+                .map(|i| d.position_bias().offset_rel(i).powi(2))
+                .sum::<f64>()
+                / n as f64)
+                .sqrt()
+        };
+        assert!(
+            rms(&aro) < 0.5 * rms(&conv),
+            "symmetric ARO layout must cut bias"
+        );
+    }
+
+    #[test]
+    fn builder_customization() {
+        let d = PufDesign::builder(RoStyle::Conventional)
+            .n_ros(64)
+            .n_stages(7)
+            .seed(9)
+            .build();
+        assert_eq!(d.n_ros(), 64);
+        assert_eq!(d.n_stages(), 7);
+        assert_eq!(d.response_bits(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "even RO count")]
+    fn odd_array_panics() {
+        let _ = PufDesign::builder(RoStyle::Conventional).n_ros(5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "odd stage count")]
+    fn even_ring_panics() {
+        let _ = PufDesign::builder(RoStyle::Conventional)
+            .n_stages(4)
+            .build();
+    }
+}

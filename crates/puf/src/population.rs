@@ -1,0 +1,198 @@
+//! Monte Carlo chip populations: the unit of every inter-chip statistic.
+
+use aro_device::environment::Environment;
+use aro_metrics::bits::BitString;
+
+use crate::chip::Chip;
+use crate::design::PufDesign;
+use crate::enrollment::Enrollment;
+use crate::lifetime::MissionProfile;
+use crate::pairing::PairingStrategy;
+
+/// A population of chips fabricated from one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    design: PufDesign,
+    chips: Vec<Chip>,
+}
+
+impl Population {
+    /// Fabricates `n_chips` chips of a design (deterministic in the design
+    /// seed).
+    ///
+    /// # Panics
+    /// Panics if `n_chips` is zero.
+    #[must_use]
+    pub fn fabricate(design: &PufDesign, n_chips: usize) -> Self {
+        assert!(n_chips > 0, "population needs at least one chip");
+        let chips = (0..n_chips as u64)
+            .map(|id| Chip::fabricate(design, id))
+            .collect();
+        Self {
+            design: design.clone(),
+            chips,
+        }
+    }
+
+    /// The shared design.
+    #[must_use]
+    pub fn design(&self) -> &PufDesign {
+        &self.design
+    }
+
+    /// The chips.
+    #[must_use]
+    pub fn chips(&self) -> &[Chip] {
+        &self.chips
+    }
+
+    /// Mutable chips (for custom stress schedules).
+    pub fn chips_mut(&mut self) -> &mut [Chip] {
+        &mut self.chips
+    }
+
+    /// Number of chips.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the population is empty (never true after `fabricate`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// One noisy response per chip under `env` (pairs chosen per chip for
+    /// enrollment-dependent strategies).
+    pub fn responses(&mut self, env: &Environment, strategy: &PairingStrategy) -> Vec<BitString> {
+        let design = self.design.clone();
+        self.chips
+            .iter_mut()
+            .map(|chip| {
+                let pairs = if strategy.needs_enrollment() {
+                    strategy.pairs_with_enrollment(&chip.frequencies(&design, env))
+                } else {
+                    strategy.pairs(design.n_ros())
+                };
+                chip.response(&design, env, &pairs)
+            })
+            .collect()
+    }
+
+    /// One golden (noiseless) response per chip under `env`.
+    #[must_use]
+    pub fn golden_responses(
+        &self,
+        env: &Environment,
+        strategy: &PairingStrategy,
+    ) -> Vec<BitString> {
+        self.chips
+            .iter()
+            .map(|chip| {
+                let pairs = if strategy.needs_enrollment() {
+                    strategy.pairs_with_enrollment(&chip.frequencies(&self.design, env))
+                } else {
+                    strategy.pairs(self.design.n_ros())
+                };
+                chip.golden_response(&self.design, env, &pairs)
+            })
+            .collect()
+    }
+
+    /// Enrolls every chip.
+    pub fn enroll_all(&mut self, env: &Environment, strategy: &PairingStrategy) -> Vec<Enrollment> {
+        let design = self.design.clone();
+        self.chips
+            .iter_mut()
+            .map(|chip| Enrollment::perform(chip, &design, env, strategy))
+            .collect()
+    }
+
+    /// Plays `duration_s` seconds of a mission profile onto every chip.
+    pub fn age_all(&mut self, profile: &MissionProfile, duration_s: f64) {
+        let design = self.design.clone();
+        for chip in &mut self.chips {
+            profile.age_chip(chip, &design, duration_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aro_circuit::ring::RoStyle;
+    use aro_device::units::YEAR;
+    use aro_metrics::quality;
+
+    fn small_population(style: RoStyle, n: usize) -> Population {
+        let design = PufDesign::builder(style).n_ros(32).seed(99).build();
+        Population::fabricate(&design, n)
+    }
+
+    #[test]
+    fn fabrication_is_deterministic() {
+        let a = small_population(RoStyle::Conventional, 4);
+        let b = small_population(RoStyle::Conventional, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn golden_responses_are_unique_across_chips() {
+        let pop = small_population(RoStyle::AgingResistant, 6);
+        let env = Environment::nominal(pop.design().tech());
+        let responses = pop.golden_responses(&env, &PairingStrategy::Neighbor);
+        assert_eq!(responses.len(), 6);
+        let s = quality::inter_chip_hd(&responses);
+        assert!(
+            s.mean() > 0.25 && s.mean() < 0.75,
+            "inter-chip HD mean {}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn noisy_responses_track_golden_responses() {
+        let mut pop = small_population(RoStyle::Conventional, 3);
+        let env = Environment::nominal(pop.design().tech());
+        let golden = pop.golden_responses(&env, &PairingStrategy::Neighbor);
+        let noisy = pop.responses(&env, &PairingStrategy::Neighbor);
+        for (g, n) in golden.iter().zip(&noisy) {
+            assert!(quality::fractional_hd(g, n) < 0.25);
+        }
+    }
+
+    #[test]
+    fn enrollment_dependent_strategy_works_population_wide() {
+        let mut pop = small_population(RoStyle::Conventional, 3);
+        let env = Environment::nominal(pop.design().tech());
+        let responses = pop.responses(&env, &PairingStrategy::SortedOneOutOfK { k: 8 });
+        assert!(responses.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn age_all_advances_every_chip() {
+        let mut pop = small_population(RoStyle::Conventional, 3);
+        let profile = MissionProfile::typical(pop.design().tech());
+        pop.age_all(&profile, YEAR);
+        assert!(pop.chips().iter().all(|c| (c.age_s() - YEAR).abs() < 1.0));
+    }
+
+    #[test]
+    fn enroll_all_returns_one_enrollment_per_chip() {
+        let mut pop = small_population(RoStyle::AgingResistant, 3);
+        let env = Environment::nominal(pop.design().tech());
+        let enrollments = pop.enroll_all(&env, &PairingStrategy::Neighbor);
+        assert_eq!(enrollments.len(), 3);
+        assert!(enrollments.iter().all(|e| e.bits() == 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn empty_population_panics() {
+        let design = PufDesign::standard(RoStyle::Conventional, 1);
+        let _ = Population::fabricate(&design, 0);
+    }
+}

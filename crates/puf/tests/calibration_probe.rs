@@ -1,0 +1,70 @@
+//! Diagnostic probe of the calibration targets (run manually with
+//! `cargo test -p aro-puf --test calibration_probe -- --ignored --nocapture`).
+//!
+//! Prints the three headline statistics the technology constants are
+//! calibrated against: 10-year flip rate (paper: 32 % vs 7.7 %),
+//! inter-chip HD (paper: ~45 % vs 49.67 %), and mean frequency
+//! degradation. The asserting versions of these checks live in
+//! `aro-sim`'s experiment tests; this probe is for recalibration work.
+
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_device::units::YEAR;
+use aro_metrics::quality;
+use aro_puf::{MissionProfile, PairingStrategy, Population, PufDesign};
+
+fn probe(style: RoStyle) -> (f64, f64, f64) {
+    let design = PufDesign::standard(style, 2024);
+    let mut population = Population::fabricate(&design, 30);
+    let env = Environment::nominal(design.tech());
+    let strategy = PairingStrategy::Neighbor;
+
+    let inter = quality::inter_chip_hd(&population.golden_responses(&env, &strategy)).mean();
+
+    let enrollments = population.enroll_all(&env, &strategy);
+    let fresh_mean_freq: f64 = population
+        .chips()
+        .iter()
+        .map(|c| c.frequencies(&design, &env)[0])
+        .sum::<f64>()
+        / population.len() as f64;
+
+    let profile = MissionProfile::typical(design.tech());
+    population.age_all(&profile, 10.0 * YEAR);
+
+    let design2 = population.design().clone();
+    let flip: f64 = enrollments
+        .iter()
+        .zip(population.chips_mut())
+        .map(|(e, chip)| e.flip_rate_now(chip, &design2, &env))
+        .sum::<f64>()
+        / enrollments.len() as f64;
+
+    let aged_mean_freq: f64 = population
+        .chips()
+        .iter()
+        .map(|c| c.frequencies(&design2, &env)[0])
+        .sum::<f64>()
+        / population.len() as f64;
+
+    (
+        flip,
+        inter,
+        (fresh_mean_freq - aged_mean_freq) / fresh_mean_freq,
+    )
+}
+
+#[test]
+#[ignore = "diagnostic probe; run manually during recalibration"]
+fn print_calibration_targets() {
+    for style in [RoStyle::Conventional, RoStyle::AgingResistant] {
+        let (flip, inter, degradation) = probe(style);
+        println!(
+            "{style}: 10y flip rate = {:.2} % (targets 32 / 7.7), inter-chip HD = {:.2} % \
+             (targets ~45 / 49.67), mean freq degradation = {:.2} %",
+            flip * 100.0,
+            inter * 100.0,
+            degradation * 100.0
+        );
+    }
+}

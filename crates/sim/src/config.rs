@@ -1,0 +1,92 @@
+//! Simulation configuration shared by every experiment.
+
+/// Population sizes, seeds, and scale knobs for an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Chips per population (the paper simulates 100).
+    pub n_chips: usize,
+    /// Rings per chip (256 → 128-bit responses with neighbour pairing).
+    pub n_ros: usize,
+    /// Master seed; every sub-stream derives from it.
+    pub seed: u64,
+    /// Key width for the area/key experiments.
+    pub key_bits: usize,
+    /// Key-failure target for ECC provisioning.
+    pub key_fail_target: f64,
+}
+
+impl SimConfig {
+    /// Paper-scale configuration: 100 chips × 256 rings, 128-bit keys at
+    /// a 10⁻⁶ failure target.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            n_chips: 100,
+            n_ros: 256,
+            seed: 2014,
+            key_bits: 128,
+            key_fail_target: 1e-6,
+        }
+    }
+
+    /// A small configuration for unit tests and smoke runs: the same
+    /// physics, 10× fewer chips and 4× fewer rings.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            n_chips: 10,
+            n_ros: 64,
+            seed: 2014,
+            key_bits: 128,
+            key_fail_target: 1e-6,
+        }
+    }
+
+    /// Returns a copy with a different seed (for seed-sensitivity runs).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Response bits per chip with neighbour pairing.
+    #[must_use]
+    pub fn response_bits(&self) -> usize {
+        self.n_ros / 2
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_the_paper() {
+        let cfg = SimConfig::paper();
+        assert_eq!(cfg.n_chips, 100);
+        assert_eq!(cfg.response_bits(), 128);
+        assert_eq!(cfg.key_bits, 128);
+    }
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let q = SimConfig::quick();
+        let p = SimConfig::paper();
+        assert!(q.n_chips < p.n_chips);
+        assert!(q.n_ros < p.n_ros);
+        assert_eq!(q.seed, p.seed, "same seed, comparable streams");
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let cfg = SimConfig::paper().with_seed(7);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.n_chips, 100);
+    }
+}

@@ -1,0 +1,183 @@
+//! EXP-11 — ablation: spatially correlated variation vs. pairing
+//! distance.
+//!
+//! The calibrated headline model carries its systematic variation in a
+//! smooth gradient. Real dies also show mid-range correlated variation
+//! (exponential kernel). This experiment switches that field on
+//! ([`aro_device::spatial::CorrelatedField`]) and compares neighbour
+//! pairing against cross-die pairing: neighbours share the correlated
+//! component, so it cancels in the comparison and the response stays
+//! driven by white mismatch; distant pairs absorb the field into their
+//! margins, inflating margins (fewer aging flips) but importing die-level
+//! structure. It is the quantitative form of the folklore rule "compare
+//! adjacent ROs".
+
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_device::params::TechParams;
+use aro_device::units::YEAR;
+use aro_metrics::quality::inter_chip_hd;
+use aro_metrics::stats::Summary;
+use aro_puf::{Enrollment, MissionProfile, PairingStrategy, Population, PufDesign};
+
+use crate::config::SimConfig;
+use crate::report::Report;
+use crate::runner::pct;
+use crate::table::Table;
+
+/// The correlated-field strengths swept, in volts.
+const FIELD_SIGMAS: [f64; 3] = [0.0, 0.01, 0.02];
+
+/// One (field strength, pairing) design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationPoint {
+    /// Correlated-field sigma in volts.
+    pub sigma_v: f64,
+    /// Pairing strategy label.
+    pub pairing: String,
+    /// Mean enrollment margin (relative frequency distance).
+    pub mean_margin: f64,
+    /// Mean ten-year flip rate.
+    pub flip_rate: f64,
+    /// Mean inter-chip HD of fresh responses.
+    pub inter_hd: f64,
+}
+
+/// Evaluates one design point.
+#[must_use]
+pub fn evaluate(cfg: &SimConfig, sigma_v: f64, strategy: &PairingStrategy) -> CorrelationPoint {
+    let tech = TechParams {
+        sigma_vth_correlated: sigma_v,
+        ..TechParams::default()
+    };
+    let design = PufDesign::builder(RoStyle::Conventional)
+        .n_ros(cfg.n_ros)
+        .tech(tech)
+        .seed(cfg.seed ^ 0xe11)
+        .build();
+    let n_chips = (cfg.n_chips / 2).max(6).min(cfg.n_chips);
+    let mut population = Population::fabricate(&design, n_chips);
+    let env = Environment::nominal(design.tech());
+
+    let inter_hd = inter_chip_hd(&population.golden_responses(&env, strategy)).mean();
+    let enrollments: Vec<Enrollment> = population.enroll_all(&env, strategy);
+    let mean_margin = Summary::of(
+        &enrollments
+            .iter()
+            .flat_map(|e| e.margins_rel().iter().copied())
+            .collect::<Vec<_>>(),
+    )
+    .mean();
+    population.age_all(&MissionProfile::typical(design.tech()), 10.0 * YEAR);
+    let design = population.design().clone();
+    let flip_rate = enrollments
+        .iter()
+        .zip(population.chips_mut())
+        .map(|(e, chip)| e.flip_rate_now(chip, &design, &env))
+        .sum::<f64>()
+        / n_chips as f64;
+
+    CorrelationPoint {
+        sigma_v,
+        pairing: strategy.label(),
+        mean_margin,
+        flip_rate,
+        inter_hd,
+    }
+}
+
+/// Runs EXP-11.
+#[must_use]
+pub fn run(cfg: &SimConfig) -> Report {
+    let mut report = Report::new(
+        "EXP-11",
+        "Spatially correlated variation vs. pairing distance",
+    );
+    let mut table = Table::new(
+        "Conventional cell under an exponential-kernel correlated field",
+        &[
+            "field sigma",
+            "pairing",
+            "mean margin",
+            "10-y flips",
+            "inter-chip HD",
+        ],
+    );
+    let mut points = Vec::new();
+    for &sigma in &FIELD_SIGMAS {
+        for strategy in [PairingStrategy::Neighbor, PairingStrategy::Distant] {
+            let p = evaluate(cfg, sigma, &strategy);
+            table.push_row(vec![
+                format!("{:.0} mV", sigma * 1000.0),
+                p.pairing.clone(),
+                pct(p.mean_margin),
+                pct(p.flip_rate),
+                pct(p.inter_hd),
+            ]);
+            points.push(p);
+        }
+    }
+    report.push_table(table);
+
+    // Margin gains relative to the field-free baseline.
+    let gain = |with: &CorrelationPoint, without: &CorrelationPoint| {
+        with.mean_margin / without.mean_margin
+    };
+    let neighbor_gain = gain(&points[4], &points[0]);
+    let distant_gain = gain(&points[5], &points[1]);
+    report.push_note(format!(
+        "a 20 mV correlated field inflates enrollment margins {distant_gain:.2}x for \
+         cross-die pairs but only {neighbor_gain:.2}x for neighbours (which share most of \
+         the field and cancel it in the comparison); the extra margin cuts aging flips, \
+         but it is *die structure*, not device entropy — an attacker who models the \
+         spatial process predicts it, which is why neighbour pairing remains the \
+         conservative choice",
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distant_pairs_gain_more_margin_from_the_field_than_neighbors() {
+        let cfg = SimConfig::quick();
+        let base_neighbor = evaluate(&cfg, 0.0, &PairingStrategy::Neighbor);
+        let field_neighbor = evaluate(&cfg, 0.02, &PairingStrategy::Neighbor);
+        let base_distant = evaluate(&cfg, 0.0, &PairingStrategy::Distant);
+        let field_distant = evaluate(&cfg, 0.02, &PairingStrategy::Distant);
+        let neighbor_gain = field_neighbor.mean_margin / base_neighbor.mean_margin;
+        let distant_gain = field_distant.mean_margin / base_distant.mean_margin;
+        assert!(
+            distant_gain > 1.1 * neighbor_gain,
+            "distant gain {distant_gain} must exceed neighbour gain {neighbor_gain}: \
+             neighbours share (and cancel) most of the field"
+        );
+        assert!(field_distant.mean_margin > 1.3 * base_distant.mean_margin);
+    }
+
+    #[test]
+    fn field_inflated_margins_reduce_aging_flips() {
+        // Same pairing, with vs without the field: extra margin (from die
+        // structure) directly buys aging reliability.
+        let cfg = SimConfig::quick();
+        let without = evaluate(&cfg, 0.0, &PairingStrategy::Distant);
+        let with = evaluate(&cfg, 0.02, &PairingStrategy::Distant);
+        assert!(
+            with.flip_rate < without.flip_rate,
+            "field {} vs baseline {}",
+            with.flip_rate,
+            without.flip_rate
+        );
+    }
+
+    #[test]
+    fn uniqueness_stays_sane_under_the_field() {
+        let cfg = SimConfig::quick();
+        for sigma in [0.0, 0.02] {
+            let p = evaluate(&cfg, sigma, &PairingStrategy::Neighbor);
+            assert!(p.inter_hd > 0.3 && p.inter_hd < 0.7, "HD {}", p.inter_hd);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! EXP-12 — authentication after ten years: FAR/FRR and the aging margin.
+//!
+//! CRP authentication accepts a device when its answer is within a
+//! Hamming threshold of enrollment. The decision margin is the gap
+//! between the **genuine** distance distribution (noise + aging drift)
+//! and the **impostor** distribution (centred near 50 %). Ten years of
+//! conventional-cell aging pushes the genuine distribution to ~33 % —
+//! within a few sigma of the impostors — while the ARO-PUF's stays at
+//! ~8 %: the paper's reliability claim, restated as an authentication
+//! error rate.
+
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_device::units::YEAR;
+use aro_puf::auth::{far_frr, CrpDatabase};
+use aro_puf::{Challenge, MissionProfile, Population};
+
+use crate::config::SimConfig;
+use crate::report::Report;
+use crate::runner::{design_for, pct};
+use crate::table::{Figure, Series, Table};
+
+/// The decision thresholds swept (fractional HD).
+const THRESHOLDS: [f64; 7] = [0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40];
+
+/// Genuine (ten-year-aged) and impostor distance samples for one style.
+#[must_use]
+pub fn distance_samples(cfg: &SimConfig, style: RoStyle) -> (Vec<f64>, Vec<f64>) {
+    let design = design_for(cfg, style);
+    let n_chips = (cfg.n_chips / 2).clamp(6, cfg.n_chips.max(6));
+    let mut population = Population::fabricate(&design, n_chips);
+    let env = Environment::nominal(design.tech());
+    let challenges: Vec<Challenge> = (0..4u64).map(|i| Challenge(0x12e + i)).collect();
+    let bits = (design.n_ros() / 2).min(64);
+
+    // Enroll every chip's CRP table on fresh silicon.
+    let databases: Vec<CrpDatabase> = population
+        .chips()
+        .iter()
+        .map(|chip| CrpDatabase::enroll(chip, &design, &env, &challenges, bits))
+        .collect();
+
+    // Impostors answer each other's tables while fresh (cloning attacks
+    // don't wait a decade).
+    let design_c = population.design().clone();
+    let mut impostor = Vec::new();
+    for holder in 0..databases.len() {
+        let attacker = (holder + 1) % databases.len();
+        let device = &mut population.chips_mut()[attacker];
+        impostor.extend(databases[holder].distances(device, &design_c, &env));
+    }
+
+    // The genuine devices age ten years, then answer their own tables.
+    population.age_all(&MissionProfile::typical(design.tech()), 10.0 * YEAR);
+    let mut genuine = Vec::new();
+    for (db, chip) in databases.iter().zip(population.chips_mut()) {
+        genuine.extend(db.distances(chip, &design_c, &env));
+    }
+    (genuine, impostor)
+}
+
+/// Runs EXP-12.
+#[must_use]
+pub fn run(cfg: &SimConfig) -> Report {
+    let mut report = Report::new("EXP-12", "Authentication FAR/FRR after ten years");
+    let mut roc_figure = Figure::new("FRR vs threshold (10-y genuine)", "threshold", "rate");
+
+    let mut summaries = Vec::new();
+    for style in [RoStyle::Conventional, RoStyle::AgingResistant] {
+        let (genuine, impostor) = distance_samples(cfg, style);
+        let mut table = Table::new(
+            format!("{} decision error rates (genuine aged 10 y)", style.label()),
+            &[
+                "threshold",
+                "FRR (genuine rejected)",
+                "FAR (impostor accepted)",
+            ],
+        );
+        let mut frr_curve = Vec::new();
+        for &threshold in &THRESHOLDS {
+            let (far, frr) = far_frr(&genuine, &impostor, threshold);
+            table.push_row(vec![pct(threshold), pct(frr), pct(far)]);
+            frr_curve.push((threshold, frr));
+        }
+        report.push_table(table);
+        roc_figure.push_series(Series::new(style.label(), frr_curve));
+
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        summaries.push((style, mean(&genuine), mean(&impostor)));
+    }
+    report.push_figure(roc_figure);
+
+    let (_, conv_genuine, conv_impostor) = summaries[0];
+    let (_, aro_genuine, aro_impostor) = summaries[1];
+    report.push_note(format!(
+        "mean genuine distance after ten years: RO-PUF {} (impostors at {}) vs ARO-PUF {} \
+         (impostors at {}) — the conventional design's decision margin nearly closes, the \
+         ARO design keeps authentication trivially separable",
+        pct(conv_genuine),
+        pct(conv_impostor),
+        pct(aro_genuine),
+        pct(aro_impostor),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aro_keeps_a_wide_margin_and_conventional_nearly_loses_it() {
+        let cfg = SimConfig::quick();
+        let (conv_genuine, conv_impostor) = distance_samples(&cfg, RoStyle::Conventional);
+        let (aro_genuine, aro_impostor) = distance_samples(&cfg, RoStyle::AgingResistant);
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        // Impostors sit near 50 % for both.
+        assert!((mean(&conv_impostor) - 0.5).abs() < 0.12);
+        assert!((mean(&aro_impostor) - 0.5).abs() < 0.12);
+        // Aged genuine: conventional drifts far from zero, ARO stays low.
+        assert!(
+            mean(&conv_genuine) > 0.2,
+            "conventional genuine {}",
+            mean(&conv_genuine)
+        );
+        assert!(
+            mean(&aro_genuine) < 0.15,
+            "aro genuine {}",
+            mean(&aro_genuine)
+        );
+    }
+
+    #[test]
+    fn a_quarter_threshold_authenticates_aro_but_not_aged_conventional() {
+        let cfg = SimConfig::quick();
+        let (conv_genuine, conv_impostor) = distance_samples(&cfg, RoStyle::Conventional);
+        let (aro_genuine, aro_impostor) = distance_samples(&cfg, RoStyle::AgingResistant);
+        let (aro_far, aro_frr) = far_frr(&aro_genuine, &aro_impostor, 0.25);
+        assert_eq!(aro_far, 0.0, "no impostor inside 25 %");
+        assert!(
+            aro_frr < 0.2,
+            "aged ARO devices still authenticate: FRR {aro_frr}"
+        );
+        let (conv_far, conv_frr) = far_frr(&conv_genuine, &conv_impostor, 0.25);
+        assert_eq!(conv_far, 0.0);
+        assert!(
+            conv_frr > 0.5,
+            "aged conventional devices mostly fail authentication: FRR {conv_frr}"
+        );
+    }
+
+    #[test]
+    fn report_has_a_table_per_style() {
+        let report = run(&SimConfig::quick());
+        assert_eq!(report.tables().len(), 2);
+        assert_eq!(report.figures()[0].series().len(), 2);
+    }
+}

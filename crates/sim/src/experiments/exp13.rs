@@ -1,0 +1,136 @@
+//! EXP-13 — reproduction robustness: error bars on the headline numbers.
+//!
+//! One Monte Carlo run is one sample; a reviewer should know how much the
+//! headline claims move with the dice. This experiment re-runs the EXP-2
+//! (ten-year flips) and EXP-3 (inter-chip HD) headline numbers under
+//! several independent master seeds and reports mean ± sd across seeds —
+//! the reproduction's own error bars.
+
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_metrics::quality::inter_chip_hd;
+use aro_metrics::stats::Summary;
+use aro_puf::PairingStrategy;
+
+use crate::config::SimConfig;
+use crate::experiments::exp2;
+use crate::report::Report;
+use crate::runner::{build_population, pct};
+use crate::table::Table;
+
+/// The independent master seeds swept.
+const SEEDS: [u64; 5] = [2014, 1, 42, 777, 0xdeadbeef];
+
+/// Headline numbers of one style at one seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Headline {
+    /// Ten-year mean flip rate.
+    pub flips_10y: f64,
+    /// Mean inter-chip HD of fresh responses.
+    pub inter_hd: f64,
+}
+
+/// Measures one style's headline pair at one seed.
+#[must_use]
+pub fn headline(cfg: &SimConfig, style: RoStyle, seed: u64) -> Headline {
+    let cfg = cfg.clone().with_seed(seed);
+    let flips_10y = exp2::flip_timeline(&cfg, style).final_mean();
+    let population = build_population(&cfg, style);
+    let env = Environment::nominal(population.design().tech());
+    let inter_hd =
+        inter_chip_hd(&population.golden_responses(&env, &PairingStrategy::Neighbor)).mean();
+    Headline {
+        flips_10y,
+        inter_hd,
+    }
+}
+
+/// Runs EXP-13.
+#[must_use]
+pub fn run(cfg: &SimConfig) -> Report {
+    let mut report = Report::new("EXP-13", "Seed robustness of the headline claims");
+    let mut table = Table::new(
+        "Headline numbers across independent Monte Carlo seeds (mean ± sd)",
+        &["quantity", "paper", "mean", "sd", "min", "max"],
+    );
+
+    let mut conv_flips = Vec::new();
+    let mut aro_flips = Vec::new();
+    let mut conv_hd = Vec::new();
+    let mut aro_hd = Vec::new();
+    for &seed in &SEEDS {
+        let conv = headline(cfg, RoStyle::Conventional, seed);
+        let aro = headline(cfg, RoStyle::AgingResistant, seed);
+        conv_flips.push(conv.flips_10y);
+        aro_flips.push(aro.flips_10y);
+        conv_hd.push(conv.inter_hd);
+        aro_hd.push(aro.inter_hd);
+    }
+    for (label, paper, samples) in [
+        ("RO-PUF 10-y flips", "32 %", &conv_flips),
+        ("ARO-PUF 10-y flips", "7.7 %", &aro_flips),
+        ("RO-PUF inter-chip HD", "~45 %", &conv_hd),
+        ("ARO-PUF inter-chip HD", "49.67 %", &aro_hd),
+    ] {
+        let s = Summary::of(samples);
+        table.push_row(vec![
+            label.to_string(),
+            paper.to_string(),
+            pct(s.mean()),
+            pct(s.std_dev()),
+            pct(s.min()),
+            pct(s.max()),
+        ]);
+    }
+    report.push_table(table);
+
+    let conv = Summary::of(&conv_flips);
+    let aro = Summary::of(&aro_flips);
+    report.push_note(format!(
+        "across {} independent seeds the flip-rate conclusion never flips: the worst ARO \
+         seed ({}) stays far below the best conventional seed ({})",
+        SEEDS.len(),
+        pct(Summary::of(&aro_flips).max()),
+        pct(Summary::of(&conv_flips).min()),
+    ));
+    report.push_note(format!(
+        "seed-to-seed sd: RO-PUF flips {} | ARO-PUF flips {} — the calibrated means are \
+         stable against the Monte Carlo dice",
+        pct(conv.std_dev()),
+        pct(aro.std_dev()),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conclusions_hold_across_seeds() {
+        let cfg = SimConfig::quick();
+        let mut worst_aro: f64 = 0.0;
+        let mut best_conv = f64::INFINITY;
+        for seed in [1u64, 99, 12345] {
+            let conv = headline(&cfg, RoStyle::Conventional, seed);
+            let aro = headline(&cfg, RoStyle::AgingResistant, seed);
+            worst_aro = worst_aro.max(aro.flips_10y);
+            best_conv = best_conv.min(conv.flips_10y);
+            assert!(
+                (aro.inter_hd - 0.5).abs() < (conv.inter_hd - 0.5).abs() + 0.02,
+                "seed {seed}: HD ordering"
+            );
+        }
+        assert!(
+            worst_aro < best_conv,
+            "worst ARO {worst_aro} vs best conventional {best_conv}"
+        );
+    }
+
+    #[test]
+    fn report_has_four_headline_rows() {
+        let report = run(&SimConfig::quick());
+        assert_eq!(report.tables()[0].n_rows(), 4);
+        assert_eq!(report.notes().len(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! EXP-14 — soft-decision decoding gain.
+//!
+//! The counter readout knows *how close* every comparison was, not just
+//! its sign. A soft-decision inner decoder (confidence-weighted majority,
+//! `aro_ecc::soft`) uses that magnitude, so hesitant wrong reads lose to
+//! confident right ones. This experiment deliberately under-provisions
+//! both code layers, ages the silicon ten years, and reconstructs
+//! keys both ways from the *same* readings: hard decoding loses keys the
+//! soft decoder still recovers — i.e. soft decision buys back code area.
+
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_device::units::YEAR;
+use aro_ecc::keygen::KeyGenerator;
+use aro_ecc::soft::SoftBit;
+use aro_metrics::bits::BitString;
+use aro_puf::{Chip, MissionProfile, PairingStrategy, PufDesign};
+
+use crate::config::SimConfig;
+use crate::experiments::exp2;
+use crate::report::Report;
+use crate::runner::{pct, puf_area_params};
+use crate::table::Table;
+
+/// Outcome of the hard-vs-soft comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftGain {
+    /// Reconstruction attempts per decoder.
+    pub attempts: usize,
+    /// Hard-decision failures.
+    pub hard_failures: usize,
+    /// Soft-decision failures on the same readings.
+    pub soft_failures: usize,
+    /// Mean |Δcount| of bits that agreed with enrollment.
+    pub confidence_correct: f64,
+    /// Mean |Δcount| of bits that flipped since enrollment.
+    pub confidence_flipped: f64,
+}
+
+/// Runs the under-provisioned ten-year key trial for the ARO design.
+#[must_use]
+pub fn measure(cfg: &SimConfig, chips: usize, attempts_per_chip: usize) -> SoftGain {
+    // Provision properly, then under-provision the inner repetition so
+    // failures become observable at trial scale.
+    let timeline = exp2::flip_timeline(cfg, RoStyle::AgingResistant);
+    let ber = timeline.final_quantile(0.99);
+    let params = puf_area_params(RoStyle::AgingResistant, 5);
+    let provisioned =
+        KeyGenerator::for_bit_error_rate(ber, cfg.key_bits, cfg.key_fail_target, &params)
+            .expect("feasible ARO design point");
+    // Under-provision both layers: the thinnest soft-capable inner code
+    // (r = 3) and a quarter of the outer correction capability. Hard
+    // decoding now fails visibly at ten years; the soft decoder sees the
+    // same counts.
+    let mut spec = provisioned.spec().clone();
+    spec.rep_r = 3;
+    spec.bch_t = (spec.bch_t / 4).max(2);
+    spec.raw_bits = spec.blocks * spec.bch_n * spec.rep_r;
+    let generator = KeyGenerator::from_spec(&spec, cfg.key_bits);
+
+    let n_ros = 2 * generator.response_bits();
+    let design = PufDesign::builder(RoStyle::AgingResistant)
+        .n_ros(n_ros)
+        .seed(cfg.seed ^ 0xe14)
+        .build();
+    let env = Environment::nominal(design.tech());
+    let profile = MissionProfile::typical(design.tech());
+    let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+
+    let mut hard_failures = 0;
+    let mut soft_failures = 0;
+    let mut conf_correct = (0.0, 0usize);
+    let mut conf_flipped = (0.0, 0usize);
+    for id in 0..chips as u64 {
+        let mut chip = Chip::fabricate(&design, id);
+        let mut rng = design.seed_domain().child("exp14").rng(id);
+        let enrolled = chip.golden_response(&design, &env, &pairs);
+        let (key, helper) = generator.enroll(&enrolled, &mut rng);
+
+        profile.age_chip(&mut chip, &design, 10.0 * YEAR);
+
+        for _ in 0..attempts_per_chip {
+            let soft_reading = chip.response_soft(&design, &env, &pairs);
+            for (i, &(bit, confidence)) in soft_reading.iter().enumerate() {
+                if bit == enrolled.get(i) {
+                    conf_correct.0 += confidence;
+                    conf_correct.1 += 1;
+                } else {
+                    conf_flipped.0 += confidence;
+                    conf_flipped.1 += 1;
+                }
+            }
+            let hard: BitString = soft_reading.iter().map(|&(b, _)| b).collect();
+            if generator.reconstruct(&hard, &helper) != Some(key.clone()) {
+                hard_failures += 1;
+            }
+            let soft: Vec<SoftBit> = soft_reading
+                .iter()
+                .map(|&(b, w)| SoftBit::new(b, w))
+                .collect();
+            if generator.reconstruct_soft(&soft, &helper) != Some(key.clone()) {
+                soft_failures += 1;
+            }
+        }
+    }
+    SoftGain {
+        attempts: chips * attempts_per_chip,
+        hard_failures,
+        soft_failures,
+        confidence_correct: conf_correct.0 / conf_correct.1.max(1) as f64,
+        confidence_flipped: conf_flipped.0 / conf_flipped.1.max(1) as f64,
+    }
+}
+
+/// Runs EXP-14.
+#[must_use]
+pub fn run(cfg: &SimConfig) -> Report {
+    let mut report = Report::new("EXP-14", "Soft-decision decoding gain");
+    let chips = cfg.n_chips.clamp(4, 16);
+    let gain = measure(cfg, chips, 4);
+
+    let mut table = Table::new(
+        "Ten-year key reconstruction with an under-provisioned inner code \
+         (same readings, two decoders)",
+        &["decoder", "attempts", "failures", "failure rate"],
+    );
+    table.push_row(vec![
+        "hard majority".to_string(),
+        gain.attempts.to_string(),
+        gain.hard_failures.to_string(),
+        pct(gain.hard_failures as f64 / gain.attempts as f64),
+    ]);
+    table.push_row(vec![
+        "soft (confidence-weighted)".to_string(),
+        gain.attempts.to_string(),
+        gain.soft_failures.to_string(),
+        pct(gain.soft_failures as f64 / gain.attempts as f64),
+    ]);
+    report.push_table(table);
+
+    let mut confidence = Table::new(
+        "Readout confidence (|Δcount|) by bit outcome",
+        &["bit outcome", "mean |Δcount|"],
+    );
+    confidence.push_row(vec![
+        "agrees with enrollment".to_string(),
+        format!("{:.0}", gain.confidence_correct),
+    ]);
+    confidence.push_row(vec![
+        "flipped since enrollment".to_string(),
+        format!("{:.0}", gain.confidence_flipped),
+    ]);
+    report.push_table(confidence);
+
+    report.push_note(format!(
+        "flipped bits announce themselves: their mean |Δcount| is {:.1}x smaller than \
+         stable bits', which is exactly the signal the soft decoder uses to out-recover \
+         the hard one ({} vs {} failures on identical readings)",
+        gain.confidence_correct / gain.confidence_flipped.max(1e-9),
+        gain.soft_failures,
+        gain.hard_failures,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SimConfig {
+        let mut cfg = SimConfig::quick();
+        cfg.key_bits = 32;
+        cfg
+    }
+
+    #[test]
+    fn soft_never_fails_more_than_hard_and_flips_are_low_confidence() {
+        let gain = measure(&tiny_cfg(), 6, 3);
+        assert!(
+            gain.soft_failures <= gain.hard_failures,
+            "soft {} vs hard {}",
+            gain.soft_failures,
+            gain.hard_failures
+        );
+        assert!(
+            gain.confidence_flipped < 0.6 * gain.confidence_correct,
+            "flipped-bit confidence {} should be well below stable-bit {}",
+            gain.confidence_flipped,
+            gain.confidence_correct
+        );
+    }
+
+    #[test]
+    fn report_renders_both_decoders() {
+        let report = run(&tiny_cfg());
+        assert_eq!(report.tables()[0].n_rows(), 2);
+        assert_eq!(report.tables()[1].n_rows(), 2);
+    }
+}

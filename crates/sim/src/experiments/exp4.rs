@@ -1,0 +1,217 @@
+//! EXP-4 — randomness and environmental reliability (abstract claim C3:
+//! ARO-PUF keys are "unique, random, and more reliable").
+//!
+//! Three views:
+//! 1. **Response statistics** — uniformity, bit-aliasing, min-entropy per
+//!    bit across the population.
+//! 2. **NIST SP 800-22-lite battery** on the concatenated population
+//!    responses.
+//! 3. **Environmental reliability** — intra-chip HD of responses taken at
+//!    temperature/voltage corners against the nominal enrollment.
+
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_metrics::bits::BitString;
+use aro_metrics::entropy::min_entropy_from_aliasing;
+use aro_metrics::nist;
+use aro_metrics::quality::{bit_aliasing, fractional_hd, uniformity};
+use aro_puf::{PairingStrategy, Population};
+
+use crate::config::SimConfig;
+use crate::report::Report;
+use crate::runner::{build_population, pct};
+use crate::table::Table;
+
+/// The environmental corners the paper's reliability analysis sweeps.
+const CORNERS: [(f64, f64); 6] = [
+    (-20.0, 1.2),
+    (0.0, 1.2),
+    (55.0, 1.2),
+    (85.0, 1.2),
+    (25.0, 1.08),
+    (25.0, 1.32),
+];
+
+struct StyleAnalysis {
+    uniformity_mean: f64,
+    aliasing_worst: f64,
+    min_entropy_per_bit: f64,
+    nist: Vec<nist::TestResult>,
+    corner_hd: Vec<((f64, f64), f64)>,
+    noise_hd: f64,
+}
+
+fn analyze(cfg: &SimConfig, style: RoStyle) -> StyleAnalysis {
+    let mut population: Population = build_population(cfg, style);
+    let design = population.design().clone();
+    let nominal = Environment::nominal(design.tech());
+    let strategy = PairingStrategy::Neighbor;
+
+    let responses = population.golden_responses(&nominal, &strategy);
+    let uniformity_mean = responses.iter().map(uniformity).sum::<f64>() / responses.len() as f64;
+    let aliasing = bit_aliasing(&responses);
+    let aliasing_worst = aliasing
+        .iter()
+        .map(|p| (p - 0.5).abs())
+        .fold(0.0f64, f64::max);
+    let min_entropy_per_bit = min_entropy_from_aliasing(&aliasing) / aliasing.len() as f64;
+
+    let concatenated: BitString = responses
+        .iter()
+        .flat_map(|r| r.iter().collect::<Vec<_>>())
+        .collect();
+    let nist = nist::battery(&concatenated);
+
+    let corner_hd = CORNERS
+        .iter()
+        .map(|&(t, v)| {
+            let env = Environment::new(t, v);
+            let corner_responses = population.golden_responses(&env, &strategy);
+            let mean_hd = responses
+                .iter()
+                .zip(&corner_responses)
+                .map(|(a, b)| fractional_hd(a, b))
+                .sum::<f64>()
+                / responses.len() as f64;
+            ((t, v), mean_hd)
+        })
+        .collect();
+
+    // Measurement-noise reliability: noisy re-read vs golden at nominal.
+    let noisy = population.responses(&nominal, &strategy);
+    let noise_hd = responses
+        .iter()
+        .zip(&noisy)
+        .map(|(a, b)| fractional_hd(a, b))
+        .sum::<f64>()
+        / responses.len() as f64;
+
+    StyleAnalysis {
+        uniformity_mean,
+        aliasing_worst,
+        min_entropy_per_bit,
+        nist,
+        corner_hd,
+        noise_hd,
+    }
+}
+
+/// Runs EXP-4.
+#[must_use]
+pub fn run(cfg: &SimConfig) -> Report {
+    let conv = analyze(cfg, RoStyle::Conventional);
+    let aro = analyze(cfg, RoStyle::AgingResistant);
+
+    let mut report = Report::new("EXP-4", "Randomness and environmental reliability");
+    let aro_passes = aro.nist.iter().filter(|r| r.pass).count();
+    report.push_note(format!(
+        "ARO-PUF responses pass {aro_passes}/{} NIST-lite tests; min-entropy {:.3} bits/bit \
+         (conventional: {:.3})",
+        aro.nist.len(),
+        aro.min_entropy_per_bit,
+        conv.min_entropy_per_bit
+    ));
+
+    let mut stats = Table::new(
+        "Response statistics across the population",
+        &[
+            "design",
+            "uniformity",
+            "worst bit-aliasing dev",
+            "min-entropy/bit",
+            "noise intra-HD",
+        ],
+    );
+    for (label, a) in [("RO-PUF", &conv), ("ARO-PUF", &aro)] {
+        stats.push_row(vec![
+            label.to_string(),
+            pct(a.uniformity_mean),
+            pct(a.aliasing_worst),
+            format!("{:.4}", a.min_entropy_per_bit),
+            pct(a.noise_hd),
+        ]);
+    }
+    report.push_table(stats);
+
+    let mut nist_table = Table::new(
+        "NIST SP 800-22-lite battery on concatenated population responses",
+        &["test", "RO-PUF p", "RO-PUF", "ARO-PUF p", "ARO-PUF"],
+    );
+    for (c, a) in conv.nist.iter().zip(&aro.nist) {
+        nist_table.push_row(vec![
+            c.name.to_string(),
+            format!("{:.4}", c.p_value),
+            if c.pass { "pass" } else { "FAIL" }.to_string(),
+            format!("{:.4}", a.p_value),
+            if a.pass { "pass" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    report.push_table(nist_table);
+
+    let mut corners = Table::new(
+        "Mean intra-chip HD vs. environmental corner (reference: 25 C / 1.20 V)",
+        &["corner", "RO-PUF", "ARO-PUF"],
+    );
+    for (i, &(t, v)) in CORNERS.iter().enumerate() {
+        corners.push_row(vec![
+            format!("{t:.0} C / {v:.2} V"),
+            pct(conv.corner_hd[i].1),
+            pct(aro.corner_hd[i].1),
+        ]);
+    }
+    report.push_table(corners);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aro_randomness_is_near_ideal() {
+        let aro = analyze(&SimConfig::quick(), RoStyle::AgingResistant);
+        assert!(
+            (aro.uniformity_mean - 0.5).abs() < 0.06,
+            "uniformity {}",
+            aro.uniformity_mean
+        );
+        assert!(
+            aro.min_entropy_per_bit > 0.55,
+            "min-entropy {}",
+            aro.min_entropy_per_bit
+        );
+        let passes = aro.nist.iter().filter(|r| r.pass).count();
+        assert!(
+            passes >= aro.nist.len() - 1,
+            "{passes}/{} NIST passes",
+            aro.nist.len()
+        );
+    }
+
+    #[test]
+    fn conventional_has_lower_entropy_than_aro() {
+        let cfg = SimConfig::quick();
+        let conv = analyze(&cfg, RoStyle::Conventional);
+        let aro = analyze(&cfg, RoStyle::AgingResistant);
+        assert!(conv.min_entropy_per_bit < aro.min_entropy_per_bit);
+    }
+
+    #[test]
+    fn environmental_corners_flip_few_bits() {
+        let aro = analyze(&SimConfig::quick(), RoStyle::AgingResistant);
+        for ((t, v), hd) in &aro.corner_hd {
+            assert!(*hd < 0.12, "corner {t} C/{v} V flipped {hd}");
+        }
+        // Extremes flip more than mild corners.
+        let hd_85 = aro.corner_hd[3].1;
+        let hd_55 = aro.corner_hd[2].1;
+        assert!(hd_85 >= hd_55 - 0.01);
+    }
+
+    #[test]
+    fn report_has_three_tables() {
+        let report = run(&SimConfig::quick());
+        assert_eq!(report.tables().len(), 3);
+        assert_eq!(report.tables()[2].n_rows(), 6);
+    }
+}

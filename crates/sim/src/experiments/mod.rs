@@ -1,0 +1,64 @@
+//! The paper experiments, one module each. See `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub mod exp1;
+pub mod exp10;
+pub mod exp11;
+pub mod exp12;
+pub mod exp13;
+pub mod exp14;
+pub mod exp2;
+pub mod exp3;
+pub mod exp4;
+pub mod exp5;
+pub mod exp6;
+pub mod exp7;
+pub mod exp8;
+pub mod exp9;
+
+use crate::config::SimConfig;
+use crate::report::Report;
+
+/// Runs every experiment at the given configuration, in order.
+#[must_use]
+pub fn run_all(cfg: &SimConfig) -> Vec<Report> {
+    vec![
+        exp1::run(cfg),
+        exp2::run(cfg),
+        exp3::run(cfg),
+        exp4::run(cfg),
+        exp5::run(cfg),
+        exp6::run(cfg),
+        exp7::run(cfg),
+        exp8::run(cfg),
+        exp9::run(cfg),
+        exp10::run(cfg),
+        exp11::run(cfg),
+        exp12::run(cfg),
+        exp13::run(cfg),
+        exp14::run(cfg),
+    ]
+}
+
+/// Runs one experiment by id (`"exp1"`…`"exp8"`), or `None` for an
+/// unknown id.
+#[must_use]
+pub fn run_by_id(id: &str, cfg: &SimConfig) -> Option<Report> {
+    match id {
+        "exp1" => Some(exp1::run(cfg)),
+        "exp2" => Some(exp2::run(cfg)),
+        "exp3" => Some(exp3::run(cfg)),
+        "exp4" => Some(exp4::run(cfg)),
+        "exp5" => Some(exp5::run(cfg)),
+        "exp6" => Some(exp6::run(cfg)),
+        "exp7" => Some(exp7::run(cfg)),
+        "exp8" => Some(exp8::run(cfg)),
+        "exp9" => Some(exp9::run(cfg)),
+        "exp10" => Some(exp10::run(cfg)),
+        "exp11" => Some(exp11::run(cfg)),
+        "exp12" => Some(exp12::run(cfg)),
+        "exp13" => Some(exp13::run(cfg)),
+        "exp14" => Some(exp14::run(cfg)),
+        _ => None,
+    }
+}

@@ -1,0 +1,109 @@
+//! Deterministic data parallelism for Monte Carlo sweeps.
+//!
+//! Every chip carries its own derived RNG streams, so per-chip work is
+//! embarrassingly parallel *and* order-independent: results are written
+//! back by index, making a parallel run bit-identical to a sequential
+//! one. Built on `std::thread::scope` — no extra dependency needed.
+
+/// Applies `f` to every element of `items` in parallel (scoped threads,
+/// one chunk per available core), collecting results in input order.
+///
+/// Falls back to a sequential loop for small inputs where spawn overhead
+/// would dominate.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(n.max(1));
+    if threads <= 1 || n < 4 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (chunk_index, (item_chunk, result_chunk)) in items
+            .chunks_mut(chunk_size)
+            .zip(results.chunks_mut(chunk_size))
+            .enumerate()
+        {
+            scope.spawn(move || {
+                let base = chunk_index * chunk_size;
+                for (offset, (item, slot)) in item_chunk
+                    .iter_mut()
+                    .zip(result_chunk.iter_mut())
+                    .enumerate()
+                {
+                    *slot = Some(f(base + offset, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let mut items: Vec<usize> = (0..100).collect();
+        let out = par_map_mut(&mut items, |i, item| {
+            *item += 1;
+            i * 10
+        });
+        assert_eq!(out, (0..100).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(items[0], 1);
+        assert_eq!(items[99], 100);
+    }
+
+    #[test]
+    fn matches_sequential_execution() {
+        let mut a: Vec<u64> = (0..53).collect();
+        let mut b = a.clone();
+        let par = par_map_mut(&mut a, |i, x| {
+            *x = x.wrapping_mul(2654435761);
+            *x ^ i as u64
+        });
+        let seq: Vec<u64> = b
+            .iter_mut()
+            .enumerate()
+            .map(|(i, x)| {
+                *x = x.wrapping_mul(2654435761);
+                *x ^ i as u64
+            })
+            .collect();
+        assert_eq!(par, seq);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(par_map_mut(&mut empty, |_, x| *x).is_empty());
+        let mut one = vec![7u32];
+        assert_eq!(par_map_mut(&mut one, |_, x| *x * 2), vec![14]);
+    }
+
+    #[test]
+    fn parallel_mutation_is_visible() {
+        let mut items = vec![0u64; 64];
+        par_map_mut(&mut items, |i, x| {
+            *x = i as u64;
+        });
+        assert!(items.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+}

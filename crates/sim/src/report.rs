@@ -1,0 +1,115 @@
+//! The renderable outcome of one experiment.
+
+use crate::table::{Figure, Table};
+
+/// Everything an experiment produced: tables, figures, and prose notes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    id: &'static str,
+    title: String,
+    tables: Vec<Table>,
+    figures: Vec<Figure>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// An empty report for experiment `id` (e.g. `"EXP-2"`).
+    #[must_use]
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            figures: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The experiment id.
+    #[must_use]
+    pub fn id(&self) -> &'static str {
+        self.id
+    }
+
+    /// The experiment title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Appends a table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Appends a figure.
+    pub fn push_figure(&mut self, figure: Figure) {
+        self.figures.push(figure);
+    }
+
+    /// Appends a prose note (assumptions, measured headline numbers).
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// The tables.
+    #[must_use]
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The figures.
+    #[must_use]
+    pub fn figures(&self) -> &[Figure] {
+        &self.figures
+    }
+
+    /// The notes.
+    #[must_use]
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+}
+
+impl std::fmt::Display for Report {
+    /// Renders the whole report as markdown.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "## {} — {}\n", self.id, self.title)?;
+        for note in &self.notes {
+            writeln!(f, "> {note}\n")?;
+        }
+        for table in &self.tables {
+            writeln!(f, "{}", table.to_markdown())?;
+        }
+        for figure in &self.figures {
+            writeln!(f, "{}", figure.to_data_listing())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Series;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut r = Report::new("EXP-0", "Smoke");
+        r.push_note("a note");
+        let mut t = Table::new("T", &["x"]);
+        t.push_row(vec!["1".into()]);
+        r.push_table(t);
+        let mut fig = Figure::new("F", "t", "y");
+        fig.push_series(Series::new("s", vec![(0.0, 0.0)]));
+        r.push_figure(fig);
+        let text = r.to_string();
+        assert!(text.contains("## EXP-0 — Smoke"));
+        assert!(text.contains("> a note"));
+        assert!(text.contains("### T"));
+        assert!(text.contains("### F"));
+        assert_eq!(r.tables().len(), 1);
+        assert_eq!(r.figures().len(), 1);
+        assert_eq!(r.notes().len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared experiment plumbing: population construction, aging timelines,
+//! flip-rate measurement, and the PUF-side area parameters.
+
+use aro_circuit::netlist::{readout_area, RoCell};
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_device::rng::SeedDomain;
+use aro_ecc::area::PufAreaParams;
+use aro_metrics::stats::quantile;
+use aro_puf::{Enrollment, MissionProfile, PairingStrategy, Population, PufDesign};
+
+use crate::config::SimConfig;
+
+/// The evaluation design of a style under a config (seed derived from the
+/// config seed and the style label, so the two styles use independent but
+/// reproducible randomness).
+#[must_use]
+pub fn design_for(cfg: &SimConfig, style: RoStyle) -> PufDesign {
+    let seed = SeedDomain::new(cfg.seed).child(style.label()).seed(0);
+    PufDesign::builder(style)
+        .n_ros(cfg.n_ros)
+        .seed(seed)
+        .build()
+}
+
+/// Fabricates the population of a style under a config.
+#[must_use]
+pub fn build_population(cfg: &SimConfig, style: RoStyle) -> Population {
+    Population::fabricate(&design_for(cfg, style), cfg.n_chips)
+}
+
+/// Flip-rate statistics along an aging timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlipTimeline {
+    /// Checkpoint ages in seconds.
+    pub checkpoints: Vec<f64>,
+    /// Mean flip rate across chips at each checkpoint.
+    pub mean: Vec<f64>,
+    /// Std-dev of the flip rate across chips at each checkpoint.
+    pub std: Vec<f64>,
+    /// Per-chip flip rates at the final checkpoint.
+    pub final_rates: Vec<f64>,
+}
+
+impl FlipTimeline {
+    /// Mean flip rate at the final checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the timeline is empty.
+    #[must_use]
+    pub fn final_mean(&self) -> f64 {
+        *self.mean.last().expect("empty timeline")
+    }
+
+    /// The `q`-quantile of the per-chip final flip rates — the worst-case
+    /// BER an ECC must be provisioned for.
+    #[must_use]
+    pub fn final_quantile(&self, q: f64) -> f64 {
+        quantile(&self.final_rates, q)
+    }
+}
+
+/// Enrolls a population at nominal conditions, plays the mission through
+/// each checkpoint, and measures the flip rate against enrollment at every
+/// stop.
+#[must_use]
+pub fn measure_flip_timeline(
+    population: &mut Population,
+    profile: &MissionProfile,
+    checkpoints: &[f64],
+) -> FlipTimeline {
+    let design = population.design().clone();
+    let env = Environment::nominal(design.tech());
+    let strategy = PairingStrategy::Neighbor;
+    let enrollments: Vec<Enrollment> = population.enroll_all(&env, &strategy);
+
+    let mut mean = Vec::with_capacity(checkpoints.len());
+    let mut std = Vec::with_capacity(checkpoints.len());
+    let mut final_rates = Vec::new();
+    let mut age = 0.0;
+    for &checkpoint in checkpoints {
+        assert!(checkpoint >= age, "checkpoints must be non-decreasing");
+        let step = checkpoint - age;
+        age = checkpoint;
+        // Aging and re-reading are per-chip independent (each chip owns
+        // its RNG streams), so fan both out across cores; results land by
+        // index, keeping the run bit-identical to sequential.
+        let rates: Vec<f64> = crate::parallel::par_map_mut(population.chips_mut(), |i, chip| {
+            profile.age_chip(chip, &design, step);
+            enrollments[i].flip_rate_now(chip, &design, &env)
+        });
+        let m = rates.iter().sum::<f64>() / rates.len() as f64;
+        let s = if rates.len() > 1 {
+            (rates.iter().map(|r| (r - m).powi(2)).sum::<f64>() / (rates.len() - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        mean.push(m);
+        std.push(s);
+        final_rates = rates;
+    }
+    FlipTimeline {
+        checkpoints: checkpoints.to_vec(),
+        mean,
+        std,
+        final_rates,
+    }
+}
+
+/// PUF-side area parameters of a style, derived from the circuit-level
+/// cell and readout models (16-bit counters, disjoint pairing).
+#[must_use]
+pub fn puf_area_params(style: RoStyle, n_stages: usize) -> PufAreaParams {
+    let cell = match style {
+        RoStyle::Conventional => RoCell::conventional(n_stages),
+        RoStyle::AgingResistant => RoCell::aging_resistant(n_stages),
+    };
+    // Fixed part: counters + comparator (mux legs are per-RO below).
+    let fixed = readout_area(1, 16);
+    let with_muxes = readout_area(2, 16);
+    let per_ro_ge = (with_muxes.area_um2 - fixed.area_um2) / aro_circuit::netlist::GE_AREA_UM2;
+    PufAreaParams {
+        ro_cell_ge: cell.area().gate_equivalents(),
+        readout_fixed_ge: fixed.area_um2 / aro_circuit::netlist::GE_AREA_UM2,
+        readout_per_ro_ge: per_ro_ge,
+        ros_per_bit: 2.0,
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2} %", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aro_device::units::YEAR;
+
+    #[test]
+    fn designs_differ_per_style_but_are_deterministic() {
+        let cfg = SimConfig::quick();
+        let a = design_for(&cfg, RoStyle::Conventional);
+        let b = design_for(&cfg, RoStyle::Conventional);
+        let c = design_for(&cfg, RoStyle::AgingResistant);
+        assert_eq!(a, b);
+        assert_ne!(a.style(), c.style());
+        assert_eq!(a.n_ros(), cfg.n_ros);
+    }
+
+    #[test]
+    fn flip_timeline_is_monotone_and_conventional_flips_more() {
+        let cfg = SimConfig::quick();
+        let checkpoints = [YEAR, 5.0 * YEAR, 10.0 * YEAR];
+        let run = |style| {
+            let mut population = build_population(&cfg, style);
+            let profile = MissionProfile::typical(population.design().tech());
+            measure_flip_timeline(&mut population, &profile, &checkpoints)
+        };
+        let conv = run(RoStyle::Conventional);
+        let aro = run(RoStyle::AgingResistant);
+        // Flip rates grow with age (up to measurement-noise wiggle).
+        assert!(conv.mean[2] > conv.mean[0]);
+        assert!(
+            conv.final_mean() > 2.0 * aro.final_mean(),
+            "ARO must flip far less"
+        );
+        assert_eq!(conv.final_rates.len(), cfg.n_chips);
+        assert!(conv.final_quantile(0.99) >= conv.final_quantile(0.5));
+    }
+
+    #[test]
+    fn area_params_reflect_cell_sizes() {
+        let conv = puf_area_params(RoStyle::Conventional, 5);
+        let aro = puf_area_params(RoStyle::AgingResistant, 5);
+        assert!(aro.ro_cell_ge > conv.ro_cell_ge);
+        assert_eq!(conv.readout_fixed_ge, aro.readout_fixed_ge);
+        assert!(conv.readout_per_ro_ge > 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.3213), "32.13 %");
+    }
+}

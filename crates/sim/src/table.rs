@@ -1,0 +1,289 @@
+//! Tables, series, and figures — the renderable units every experiment
+//! emits.
+
+use aro_metrics::stats::Histogram;
+
+/// A titled table with a header row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The data rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The header row.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// A cell by (row, column).
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[must_use]
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Renders as a GitHub-style markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let widths: Vec<usize> = (0..self.headers.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(self.headers[c].len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let render_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", dashes.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (header first).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A named data series (one curve of a figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label.
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A named series.
+    #[must_use]
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// The final y value.
+    ///
+    /// # Panics
+    /// Panics if the series is empty.
+    #[must_use]
+    pub fn last_y(&self) -> f64 {
+        self.points.last().expect("empty series").1
+    }
+}
+
+/// A figure: axis labels plus one or more series, optionally backed by a
+/// histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl Figure {
+    /// An empty figure.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Builds a figure from a histogram (one series of bin fractions).
+    #[must_use]
+    pub fn from_histogram(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        name: impl Into<String>,
+        histogram: &Histogram,
+    ) -> Self {
+        let mut fig = Self::new(title, x_label, "fraction");
+        fig.push_series(Series::new(name, histogram.normalized()));
+        fig
+    }
+
+    /// The figure title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The series.
+    #[must_use]
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Renders the figure as a data listing (x column + one y column per
+    /// series) — what the paper's plotting tool would consume.
+    #[must_use]
+    pub fn to_data_listing(&self) -> String {
+        let mut out = format!(
+            "### {} ({} vs {})\n\n",
+            self.title, self.y_label, self.x_label
+        );
+        let names: Vec<&str> = self.series.iter().map(|s| s.name.as_str()).collect();
+        out.push_str(&format!("{:>12}  {}\n", self.x_label, names.join("  ")));
+        let longest = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        for i in 0..longest {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.0))
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!("{x:>12.4}"));
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => out.push_str(&format!("  {:>12.5}", p.1)),
+                    None => out.push_str(&format!("  {:>12}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_markdown_round_trip() {
+        let mut t = Table::new("Demo", &["a", "bee"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["333".into(), "4".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a "));
+        assert!(md.contains("| 333 | 4"));
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.cell(1, 0), "333");
+    }
+
+    #[test]
+    fn table_csv() {
+        let mut t = Table::new("Demo", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("Demo", &["x", "y"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn series_last_y() {
+        let s = Series::new("curve", vec![(0.0, 1.0), (1.0, 3.0)]);
+        assert_eq!(s.last_y(), 3.0);
+    }
+
+    #[test]
+    fn figure_data_listing_includes_every_series() {
+        let mut f = Figure::new("Fig", "t", "v");
+        f.push_series(Series::new("conv", vec![(0.0, 1.0), (1.0, 2.0)]));
+        f.push_series(Series::new("aro", vec![(0.0, 1.0)]));
+        let listing = f.to_data_listing();
+        assert!(listing.contains("conv"));
+        assert!(listing.contains("aro"));
+        assert!(listing.lines().count() >= 4);
+    }
+
+    #[test]
+    fn figure_from_histogram() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add_all(&[0.1, 0.6, 0.6]);
+        let f = Figure::from_histogram("H", "hd", "chips", &h);
+        assert_eq!(f.series().len(), 1);
+        assert_eq!(f.series()[0].points.len(), 4);
+    }
+}

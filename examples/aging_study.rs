@@ -1,0 +1,94 @@
+//! Aging study: sweep mission scenarios (temperature, power-on fraction,
+//! query rate) and print how each design's ten-year flip rate responds —
+//! the kind of what-if a reliability engineer runs before picking a PUF.
+//!
+//! ```text
+//! cargo run --release --example aging_study
+//! ```
+
+use aro_puf_repro::circuit::ring::RoStyle;
+use aro_puf_repro::device::environment::Environment;
+use aro_puf_repro::device::units::YEAR;
+use aro_puf_repro::puf::{MissionProfile, PairingStrategy, Population, PufDesign};
+
+/// Ten-year mean flip rate of a population under a mission.
+fn ten_year_flips(style: RoStyle, profile: &MissionProfile, n_chips: usize) -> f64 {
+    let design = PufDesign::builder(style).n_ros(128).seed(99).build();
+    let mut population = Population::fabricate(&design, n_chips);
+    let env = Environment::nominal(design.tech());
+    let enrollments = population.enroll_all(&env, &PairingStrategy::Neighbor);
+    population.age_all(profile, 10.0 * YEAR);
+    let design = population.design().clone();
+    enrollments
+        .iter()
+        .zip(population.chips_mut())
+        .map(|(e, chip)| e.flip_rate_now(chip, &design, &env))
+        .sum::<f64>()
+        / n_chips as f64
+}
+
+fn main() {
+    let tech = aro_puf_repro::device::params::TechParams::default();
+    let scenarios: Vec<(&str, MissionProfile)> = vec![
+        (
+            "office box, 25 C, always on",
+            MissionProfile {
+                temp_celsius: 25.0,
+                vdd: tech.vdd_nominal,
+                powered_fraction: 1.0,
+                readouts_per_day: 10.0,
+            },
+        ),
+        (
+            "set-top box, 45 C, always on",
+            MissionProfile::typical(&tech),
+        ),
+        (
+            "industrial, 85 C, always on",
+            MissionProfile {
+                temp_celsius: 85.0,
+                vdd: tech.vdd_nominal,
+                powered_fraction: 1.0,
+                readouts_per_day: 10.0,
+            },
+        ),
+        (
+            "automotive, 105 C, 8 h/day",
+            MissionProfile {
+                temp_celsius: 105.0,
+                vdd: tech.vdd_nominal,
+                powered_fraction: 1.0 / 3.0,
+                readouts_per_day: 50.0,
+            },
+        ),
+        (
+            "smart card, 25 C, powered 1 %",
+            MissionProfile {
+                temp_celsius: 25.0,
+                vdd: tech.vdd_nominal,
+                powered_fraction: 0.01,
+                readouts_per_day: 5.0,
+            },
+        ),
+    ];
+
+    println!(
+        "{:<32} {:>10} {:>10} {:>8}",
+        "mission (10-year flips)", "RO-PUF", "ARO-PUF", "ratio"
+    );
+    for (label, profile) in scenarios {
+        let conv = ten_year_flips(RoStyle::Conventional, &profile, 20);
+        let aro = ten_year_flips(RoStyle::AgingResistant, &profile, 20);
+        println!(
+            "{:<32} {:>9.2} % {:>9.2} % {:>7.1}x",
+            label,
+            conv * 100.0,
+            aro * 100.0,
+            conv / aro.max(1e-9)
+        );
+    }
+    println!(
+        "\nThe ARO advantage grows with stress: the hotter and more power-on the mission, \
+         the more the conventional cell's static idle BTI costs."
+    );
+}

@@ -1,0 +1,51 @@
+//! ECC design space: print the cheapest (repetition ⊗ BCH) key-generator
+//! stack across the whole BER range — the curve behind the paper's 24×
+//! area claim, and where the crossover to infeasibility sits.
+//!
+//! ```text
+//! cargo run --release --example ecc_design_space
+//! ```
+
+use aro_puf_repro::ecc::area::{search_design, PufAreaParams};
+
+fn main() {
+    let conventional_cell = PufAreaParams {
+        ro_cell_ge: 3.0,
+        readout_fixed_ge: 136.0,
+        readout_per_ro_ge: 3.0,
+        ros_per_bit: 2.0,
+    };
+
+    println!(
+        "{:>6} {:>6} {:>18} {:>7} {:>9} {:>10} {:>12}",
+        "BER", "rep", "BCH (n,k,t)", "blocks", "raw bits", "total GE", "area um^2"
+    );
+    for ber_pct in [
+        0.5, 1.0, 2.0, 5.0, 7.7, 11.0, 15.0, 20.0, 25.0, 32.0, 40.0, 45.0, 48.0,
+    ] {
+        let ber = ber_pct / 100.0;
+        match search_design(ber, 128, 1e-6, &conventional_cell) {
+            Some(s) => println!(
+                "{:>5.1}% {:>5}x {:>18} {:>7} {:>9} {:>10.0} {:>12.0}",
+                ber_pct,
+                s.rep_r,
+                if s.bch_t == 0 {
+                    "-".to_string()
+                } else {
+                    format!("({}, {}, {})", s.bch_n, s.bch_k, s.bch_t)
+                },
+                s.blocks,
+                s.raw_bits,
+                s.total_ge(),
+                s.total_um2()
+            ),
+            None => println!("{ber_pct:>5.1}%  infeasible in the swept code space"),
+        }
+    }
+
+    println!(
+        "\nReading the curve: area grows gently until ~15 % BER, then the repetition factor \
+         explodes — a PUF that flips a third of its bits pays an order of magnitude in \
+         silicon. That cliff is the ARO-PUF's value proposition."
+    );
+}

@@ -1,0 +1,80 @@
+//! Key enrollment: the full product flow — provision an ECC for a target
+//! bit error rate, fabricate a chip with enough rings, enroll a 128-bit
+//! key through the code-offset fuzzy extractor, age the part, and
+//! reconstruct the key in the field.
+//!
+//! ```text
+//! cargo run --release --example key_enrollment
+//! ```
+
+use aro_puf_repro::circuit::ring::RoStyle;
+use aro_puf_repro::device::environment::Environment;
+use aro_puf_repro::device::units::YEAR;
+use aro_puf_repro::ecc::area::PufAreaParams;
+use aro_puf_repro::ecc::keygen::KeyGenerator;
+use aro_puf_repro::puf::{Chip, MissionProfile, PairingStrategy, PufDesign};
+
+fn main() {
+    // 1. Provision: pick the cheapest repetition ⊗ BCH stack that turns a
+    //    worst-case 11 % ten-year BER (the ARO-PUF's, from EXP-2) into a
+    //    128-bit key failing less than once per million reconstructions.
+    let puf_area = PufAreaParams {
+        ro_cell_ge: 6.5, // ARO cell
+        readout_fixed_ge: 136.0,
+        readout_per_ro_ge: 3.0,
+        ros_per_bit: 2.0,
+    };
+    let generator = KeyGenerator::for_bit_error_rate(0.11, 128, 1e-6, &puf_area)
+        .expect("an 11 % BER is well within the code space");
+    let spec = generator.spec();
+    println!(
+        "provisioned: {}x repetition over BCH({}, {}, t={}), {} blocks, {} raw PUF bits, \
+         {:.0} GE total ({:.0} um^2)",
+        spec.rep_r,
+        spec.bch_n,
+        spec.bch_k,
+        spec.bch_t,
+        spec.blocks,
+        spec.raw_bits,
+        spec.total_ge(),
+        spec.total_um2()
+    );
+
+    // 2. Fabricate a chip with enough rings for the code's raw-bit budget.
+    let n_ros = 2 * generator.response_bits();
+    let design = PufDesign::builder(RoStyle::AgingResistant)
+        .n_ros(n_ros)
+        .seed(7)
+        .build();
+    let mut chip = Chip::fabricate(&design, 0);
+    let env = Environment::nominal(design.tech());
+    let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+    println!(
+        "fabricated chip with {n_ros} rings ({} response bits)",
+        pairs.len()
+    );
+
+    // 3. Enroll at the factory.
+    let mut rng = design.seed_domain().child("example").rng(0);
+    let response = chip.golden_response(&design, &env, &pairs);
+    let (key, helper) = generator.enroll(&response, &mut rng);
+    println!("enrolled key: {}", key);
+    println!(
+        "helper data: {} blocks, {} stored bits",
+        helper.blocks(),
+        helper.stored_bits()
+    );
+
+    // 4. Ship it. Ten years pass.
+    MissionProfile::typical(design.tech()).age_chip(&mut chip, &design, 10.0 * YEAR);
+
+    // 5. Reconstruct in the field from a noisy, aged reading.
+    let noisy = chip.response(&design, &env, &pairs);
+    let drift = response.hamming_distance(&noisy);
+    println!("ten-year response drift: {drift}/{} bits", response.len());
+    match generator.reconstruct(&noisy, &helper) {
+        Some(recovered) if recovered == key => println!("key reconstructed: {recovered}"),
+        Some(_) => println!("MISCORRECTION: wrong key recovered"),
+        None => println!("KEY FAILURE: drift exceeded the code's capability"),
+    }
+}

@@ -1,0 +1,68 @@
+//! Mission schedules: compose realistic time-varying deployments (a
+//! diurnal hot/cool cycle, weekend power-downs) and compare their
+//! ten-year damage against constant-condition bounds.
+//!
+//! ```text
+//! cargo run --release --example mission_schedule
+//! ```
+
+use aro_puf_repro::circuit::ring::RoStyle;
+use aro_puf_repro::device::environment::Environment;
+use aro_puf_repro::device::params::TechParams;
+use aro_puf_repro::device::units::YEAR;
+use aro_puf_repro::puf::{
+    Chip, Enrollment, MissionProfile, MissionSchedule, PairingStrategy, PufDesign,
+};
+
+fn ten_year_flips(design: &PufDesign, schedule: &MissionSchedule) -> f64 {
+    let env = Environment::nominal(design.tech());
+    let mut chip = Chip::fabricate(design, 0);
+    let enrollment = Enrollment::perform(&mut chip, design, &env, &PairingStrategy::Neighbor);
+    schedule.age_chip(&mut chip, design, 10.0 * YEAR);
+    enrollment.flip_rate_now(&mut chip, design, &env)
+}
+
+fn main() {
+    let tech = TechParams::default();
+    let office = MissionProfile {
+        temp_celsius: 30.0,
+        ..MissionProfile::typical(&tech)
+    };
+    let gaming = MissionProfile {
+        temp_celsius: 75.0,
+        readouts_per_day: 50.0,
+        ..MissionProfile::typical(&tech)
+    };
+    let standby = MissionProfile {
+        temp_celsius: 25.0,
+        readouts_per_day: 1.0,
+        ..MissionProfile::typical(&tech)
+    };
+
+    // A living-room console: 4 h/day hot gaming, 12 h warm standby,
+    // 8 h/day effectively idle at room temperature.
+    let console = MissionSchedule::new(vec![
+        (4.0 / 24.0, gaming.clone()),
+        (12.0 / 24.0, standby.clone()),
+        (8.0 / 24.0, office.clone()),
+    ]);
+
+    println!(
+        "{:<38} {:>10} {:>10}",
+        "ten-year flips", "RO-PUF", "ARO-PUF"
+    );
+    for (label, schedule) in [
+        ("always cool office", MissionSchedule::constant(office)),
+        ("console (4 h hot / 20 h mild)", console),
+        ("always hot gaming", MissionSchedule::constant(gaming)),
+    ] {
+        let conv = ten_year_flips(&PufDesign::standard(RoStyle::Conventional, 5), &schedule);
+        let aro = ten_year_flips(&PufDesign::standard(RoStyle::AgingResistant, 5), &schedule);
+        println!("{label:<38} {:>9.2} % {:>9.2} %", conv * 100.0, aro * 100.0);
+    }
+
+    println!(
+        "\nMixed missions land between their constant-condition bounds (equivalent-time \
+         BTI composition), and the ARO advantage holds across all of them."
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: fabricate one ARO-PUF chip, read a 128-bit response, age
+//! it ten years, and see how many bits survived.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aro_puf_repro::circuit::ring::RoStyle;
+use aro_puf_repro::device::environment::Environment;
+use aro_puf_repro::device::units::YEAR;
+use aro_puf_repro::puf::{Chip, Enrollment, MissionProfile, PairingStrategy, PufDesign};
+
+fn main() {
+    // A PUF design is everything fixed at tape-out: cell style, array
+    // size, readout. Fabricating a chip from it samples that chip's
+    // unique process variation.
+    let design = PufDesign::standard(RoStyle::AgingResistant, /* seed */ 42);
+    let mut chip = Chip::fabricate(&design, /* chip id */ 0);
+    let env = Environment::nominal(design.tech());
+
+    // Factory enrollment: averaged reads fix the pair list and the golden
+    // 128-bit response.
+    let enrollment = Enrollment::perform(&mut chip, &design, &env, &PairingStrategy::Neighbor);
+    println!("enrolled {} bits", enrollment.bits());
+    println!("reference: {}", enrollment.reference());
+
+    // Deploy for ten years: an always-on 45 C product queried 10x/day.
+    let profile = MissionProfile::typical(design.tech());
+    profile.age_chip(&mut chip, &design, 10.0 * YEAR);
+
+    // Re-read and compare against enrollment.
+    let flips = enrollment.flip_rate_now(&mut chip, &design, &env);
+    println!(
+        "after 10 years: {:.2} % of bits flipped (ARO-PUF; paper reports 7.7 % on average)",
+        flips * 100.0
+    );
+
+    // The same silicon story with a conventional cell, for contrast.
+    let conv_design = PufDesign::standard(RoStyle::Conventional, 42);
+    let mut conv_chip = Chip::fabricate(&conv_design, 0);
+    let conv_env = Environment::nominal(conv_design.tech());
+    let conv_enrollment = Enrollment::perform(
+        &mut conv_chip,
+        &conv_design,
+        &conv_env,
+        &PairingStrategy::Neighbor,
+    );
+    MissionProfile::typical(conv_design.tech()).age_chip(&mut conv_chip, &conv_design, 10.0 * YEAR);
+    let conv_flips = conv_enrollment.flip_rate_now(&mut conv_chip, &conv_design, &conv_env);
+    println!(
+        "conventional RO-PUF under the same mission: {:.2} % flipped (paper: 32 %)",
+        conv_flips * 100.0
+    );
+}

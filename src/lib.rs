@@ -1,0 +1,22 @@
+//! Umbrella crate for the ARO-PUF (DATE 2014) reproduction.
+//!
+//! Re-exports every sub-crate under one roof so examples and integration
+//! tests can depend on a single crate:
+//!
+//! * [`device`] — transistor models, process variation, aging.
+//! * [`circuit`] — ring oscillators and readout.
+//! * [`puf`] — the RO-PUF / ARO-PUF architectures (the paper's
+//!   contribution).
+//! * [`ecc`] — BCH / repetition codes, fuzzy extractor, area
+//!   models.
+//! * [`metrics`] — PUF quality metrics and randomness tests.
+//! * [`sim`] — the EXP-1..EXP-14 paper experiments.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use aro_circuit as circuit;
+pub use aro_device as device;
+pub use aro_ecc as ecc;
+pub use aro_metrics as metrics;
+pub use aro_puf as puf;
+pub use aro_sim as sim;

@@ -1,0 +1,65 @@
+//! Property-based integration tests: invariants that only hold when the
+//! crates compose correctly.
+
+use aro_puf_repro::circuit::ring::RoStyle;
+use aro_puf_repro::device::environment::Environment;
+use aro_puf_repro::ecc::bch::BchCode;
+use aro_puf_repro::ecc::fuzzy::FuzzyExtractor;
+use aro_puf_repro::metrics::quality;
+use aro_puf_repro::puf::{Chip, PairingStrategy, PufDesign};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any chip's golden response, fed through the fuzzy extractor, can be
+    /// re-derived from a noiseless re-reading — regardless of seed or
+    /// style.
+    #[test]
+    fn fuzzy_extractor_accepts_real_puf_responses(seed in any::<u64>(),
+                                                  aro in any::<bool>()) {
+        let style = if aro { RoStyle::AgingResistant } else { RoStyle::Conventional };
+        let code = BchCode::new(5, 3);
+        let fe = FuzzyExtractor::new(code, 1);
+        let n_ros = 2 * fe.response_bits().next_multiple_of(2);
+        let design = PufDesign::builder(style).n_ros(n_ros).seed(seed).build();
+        let chip = Chip::fabricate(&design, 0);
+        let env = Environment::nominal(design.tech());
+        let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+        let w = chip.golden_response(&design, &env, &pairs).slice(0, fe.response_bits());
+
+        let mut rng = design.seed_domain().child("prop").rng(0);
+        let (key, helper) = fe.generate(&w, &mut rng);
+        prop_assert_eq!(fe.reproduce(&w, &helper), Some(key));
+    }
+
+    /// Golden responses of distinct chips of one design are distinct and
+    /// their HD sits in a sane band (no systematic collapse anywhere in
+    /// the seed space).
+    #[test]
+    fn uniqueness_holds_across_the_seed_space(seed in any::<u64>()) {
+        let design = PufDesign::builder(RoStyle::AgingResistant).n_ros(64).seed(seed).build();
+        let env = Environment::nominal(design.tech());
+        let pairs = PairingStrategy::Neighbor.pairs(64);
+        let a = Chip::fabricate(&design, 0).golden_response(&design, &env, &pairs);
+        let b = Chip::fabricate(&design, 1).golden_response(&design, &env, &pairs);
+        let hd = quality::fractional_hd(&a, &b);
+        prop_assert!(hd > 0.15 && hd < 0.85, "inter-chip HD {hd} collapsed at seed {seed}");
+    }
+
+    /// The response bit of a pair equals the sign of the true frequency
+    /// difference when read noiselessly — the circuit, chip, and metrics
+    /// layers agree on bit semantics.
+    #[test]
+    fn bit_semantics_agree_across_layers(seed in any::<u64>()) {
+        let design = PufDesign::builder(RoStyle::Conventional).n_ros(16).seed(seed).build();
+        let env = Environment::nominal(design.tech());
+        let chip = Chip::fabricate(&design, 0);
+        let freqs = chip.frequencies(&design, &env);
+        let pairs = PairingStrategy::Neighbor.pairs(16);
+        let response = chip.golden_response(&design, &env, &pairs);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            prop_assert_eq!(response.get(i), freqs[a] > freqs[b]);
+        }
+    }
+}

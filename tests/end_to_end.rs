@@ -1,0 +1,142 @@
+//! Integration tests spanning every crate: device physics → circuit →
+//! PUF architecture → metrics → ECC/key generation.
+
+use aro_puf_repro::circuit::ring::RoStyle;
+use aro_puf_repro::device::environment::Environment;
+use aro_puf_repro::device::units::YEAR;
+use aro_puf_repro::ecc::keygen::KeyGenerator;
+use aro_puf_repro::metrics::quality;
+use aro_puf_repro::puf::{
+    Chip, Enrollment, MissionProfile, PairingStrategy, Population, PufDesign,
+};
+use aro_puf_repro::sim::runner::puf_area_params;
+
+#[test]
+fn the_full_product_flow_works_on_simulated_silicon() {
+    // Provision a 64-bit key for a 10 % worst-case BER.
+    let params = puf_area_params(RoStyle::AgingResistant, 5);
+    let generator = KeyGenerator::for_bit_error_rate(0.10, 64, 1e-6, &params).expect("feasible");
+
+    // Fabricate a chip big enough for the code.
+    let n_ros = 2 * generator.response_bits();
+    let design = PufDesign::builder(RoStyle::AgingResistant)
+        .n_ros(n_ros)
+        .seed(31337)
+        .build();
+    let mut chip = Chip::fabricate(&design, 0);
+    let env = Environment::nominal(design.tech());
+    let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+
+    // Enroll, deploy ten years, reconstruct.
+    let mut rng = design.seed_domain().child("test").rng(0);
+    let enrollment_response = chip.golden_response(&design, &env, &pairs);
+    let (key, helper) = generator.enroll(&enrollment_response, &mut rng);
+    assert_eq!(key.len(), 64);
+
+    MissionProfile::typical(design.tech()).age_chip(&mut chip, &design, 10.0 * YEAR);
+    let noisy = chip.response(&design, &env, &pairs);
+    assert!(
+        quality::fractional_hd(&enrollment_response, &noisy) > 0.0,
+        "ten years must drift some bits"
+    );
+    assert_eq!(generator.reconstruct(&noisy, &helper), Some(key));
+}
+
+#[test]
+fn aro_outperforms_conventional_on_every_headline_axis() {
+    let run = |style: RoStyle| {
+        let design = PufDesign::builder(style).n_ros(64).seed(555).build();
+        let mut population = Population::fabricate(&design, 12);
+        let env = Environment::nominal(design.tech());
+        let strategy = PairingStrategy::Neighbor;
+        let responses = population.golden_responses(&env, &strategy);
+        let inter_hd = quality::inter_chip_hd(&responses).mean();
+        let enrollments = population.enroll_all(&env, &strategy);
+        population.age_all(&MissionProfile::typical(design.tech()), 10.0 * YEAR);
+        let design = population.design().clone();
+        let flips = enrollments
+            .iter()
+            .zip(population.chips_mut())
+            .map(|(e, chip)| e.flip_rate_now(chip, &design, &env))
+            .sum::<f64>()
+            / 12.0;
+        (flips, inter_hd)
+    };
+    let (conv_flips, conv_hd) = run(RoStyle::Conventional);
+    let (aro_flips, aro_hd) = run(RoStyle::AgingResistant);
+
+    // Claim C1 shape: conventional flips several times more.
+    assert!(
+        conv_flips > 2.0 * aro_flips,
+        "flips: conv {conv_flips} vs aro {aro_flips}"
+    );
+    // Claim C2 shape: ARO closer to ideal 50 %.
+    assert!(
+        (aro_hd - 0.5).abs() < (conv_hd - 0.5).abs(),
+        "HD: conv {conv_hd} vs aro {aro_hd}"
+    );
+}
+
+#[test]
+fn enrollment_masking_trades_bits_for_reliability_across_crates() {
+    let design = PufDesign::builder(RoStyle::Conventional)
+        .n_ros(64)
+        .seed(777)
+        .build();
+    let env = Environment::nominal(design.tech());
+    let mut chip = Chip::fabricate(&design, 0);
+    let full = Enrollment::perform(&mut chip, &design, &env, &PairingStrategy::Neighbor);
+    let masked = full.masked(0.01);
+    assert!(
+        masked.bits() < full.bits(),
+        "a 1 % margin threshold must drop some pairs"
+    );
+    assert!(masked.bits() > 0);
+
+    // Age and compare flip rates: the masked set must be at least as
+    // reliable.
+    MissionProfile::typical(design.tech()).age_chip(&mut chip, &design, 10.0 * YEAR);
+    let full_flips = full.flip_rate_now(&mut chip, &design, &env);
+    let masked_flips = masked.flip_rate_now(&mut chip, &design, &env);
+    assert!(
+        masked_flips <= full_flips + 0.05,
+        "masked {masked_flips} vs full {full_flips}"
+    );
+}
+
+#[test]
+fn two_different_designs_produce_unrelated_chips() {
+    let design_a = PufDesign::builder(RoStyle::Conventional)
+        .n_ros(64)
+        .seed(1)
+        .build();
+    let design_b = PufDesign::builder(RoStyle::Conventional)
+        .n_ros(64)
+        .seed(2)
+        .build();
+    let env = Environment::nominal(design_a.tech());
+    let pairs = PairingStrategy::Neighbor.pairs(64);
+    let a = Chip::fabricate(&design_a, 0).golden_response(&design_a, &env, &pairs);
+    let b = Chip::fabricate(&design_b, 0).golden_response(&design_b, &env, &pairs);
+    let hd = quality::fractional_hd(&a, &b);
+    assert!(
+        hd > 0.2 && hd < 0.8,
+        "cross-design HD {hd} should look random"
+    );
+}
+
+#[test]
+fn umbrella_re_exports_are_wired() {
+    // Compile-time check that every sub-crate is reachable through the
+    // umbrella, plus a tiny smoke of each.
+    let tech = aro_puf_repro::device::params::TechParams::default();
+    assert!(tech.vdd_nominal > 0.0);
+    let cell = aro_puf_repro::circuit::netlist::RoCell::conventional(5);
+    assert!(cell.transistor_count() > 0);
+    let digest = aro_puf_repro::ecc::hash::sha256(b"aro");
+    assert_ne!(digest, [0u8; 32]);
+    let bits = aro_puf_repro::metrics::bits::BitString::zeros(8);
+    assert_eq!(bits.len(), 8);
+    let cfg = aro_puf_repro::sim::SimConfig::quick();
+    assert!(cfg.n_chips > 0);
+}
