@@ -1,20 +1,27 @@
 //! `repro` — regenerates every table and figure of the ARO-PUF paper.
 //!
 //! ```text
-//! repro                 # all experiments at paper scale (100 chips)
-//! repro exp2 exp5       # a subset
-//! repro --quick         # all experiments at smoke-test scale
-//! repro --seed 7 exp3   # a different Monte Carlo seed
-//! repro --csv out/      # additionally dump every table as CSV
-//! repro --list          # what is available
+//! repro                          # all experiments at paper scale (100 chips)
+//! repro exp2 exp5                # a subset
+//! repro --quick                  # all experiments at smoke-test scale
+//! repro --seed 7 exp3            # a different Monte Carlo seed
+//! repro --csv out/               # additionally dump every table as CSV
+//! repro --telemetry run.jsonl    # JSON-lines span/metric telemetry
+//! repro --metrics                # print the instrumented run summary
+//! repro --bench-json BENCH_run.json  # per-experiment wall-time dump
+//! repro --quiet                  # suppress report output (for timing runs)
+//! repro --list                   # what is available
 //! ```
 //!
 //! Output is markdown: tables render as pipe tables, figures as data
-//! listings (x column + one y column per series).
+//! listings (x column + one y column per series). Exit codes: 0 success,
+//! 1 runtime/I-O failure, 2 usage error.
 
-use aro_sim::experiments::{run_all, run_by_id};
+use aro_sim::experiments::{run_by_id, ALL_IDS};
 use aro_sim::{Report, SimConfig};
-use std::path::PathBuf;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 const EXPERIMENTS: [(&str, &str); 14] = [
     ("exp1", "RO frequency degradation vs. time"),
@@ -45,77 +52,280 @@ const EXPERIMENTS: [(&str, &str); 14] = [
     ("exp14", "Soft-decision decoding gain"),
 ];
 
-fn usage() -> ! {
-    eprintln!("usage: repro [--quick] [--seed N] [--csv DIR] [--list] [exp1 .. exp11]");
-    std::process::exit(2);
+/// Everything that can go wrong, with the exit code it maps to.
+#[derive(Debug)]
+enum CliError {
+    /// Malformed command line (exit 2).
+    Usage(String),
+    /// An experiment id that does not exist (exit 2).
+    UnknownExperiment(String),
+    /// A filesystem operation failed (exit 1).
+    Io {
+        what: &'static str,
+        path: PathBuf,
+        source: std::io::Error,
+    },
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) | CliError::UnknownExperiment(_) => 2,
+            CliError::Io { .. } => 1,
+        }
+    }
+
+    fn io<'a>(
+        what: &'static str,
+        path: &'a Path,
+    ) -> impl FnOnce(std::io::Error) -> CliError + 'a {
+        move |source| CliError::Io {
+            what,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::UnknownExperiment(id) => {
+                write!(f, "unknown experiment `{id}` (try --list)")
+            }
+            CliError::Io { what, path, source } => {
+                write!(f, "cannot {what} `{}`: {source}", path.display())
+            }
+        }
+    }
+}
+
+fn usage() -> String {
+    let ids = ALL_IDS.join(" | ");
+    format!(
+        "usage: repro [OPTIONS] [{ids}]...\n\
+         \n\
+         options:\n\
+         \x20 --quick              smoke-test scale (10 chips x 64 ROs)\n\
+         \x20 --seed N             override the Monte Carlo seed\n\
+         \x20 --csv DIR            additionally dump every table as CSV\n\
+         \x20 --telemetry PATH     write span/metric telemetry as JSON lines\n\
+         \x20 --metrics            print the instrumented run summary tables\n\
+         \x20 --bench-json PATH    write per-experiment wall times as JSON\n\
+         \x20 --quiet              suppress report output\n\
+         \x20 --list               list every experiment with its title\n\
+         \x20 --help               this message"
+    )
+}
+
+#[derive(Debug)]
+struct Options {
+    cfg: SimConfig,
+    ids: Vec<String>,
+    csv_dir: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+    bench_json: Option<PathBuf>,
+    metrics: bool,
+    quiet: bool,
+    quick: bool,
+}
+
+enum Parsed {
+    Run(Box<Options>),
+    List,
+    Help,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
+    let mut opts = Options {
+        cfg: SimConfig::paper(),
+        ids: Vec::new(),
+        csv_dir: None,
+        telemetry: None,
+        bench_json: None,
+        metrics: false,
+        quiet: false,
+        quick: false,
+    };
+    let mut seed: Option<u64> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--seed expects a value".into()))?;
+                seed = Some(value.parse().map_err(|_| {
+                    CliError::Usage(format!("--seed expects an integer, got `{value}`"))
+                })?);
+            }
+            "--csv" => {
+                let dir = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--csv expects a directory".into()))?;
+                opts.csv_dir = Some(PathBuf::from(dir));
+            }
+            "--telemetry" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--telemetry expects a path".into()))?;
+                opts.telemetry = Some(PathBuf::from(path));
+            }
+            "--bench-json" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--bench-json expects a path".into()))?;
+                opts.bench_json = Some(PathBuf::from(path));
+            }
+            "--metrics" => opts.metrics = true,
+            "--quiet" => opts.quiet = true,
+            "--list" => return Ok(Parsed::List),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            id if !id.starts_with('-') => {
+                if !ALL_IDS.contains(&id) {
+                    return Err(CliError::UnknownExperiment(id.to_string()));
+                }
+                opts.ids.push(id.to_string());
+            }
+            flag => return Err(CliError::Usage(format!("unknown option `{flag}`"))),
+        }
+    }
+    if opts.quick {
+        opts.cfg = SimConfig::quick();
+    }
+    if let Some(seed) = seed {
+        opts.cfg = opts.cfg.with_seed(seed);
+    }
+    Ok(Parsed::Run(Box::new(opts)))
 }
 
 /// Writes every table of a report as `DIR/<exp>_<index>.csv`.
-fn dump_csv(report: &Report, dir: &PathBuf) {
-    std::fs::create_dir_all(dir).expect("create csv directory");
+fn dump_csv(report: &Report, dir: &Path) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir).map_err(CliError::io("create directory", dir))?;
     for (i, table) in report.tables().iter().enumerate() {
         let name = format!("{}_{i}.csv", report.id().to_lowercase().replace('-', ""));
         let path = dir.join(name);
-        std::fs::write(&path, table.to_csv())
-            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        std::fs::write(&path, table.to_csv()).map_err(CliError::io("write", &path))?;
+    }
+    Ok(())
+}
+
+/// The `BENCH_*.json` perf-trajectory dump: schema tag, configuration, and
+/// per-experiment wall times in nanoseconds.
+fn bench_json(cfg: &SimConfig, quick: bool, wall: &[(String, u128)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"aro-bench-v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"chips\": {}, \"ros\": {}, \"seed\": {}, \"quick\": {}}},\n",
+        cfg.n_chips, cfg.n_ros, cfg.seed, quick
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (id, ns)) in wall.iter().enumerate() {
+        let comma = if i + 1 == wall.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"wall_ns\": {ns}}}{comma}\n",
+            aro_obs::json::escape(id)
+        ));
+    }
+    let total: u128 = wall.iter().map(|(_, ns)| ns).sum();
+    out.push_str(&format!("  ],\n  \"total_wall_ns\": {total}\n}}\n"));
+    out
+}
+
+/// Prints one line to stdout, exiting quietly with the conventional
+/// SIGPIPE status when a downstream consumer (e.g. `| head`) has closed
+/// the pipe — `println!` would panic instead.
+fn emit(text: impl std::fmt::Display) {
+    use std::io::Write;
+    if writeln!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(141);
     }
 }
 
-fn emit(report: &Report, csv_dir: Option<&PathBuf>) {
-    println!("{report}");
-    if let Some(dir) = csv_dir {
-        dump_csv(report, dir);
+fn run(opts: &Options) -> Result<(), CliError> {
+    let instrumented = opts.telemetry.is_some() || opts.bench_json.is_some() || opts.metrics;
+    if instrumented {
+        aro_obs::set_enabled(true);
+        aro_obs::reset();
     }
+    if let Some(path) = &opts.telemetry {
+        aro_obs::sink::install_file(path).map_err(CliError::io("open telemetry file", path))?;
+    }
+
+    if !opts.quiet {
+        emit(format_args!(
+            "# ARO-PUF (DATE 2014) reproduction — {} chips x {} ROs, seed {}\n",
+            opts.cfg.n_chips, opts.cfg.n_ros, opts.cfg.seed
+        ));
+    }
+
+    let ids: Vec<&str> = if opts.ids.is_empty() {
+        ALL_IDS.to_vec()
+    } else {
+        opts.ids.iter().map(String::as_str).collect()
+    };
+
+    let mut wall: Vec<(String, u128)> = Vec::with_capacity(ids.len());
+    {
+        let _run_span = aro_obs::span("run");
+        for id in ids {
+            let started = Instant::now();
+            let report = run_by_id(id, &opts.cfg).ok_or_else(|| {
+                // Unreachable for ALL_IDS entries; user ids were validated
+                // at parse time, but keep the error path total.
+                CliError::UnknownExperiment(id.to_string())
+            })?;
+            wall.push((id.to_string(), started.elapsed().as_nanos()));
+            if !opts.quiet {
+                emit(&report);
+            }
+            if let Some(dir) = &opts.csv_dir {
+                dump_csv(&report, dir)?;
+            }
+        }
+    }
+
+    if instrumented {
+        let registry = aro_obs::snapshot();
+        aro_obs::flush_metrics_to_sink(&registry);
+        aro_obs::sink::close();
+        if (opts.metrics || opts.telemetry.is_some()) && !opts.quiet {
+            let summary =
+                aro_sim::summary::render_run_summary(&registry, &aro_obs::timing_snapshot());
+            if !summary.is_empty() {
+                emit(&summary);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.bench_json {
+        let json = bench_json(&opts.cfg, opts.quick, &wall);
+        std::fs::write(path, json).map_err(CliError::io("write bench json", path))?;
+    }
+    Ok(())
 }
 
 fn main() {
-    let mut cfg = SimConfig::paper();
-    let mut ids: Vec<String> = Vec::new();
-    let mut csv_dir: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => cfg = SimConfig::quick(),
-            "--seed" => {
-                let Some(seed) = args.next().and_then(|s| s.parse().ok()) else {
-                    usage()
-                };
-                cfg = cfg.with_seed(seed);
+    match parse_args(std::env::args().skip(1)) {
+        Ok(Parsed::List) => {
+            for (id, title) in EXPERIMENTS {
+                emit(format_args!("{id}  {title}"));
             }
-            "--csv" => {
-                let Some(dir) = args.next() else { usage() };
-                csv_dir = Some(PathBuf::from(dir));
-            }
-            "--list" => {
-                for (id, title) in EXPERIMENTS {
-                    println!("{id}  {title}");
-                }
-                return;
-            }
-            "--help" | "-h" => usage(),
-            id if id.starts_with("exp") => ids.push(id.to_string()),
-            _ => usage(),
         }
-    }
-
-    println!(
-        "# ARO-PUF (DATE 2014) reproduction — {} chips x {} ROs, seed {}\n",
-        cfg.n_chips, cfg.n_ros, cfg.seed
-    );
-
-    if ids.is_empty() {
-        for report in run_all(&cfg) {
-            emit(&report, csv_dir.as_ref());
-        }
-    } else {
-        for id in ids {
-            match run_by_id(&id, &cfg) {
-                Some(report) => emit(&report, csv_dir.as_ref()),
-                None => {
-                    eprintln!("unknown experiment `{id}` (try --list)");
-                    std::process::exit(2);
-                }
+        Ok(Parsed::Help) => emit(usage()),
+        Ok(Parsed::Run(opts)) => {
+            if let Err(e) = run(&opts) {
+                eprintln!("repro: {e}");
+                std::process::exit(e.exit_code());
             }
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            if e.exit_code() == 2 {
+                eprintln!("\n{}", usage());
+            }
+            std::process::exit(e.exit_code());
         }
     }
 }

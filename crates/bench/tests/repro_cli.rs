@@ -1,0 +1,107 @@
+//! End-to-end tests for the `repro` binary: exit codes, usage output, and
+//! the telemetry / bench-json artifacts.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("repro_cli_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn unknown_option_exits_2_with_usage() {
+    let out = repro(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown option `--bogus`"), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+    assert!(err.contains("exp14"), "usage must list exp1..exp14: {err}");
+}
+
+#[test]
+fn unknown_experiment_exits_2() {
+    let out = repro(&["exp99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment `exp99`"), "{err}");
+}
+
+#[test]
+fn bad_seed_exits_2() {
+    let out = repro(&["--seed", "pi"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--seed expects an integer"), "{err}");
+}
+
+#[test]
+fn missing_flag_value_exits_2() {
+    let out = repro(&["--telemetry"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--telemetry expects a path"), "{err}");
+}
+
+#[test]
+fn unwritable_telemetry_path_exits_1() {
+    let out = repro(&["--quick", "exp1", "--telemetry", "/nonexistent-dir/t.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot open telemetry file"), "{err}");
+}
+
+#[test]
+fn list_names_every_experiment() {
+    let out = repro(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for i in 1..=14 {
+        assert!(
+            stdout.lines().any(|l| l.starts_with(&format!("exp{i} "))),
+            "missing exp{i} in --list output"
+        );
+    }
+}
+
+#[test]
+fn quick_run_emits_telemetry_and_bench_json() {
+    let telemetry = temp_path("t.jsonl");
+    let bench = temp_path("bench.json");
+    let out = repro(&[
+        "--quick",
+        "exp1",
+        "--telemetry",
+        telemetry.to_str().unwrap(),
+        "--bench-json",
+        bench.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(out.stdout.is_empty(), "--quiet must silence the report");
+
+    let jsonl = std::fs::read_to_string(&telemetry).expect("telemetry written");
+    assert!(jsonl.lines().count() > 2);
+    for line in jsonl.lines() {
+        aro_obs::json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+    }
+
+    let bench_text = std::fs::read_to_string(&bench).expect("bench json written");
+    let doc = aro_obs::json::parse(&bench_text).expect("bench json parses");
+    assert_eq!(
+        doc.get("schema").and_then(aro_obs::json::Value::as_str),
+        Some("aro-bench-v1")
+    );
+    assert!(doc.get("total_wall_ns").is_some());
+
+    let _ = std::fs::remove_file(telemetry);
+    let _ = std::fs::remove_file(bench);
+}

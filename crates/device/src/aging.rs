@@ -242,6 +242,7 @@ impl TransistorAging {
         let n = model.time_exp();
         let t_equivalent = (self.bti_dvth / k_eff).powf(1.0 / n);
         self.bti_dvth = k_eff * (t_equivalent + interval.duration_s).powf(n);
+        aro_obs::counter("device.bti_applies", 1);
     }
 
     /// Applies HCI wear for `cycles` transitions at supply `vdd`,
@@ -253,6 +254,7 @@ impl TransistorAging {
         // Convert the new stretch into reference-condition cycles.
         let accel = (vdd / model.vdd_ref).powf(model.vdd_exp);
         self.hci_eq_cycles += cycles * accel.powf(1.0 / model.cycle_exp);
+        aro_obs::counter("device.hci_applies", 1);
     }
 
     /// BTI component of the threshold shift, in volts (includes this

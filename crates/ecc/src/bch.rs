@@ -156,6 +156,25 @@ impl BchCode {
         }
         (positions.len() == degree).then_some(positions)
     }
+
+    /// Locates and flips the errors indicated by non-zero syndromes,
+    /// counting each corrected position; `None` when the error pattern is
+    /// beyond the code's capability or the result is not a codeword.
+    fn correct_errors(&self, received: &BitString, syndromes: &[u16]) -> Option<BitString> {
+        let locator = self.error_locator(syndromes)?;
+        let positions = self.error_positions(&locator)?;
+        let n_corrected = positions.len() as u64;
+        let mut corrected = received.clone();
+        for pos in positions {
+            corrected.flip(pos);
+        }
+        // Reject miscorrections: the result must be a codeword.
+        if self.syndromes(&corrected).iter().any(|&s| s != 0) {
+            return None;
+        }
+        aro_obs::counter("ecc.bch_bits_corrected", n_corrected);
+        Some(corrected)
+    }
 }
 
 /// Multiplies a polynomial by `x^shift`.
@@ -202,21 +221,16 @@ impl Code for BchCode {
 
     fn decode(&self, received: &BitString) -> Option<BitString> {
         assert_eq!(received.len(), self.n, "received word must be n bits");
+        aro_obs::counter("ecc.bch_decode_attempts", 1);
         let syndromes = self.syndromes(received);
         if syndromes.iter().all(|&s| s == 0) {
             return Some(received.clone());
         }
-        let locator = self.error_locator(&syndromes)?;
-        let positions = self.error_positions(&locator)?;
-        let mut corrected = received.clone();
-        for pos in positions {
-            corrected.flip(pos);
+        let corrected = self.correct_errors(received, &syndromes);
+        if corrected.is_none() {
+            aro_obs::counter("ecc.bch_decode_failures", 1);
         }
-        // Reject miscorrections: the result must be a codeword.
-        self.syndromes(&corrected)
-            .iter()
-            .all(|&s| s == 0)
-            .then_some(corrected)
+        corrected
     }
 
     fn extract_message(&self, codeword: &BitString) -> BitString {

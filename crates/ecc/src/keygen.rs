@@ -92,6 +92,7 @@ impl KeyGenerator {
         response: &BitString,
         rng: &mut R,
     ) -> (BitString, HelperData) {
+        aro_obs::counter("ecc.key_enrollments", 1);
         let (key, helper) = self.extractor.generate(response, rng);
         (key.truncated(self.key_bits), helper)
     }
@@ -100,9 +101,15 @@ impl KeyGenerator {
     /// drifted beyond the code's capability (a key failure).
     #[must_use]
     pub fn reconstruct(&self, response: &BitString, helper: &HelperData) -> Option<BitString> {
-        self.extractor
+        aro_obs::counter("ecc.key_reconstructions", 1);
+        let key = self
+            .extractor
             .reproduce(response, helper)
-            .map(|key: Key| key.truncated(self.key_bits))
+            .map(|key: Key| key.truncated(self.key_bits));
+        if key.is_none() {
+            aro_obs::counter("ecc.key_failures", 1);
+        }
+        key
     }
 
     /// Soft-decision reconstruction: the inner repetition majority is
@@ -119,9 +126,14 @@ impl KeyGenerator {
             BchCode::new(self.spec.bch_m, self.spec.bch_t),
             RepetitionCode::new(self.spec.rep_r),
         );
-        decoder
+        aro_obs::counter("ecc.key_reconstructions_soft", 1);
+        let key = decoder
             .reproduce_soft(response, helper)
-            .map(|key: Key| key.truncated(self.key_bits))
+            .map(|key: Key| key.truncated(self.key_bits));
+        if key.is_none() {
+            aro_obs::counter("ecc.key_failures", 1);
+        }
+        key
     }
 
     /// Helper-data security accounting for a source with `min_entropy_per_bit`

@@ -32,10 +32,12 @@ pub struct TestResult {
 impl TestResult {
     fn new(name: &'static str, p_value: f64) -> Self {
         let p = p_value.clamp(0.0, 1.0);
+        let pass = p >= ALPHA;
+        aro_obs::counter(if pass { "nist.pass" } else { "nist.fail" }, 1);
         Self {
             name,
             p_value: p,
-            pass: p >= ALPHA,
+            pass,
         }
     }
 }

@@ -1,0 +1,257 @@
+//! `aro-obs` — zero-dependency observability for the ARO-PUF reproduction.
+//!
+//! Three pieces, all opt-in at runtime:
+//!
+//! - **Spans** ([`span`]): RAII guards with monotonic timing and a
+//!   per-thread span stack, emitted as `span_open`/`span_close` telemetry
+//!   events and aggregated into a wall-clock timing table for run
+//!   summaries.
+//! - **Metrics** ([`metrics::Registry`]): counters, gauges and fixed-bucket
+//!   histograms recorded into a thread-local scratch registry. Parallel
+//!   code hands worker scratches back to the spawning thread, which merges
+//!   them in worker-index order, so aggregates are byte-identical for any
+//!   thread count (see `aro-sim::parallel`).
+//! - **Telemetry sink** ([`sink`]): a process-wide JSON-lines writer (file
+//!   or in-memory) receiving span events and a final metrics flush.
+//!
+//! Everything is off by default: every entry point first checks one
+//! relaxed atomic and returns immediately, so fully-disabled
+//! instrumentation costs a branch per site (<5 % of any workload here).
+//!
+//! Naming conventions and the telemetry schema are documented in
+//! `docs/OBSERVABILITY.md` at the workspace root.
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use metrics::{Histogram, Registry};
+pub use span::{timing_snapshot, Span, SpanStats};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when instrumentation is live. One relaxed load — this is the
+/// fast-path check every recording entry point performs first.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns instrumentation on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Registry> = RefCell::new(Registry::new());
+}
+
+/// Opens a scoped span; close happens when the returned guard drops.
+/// Inert (one branch, no allocation) while disabled.
+#[inline]
+pub fn span(name: &str) -> Span {
+    if enabled() {
+        Span::open(name)
+    } else {
+        Span::disabled()
+    }
+}
+
+/// Adds `delta` to the named counter on this thread's scratch registry.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if enabled() {
+        SCRATCH.with(|r| r.borrow_mut().add_counter(name, delta));
+    }
+}
+
+/// Sets the named gauge (last write wins under deterministic merge order).
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if enabled() {
+        SCRATCH.with(|r| r.borrow_mut().set_gauge(name, value));
+    }
+}
+
+/// Records a histogram observation (default bucket layout).
+#[inline]
+pub fn observe(name: &str, value: f64) {
+    if enabled() {
+        SCRATCH.with(|r| r.borrow_mut().observe(name, value));
+    }
+}
+
+/// Takes this thread's scratch registry, leaving it empty.
+///
+/// Worker threads call this after finishing their chunk and hand the
+/// registry back to the spawning thread, which folds the registries in
+/// worker-index order via [`merge_scratch`].
+#[must_use]
+pub fn take_scratch() -> Registry {
+    SCRATCH.with(|r| std::mem::take(&mut *r.borrow_mut()))
+}
+
+/// Folds a harvested worker registry into this thread's scratch.
+pub fn merge_scratch(worker: &Registry) {
+    if !worker.is_empty() {
+        SCRATCH.with(|r| r.borrow_mut().merge(worker));
+    }
+}
+
+/// A copy of this thread's accumulated metrics.
+#[must_use]
+pub fn snapshot() -> Registry {
+    SCRATCH.with(|r| r.borrow().clone())
+}
+
+/// Clears this thread's metrics and the global span timing table
+/// (between runs or tests). Does not touch the sink or enablement.
+pub fn reset() {
+    SCRATCH.with(|r| *r.borrow_mut() = Registry::new());
+    span::reset_timings();
+}
+
+/// Writes every metric in `registry` to the telemetry sink as one
+/// contiguous block of JSONL events. No-op without a sink.
+pub fn flush_metrics_to_sink(registry: &Registry) {
+    if !sink::installed() {
+        return;
+    }
+    let mut lines = Vec::new();
+    registry.emit_jsonl(&mut lines);
+    sink::write_lines(&lines);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global state (enablement, sink, timing table) is shared across the
+    // test binary's threads; serialize the tests that touch it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_paths_record_nothing() {
+        let _guard = lock();
+        set_enabled(false);
+        reset();
+        counter("x", 1);
+        gauge("g", 2.0);
+        observe("h", 3.0);
+        {
+            let _span = span("quiet");
+        }
+        assert!(snapshot().is_empty());
+        assert!(timing_snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_paths_record_and_harvest() {
+        let _guard = lock();
+        set_enabled(true);
+        reset();
+        counter("sim.chips", 2);
+        {
+            let _span = span("phase");
+            counter("sim.chips", 3);
+            observe("sim.rate", 0.25);
+        }
+        gauge("sim.progress", 1.0);
+        let snap = snapshot();
+        assert_eq!(snap.counter("sim.chips"), 5);
+        assert_eq!(snap.gauge("sim.progress"), Some(1.0));
+        assert_eq!(snap.histogram("sim.rate").map(Histogram::count), Some(1));
+        assert_eq!(timing_snapshot().get("phase").map(|s| s.count), Some(1));
+
+        let taken = take_scratch();
+        assert!(snapshot().is_empty());
+        merge_scratch(&taken);
+        assert_eq!(snapshot().counter("sim.chips"), 5);
+
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn worker_handoff_matches_sequential() {
+        let _guard = lock();
+        set_enabled(true);
+        reset();
+
+        // Sequential reference.
+        for i in 0..100u64 {
+            counter("work.items", 1);
+            #[allow(clippy::cast_precision_loss)]
+            observe("work.size", i as f64);
+        }
+        let sequential = take_scratch();
+
+        // Scoped-thread fan-out with worker-index-order merge.
+        let harvested: Vec<Registry> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|w| {
+                    scope.spawn(move || {
+                        for i in (w * 25)..((w + 1) * 25) {
+                            counter("work.items", 1);
+                            #[allow(clippy::cast_precision_loss)]
+                            observe("work.size", i as f64);
+                        }
+                        take_scratch()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for worker in &harvested {
+            merge_scratch(worker);
+        }
+        assert_eq!(take_scratch().dump(), sequential.dump());
+
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn sink_receives_span_events_and_metric_flush() {
+        let _guard = lock();
+        set_enabled(true);
+        reset();
+        let buf = sink::install_memory();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let mut registry = Registry::new();
+        registry.add_counter("c", 1);
+        flush_metrics_to_sink(&registry);
+        sink::close();
+        set_enabled(false);
+        reset();
+
+        let bytes = buf.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let events: Vec<json::Value> = text
+            .lines()
+            .map(|l| json::parse(l).expect("valid JSONL"))
+            .collect();
+        let kinds: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("event").and_then(json::Value::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            kinds,
+            ["span_open", "span_open", "span_close", "span_close", "counter"]
+        );
+        // Inner closes before outer; depths mirror.
+        assert_eq!(events[1].get("depth").and_then(json::Value::as_u64), Some(2));
+        assert_eq!(events[3].get("depth").and_then(json::Value::as_u64), Some(1));
+    }
+}

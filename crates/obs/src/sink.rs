@@ -1,0 +1,102 @@
+//! The process-wide JSON-lines telemetry sink.
+//!
+//! At most one sink is installed at a time: either a buffered file (the
+//! `repro --telemetry <path.jsonl>` case) or an in-memory buffer (tests).
+//! Writers hold the sink lock only long enough to append one line, so
+//! concurrent spans from worker threads interleave at line granularity and
+//! every line is a complete JSON document.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+
+enum Target {
+    File(BufWriter<File>),
+    Memory(Arc<Mutex<Vec<u8>>>),
+}
+
+fn sink() -> &'static Mutex<Option<Target>> {
+    static SINK: OnceLock<Mutex<Option<Target>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs a file sink at `path`, replacing (and flushing) any previous
+/// sink. Telemetry lines are buffered; call [`close`] to flush.
+///
+/// # Errors
+/// Propagates the file-creation error (missing directory, permissions, …).
+pub fn install_file(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut guard = sink().lock().expect("telemetry sink poisoned");
+    flush_target(&mut guard);
+    *guard = Some(Target::File(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Installs an in-memory sink and returns the shared buffer it appends to
+/// (intended for tests).
+pub fn install_memory() -> Arc<Mutex<Vec<u8>>> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let mut guard = sink().lock().expect("telemetry sink poisoned");
+    flush_target(&mut guard);
+    *guard = Some(Target::Memory(Arc::clone(&buf)));
+    buf
+}
+
+/// Flushes and removes the current sink, if any.
+pub fn close() {
+    let mut guard = sink().lock().expect("telemetry sink poisoned");
+    flush_target(&mut guard);
+    *guard = None;
+}
+
+/// True when a sink is installed.
+#[must_use]
+pub fn installed() -> bool {
+    sink().lock().expect("telemetry sink poisoned").is_some()
+}
+
+fn flush_target(guard: &mut Option<Target>) {
+    if let Some(Target::File(w)) = guard.as_mut() {
+        // Best-effort: a failing flush on teardown must not panic workers.
+        let _ = w.flush();
+    }
+}
+
+/// Appends one complete JSON document as a line. No-op without a sink.
+pub fn write_line(line: &str) {
+    let mut guard = sink().lock().expect("telemetry sink poisoned");
+    match guard.as_mut() {
+        Some(Target::File(w)) => {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(b"\n");
+        }
+        Some(Target::Memory(buf)) => {
+            let mut buf = buf.lock().expect("telemetry buffer poisoned");
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+        }
+        None => {}
+    }
+}
+
+/// Appends many lines under a single lock acquisition (used by the final
+/// metrics flush so a run's metric block is contiguous).
+pub fn write_lines(lines: &[String]) {
+    let mut guard = sink().lock().expect("telemetry sink poisoned");
+    for line in lines {
+        match guard.as_mut() {
+            Some(Target::File(w)) => {
+                let _ = w.write_all(line.as_bytes());
+                let _ = w.write_all(b"\n");
+            }
+            Some(Target::Memory(buf)) => {
+                let mut buf = buf.lock().expect("telemetry buffer poisoned");
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+            }
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Scoped spans with monotonic timing and a per-thread span stack.
+//!
+//! A [`Span`] guard opened while telemetry is enabled emits `span_open` /
+//! `span_close` events to the sink (if one is installed) and folds its
+//! duration into a process-wide timing table keyed by span name. Durations
+//! are wall-clock and therefore **not** part of the deterministic metrics
+//! registry — they feed the human-readable run summary and the bench JSON
+//! dump only.
+//!
+//! Nesting is tracked per thread: each span records its depth at open, and
+//! guards close in LIFO order by construction, so a telemetry stream's
+//! open/close events per thread form a well-formed bracket sequence.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::{json, sink};
+
+/// Monotonic origin for event timestamps, fixed at first use.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Small dense thread ids for telemetry (`std::thread::ThreadId` is opaque).
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated wall-clock statistics for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total nanoseconds across all completions.
+    pub total_ns: u128,
+    /// Longest single completion in nanoseconds.
+    pub max_ns: u128,
+}
+
+impl SpanStats {
+    /// Mean duration in nanoseconds (0 when no spans completed).
+    #[must_use]
+    pub fn mean_ns(&self) -> u128 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / u128::from(self.count)
+        }
+    }
+}
+
+fn timings() -> &'static Mutex<BTreeMap<String, SpanStats>> {
+    static TIMINGS: OnceLock<Mutex<BTreeMap<String, SpanStats>>> = OnceLock::new();
+    TIMINGS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A snapshot of per-span-name wall-clock statistics.
+#[must_use]
+pub fn timing_snapshot() -> BTreeMap<String, SpanStats> {
+    timings().lock().expect("span timing table poisoned").clone()
+}
+
+/// Clears the per-span-name timing table (between runs / tests).
+pub fn reset_timings() {
+    timings().lock().expect("span timing table poisoned").clear();
+}
+
+struct ActiveSpan {
+    name: String,
+    start: Instant,
+    depth: usize,
+}
+
+/// RAII guard for a scoped span; closes (and reports) on drop.
+///
+/// Obtain via [`crate::span`]. When telemetry is disabled the guard is
+/// inert and costs one branch.
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    pub(crate) fn disabled() -> Self {
+        Self { active: None }
+    }
+
+    pub(crate) fn open(name: &str) -> Self {
+        let depth = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name.to_string());
+            s.len()
+        });
+        if sink::installed() {
+            let ts = epoch().elapsed().as_nanos();
+            let mut line = String::from("{\"event\":\"span_open\",\"name\":");
+            json::escape_into(&mut line, name);
+            let _ = write!(line, ",\"thread\":{},\"depth\":{depth},\"ts_ns\":{ts}", thread_id());
+            line.push('}');
+            sink::write_line(&line);
+        }
+        Self {
+            active: Some(ActiveSpan {
+                name: name.to_string(),
+                start: Instant::now(),
+                depth,
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        let dur_ns = span.start.elapsed().as_nanos();
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(
+                s.last().map(String::as_str),
+                Some(span.name.as_str()),
+                "span guards must close in LIFO order"
+            );
+            s.pop();
+        });
+        {
+            let mut table = timings().lock().expect("span timing table poisoned");
+            let stats = table.entry(span.name.clone()).or_default();
+            stats.count += 1;
+            stats.total_ns += dur_ns;
+            stats.max_ns = stats.max_ns.max(dur_ns);
+        }
+        if sink::installed() {
+            let ts = epoch().elapsed().as_nanos();
+            let mut line = String::from("{\"event\":\"span_close\",\"name\":");
+            json::escape_into(&mut line, &span.name);
+            let _ = write!(
+                line,
+                ",\"thread\":{},\"depth\":{},\"ts_ns\":{ts},\"dur_ns\":{dur_ns}",
+                thread_id(),
+                span.depth
+            );
+            line.push('}');
+            sink::write_line(&line);
+        }
+    }
+}
+
+/// Current span nesting depth on this thread.
+#[must_use]
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}

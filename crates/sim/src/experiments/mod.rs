@@ -19,46 +19,51 @@ pub mod exp9;
 use crate::config::SimConfig;
 use crate::report::Report;
 
+/// Every experiment id, in paper order.
+pub const ALL_IDS: [&str; 14] = [
+    "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "exp9", "exp10", "exp11",
+    "exp12", "exp13", "exp14",
+];
+
+/// Wraps one experiment run in its phase span and progress counter, so
+/// every entry path (`run_all`, `run_by_id`, direct module calls routed
+/// here) reports identically.
+fn traced(id: &str, cfg: &SimConfig, run: fn(&SimConfig) -> Report) -> Report {
+    let _span = aro_obs::span(&format!("exp.{id}"));
+    let report = run(cfg);
+    aro_obs::counter("sim.experiments_run", 1);
+    report
+}
+
 /// Runs every experiment at the given configuration, in order.
 #[must_use]
 pub fn run_all(cfg: &SimConfig) -> Vec<Report> {
-    vec![
-        exp1::run(cfg),
-        exp2::run(cfg),
-        exp3::run(cfg),
-        exp4::run(cfg),
-        exp5::run(cfg),
-        exp6::run(cfg),
-        exp7::run(cfg),
-        exp8::run(cfg),
-        exp9::run(cfg),
-        exp10::run(cfg),
-        exp11::run(cfg),
-        exp12::run(cfg),
-        exp13::run(cfg),
-        exp14::run(cfg),
-    ]
+    ALL_IDS
+        .iter()
+        .map(|id| run_by_id(id, cfg).expect("ALL_IDS entries are valid"))
+        .collect()
 }
 
-/// Runs one experiment by id (`"exp1"`…`"exp8"`), or `None` for an
+/// Runs one experiment by id (`"exp1"`…`"exp14"`), or `None` for an
 /// unknown id.
 #[must_use]
 pub fn run_by_id(id: &str, cfg: &SimConfig) -> Option<Report> {
-    match id {
-        "exp1" => Some(exp1::run(cfg)),
-        "exp2" => Some(exp2::run(cfg)),
-        "exp3" => Some(exp3::run(cfg)),
-        "exp4" => Some(exp4::run(cfg)),
-        "exp5" => Some(exp5::run(cfg)),
-        "exp6" => Some(exp6::run(cfg)),
-        "exp7" => Some(exp7::run(cfg)),
-        "exp8" => Some(exp8::run(cfg)),
-        "exp9" => Some(exp9::run(cfg)),
-        "exp10" => Some(exp10::run(cfg)),
-        "exp11" => Some(exp11::run(cfg)),
-        "exp12" => Some(exp12::run(cfg)),
-        "exp13" => Some(exp13::run(cfg)),
-        "exp14" => Some(exp14::run(cfg)),
-        _ => None,
-    }
+    let run: fn(&SimConfig) -> Report = match id {
+        "exp1" => exp1::run,
+        "exp2" => exp2::run,
+        "exp3" => exp3::run,
+        "exp4" => exp4::run,
+        "exp5" => exp5::run,
+        "exp6" => exp6::run,
+        "exp7" => exp7::run,
+        "exp8" => exp8::run,
+        "exp9" => exp9::run,
+        "exp10" => exp10::run,
+        "exp11" => exp11::run,
+        "exp12" => exp12::run,
+        "exp13" => exp13::run,
+        "exp14" => exp14::run,
+        _ => return None,
+    };
+    Some(traced(id, cfg, run))
 }

@@ -31,6 +31,7 @@ pub mod experiments;
 pub mod parallel;
 pub mod report;
 pub mod runner;
+pub mod summary;
 pub mod table;
 
 pub use config::SimConfig;

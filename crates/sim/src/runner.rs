@@ -72,7 +72,12 @@ pub fn measure_flip_timeline(
     let design = population.design().clone();
     let env = Environment::nominal(design.tech());
     let strategy = PairingStrategy::Neighbor;
-    let enrollments: Vec<Enrollment> = population.enroll_all(&env, &strategy);
+    let enrollments: Vec<Enrollment> = {
+        let _span = aro_obs::span("sim.enroll");
+        let enrollments = population.enroll_all(&env, &strategy);
+        aro_obs::counter("sim.enrollments", enrollments.len() as u64);
+        enrollments
+    };
 
     let mut mean = Vec::with_capacity(checkpoints.len());
     let mut std = Vec::with_capacity(checkpoints.len());
@@ -82,13 +87,22 @@ pub fn measure_flip_timeline(
         assert!(checkpoint >= age, "checkpoints must be non-decreasing");
         let step = checkpoint - age;
         age = checkpoint;
+        let _step_span = aro_obs::span("sim.timeline_step");
         // Aging and re-reading are per-chip independent (each chip owns
         // its RNG streams), so fan both out across cores; results land by
         // index, keeping the run bit-identical to sequential.
         let rates: Vec<f64> = crate::parallel::par_map_mut(population.chips_mut(), |i, chip| {
             profile.age_chip(chip, &design, step);
-            enrollments[i].flip_rate_now(chip, &design, &env)
+            let rate = enrollments[i].flip_rate_now(chip, &design, &env);
+            let bits = enrollments[i].bits() as u64;
+            aro_obs::counter("sim.chips_simulated", 1);
+            aro_obs::counter("sim.bits_evaluated", bits);
+            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            aro_obs::counter("sim.flips_observed", (rate * bits as f64).round() as u64);
+            aro_obs::observe("sim.flip_rate", rate);
+            rate
         });
+        aro_obs::gauge("sim.age_seconds", age);
         let m = rates.iter().sum::<f64>() / rates.len() as f64;
         let s = if rates.len() > 1 {
             (rates.iter().map(|r| (r - m).powi(2)).sum::<f64>() / (rates.len() - 1) as f64).sqrt()

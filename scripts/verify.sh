@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the ARO-PUF reproduction workspace.
+#
+# Runs the release build, the full test suite, and clippy with warnings
+# denied. The workspace has no network dependencies (rand / proptest /
+# criterion resolve to vendored path crates), so everything is forced
+# offline to fail fast if a registry dependency ever sneaks back in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> verify OK"
