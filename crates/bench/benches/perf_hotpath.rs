@@ -1,0 +1,65 @@
+//! Microbenches pinning the three hot paths the performance work targets:
+//! the precomputed frequency kernel (cached query vs forced rebuild),
+//! parallel population fabrication, and one aging-timeline checkpoint.
+//!
+//! Compare against `BENCH_baseline.json` at the workspace root with
+//! `scripts/bench_check.sh`; the end-to-end numbers live in
+//! `docs/PERFORMANCE.md`.
+
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_device::units::YEAR;
+use aro_puf::{Chip, MissionProfile, Population, PufDesign};
+use aro_sim::runner::measure_flip_timeline;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let design = PufDesign::standard(RoStyle::AgingResistant, 7);
+    let tech = design.tech();
+    let nominal = Environment::nominal(tech);
+    // A second environment forces a kernel identity mismatch on every
+    // other query, so alternating between the two measures the full
+    // rebuild, not the cache hit.
+    let hot = Environment::new(85.0, tech.vdd_nominal);
+    let chip = Chip::fabricate(&design, 0);
+
+    c.bench_function("freq_kernel_cached_query", |b| {
+        // Steady state: the kernel is valid, every call is a cache hit.
+        black_box(chip.frequency(&design, &nominal, 0));
+        b.iter(|| black_box(chip.frequency(&design, &nominal, black_box(0))))
+    });
+
+    c.bench_function("freq_kernel_rebuild", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let env = if flip { &hot } else { &nominal };
+            black_box(chip.frequency(&design, env, black_box(0)))
+        })
+    });
+
+    c.bench_function("population_fabricate_8_chips", |b| {
+        b.iter(|| black_box(Population::fabricate(black_box(&design), 8)))
+    });
+
+    c.bench_function("flip_timeline_one_checkpoint", |b| {
+        let pristine = Population::fabricate(&design, 4);
+        let profile = MissionProfile::typical(design.tech());
+        b.iter(|| {
+            let mut population = pristine.clone();
+            black_box(measure_flip_timeline(
+                &mut population,
+                &profile,
+                &[10.0 * YEAR],
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

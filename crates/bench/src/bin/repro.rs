@@ -9,6 +9,7 @@
 //! repro --telemetry run.jsonl    # JSON-lines span/metric telemetry
 //! repro --metrics                # print the instrumented run summary
 //! repro --bench-json BENCH_run.json  # per-experiment wall-time dump
+//! repro --threads 4              # force the worker-thread count
 //! repro --quiet                  # suppress report output (for timing runs)
 //! repro --list                   # what is available
 //! ```
@@ -113,6 +114,8 @@ fn usage() -> String {
          \x20 --telemetry PATH     write span/metric telemetry as JSON lines\n\
          \x20 --metrics            print the instrumented run summary tables\n\
          \x20 --bench-json PATH    write per-experiment wall times as JSON\n\
+         \x20 --threads N          force N worker threads (1 = sequential,\n\
+         \x20                      results are bit-identical at any count)\n\
          \x20 --quiet              suppress report output\n\
          \x20 --list               list every experiment with its title\n\
          \x20 --help               this message"
@@ -126,6 +129,7 @@ struct Options {
     csv_dir: Option<PathBuf>,
     telemetry: Option<PathBuf>,
     bench_json: Option<PathBuf>,
+    threads: Option<usize>,
     metrics: bool,
     quiet: bool,
     quick: bool,
@@ -144,6 +148,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
         csv_dir: None,
         telemetry: None,
         bench_json: None,
+        threads: None,
         metrics: false,
         quiet: false,
         quick: false,
@@ -178,6 +183,21 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
                     .next()
                     .ok_or_else(|| CliError::Usage("--bench-json expects a path".into()))?;
                 opts.bench_json = Some(PathBuf::from(path));
+            }
+            "--threads" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--threads expects a value".into()))?;
+                let threads: usize = value.parse().map_err(|_| {
+                    CliError::Usage(format!("--threads expects an integer, got `{value}`"))
+                })?;
+                if threads == 0 {
+                    return Err(CliError::Usage(
+                        "--threads expects a positive count (omit the flag for automatic sizing)"
+                            .into(),
+                    ));
+                }
+                opts.threads = Some(threads);
             }
             "--metrics" => opts.metrics = true,
             "--quiet" => opts.quiet = true,
@@ -244,6 +264,9 @@ fn emit(text: impl std::fmt::Display) {
 }
 
 fn run(opts: &Options) -> Result<(), CliError> {
+    if let Some(threads) = opts.threads {
+        aro_sim::parallel::set_thread_override(threads);
+    }
     let instrumented = opts.telemetry.is_some() || opts.bench_json.is_some() || opts.metrics;
     if instrumented {
         aro_obs::set_enabled(true);
@@ -267,7 +290,9 @@ fn run(opts: &Options) -> Result<(), CliError> {
     };
 
     let mut wall: Vec<(String, u128)> = Vec::with_capacity(ids.len());
-    {
+    // One population cache for the whole invocation: experiments sharing
+    // a (design, chip count) fabricate it once and clone thereafter.
+    aro_sim::popcache::scoped(|| -> Result<(), CliError> {
         let _run_span = aro_obs::span("run");
         for id in ids {
             let started = Instant::now();
@@ -284,7 +309,8 @@ fn run(opts: &Options) -> Result<(), CliError> {
                 dump_csv(&report, dir)?;
             }
         }
-    }
+        Ok(())
+    })?;
 
     if instrumented {
         let registry = aro_obs::snapshot();

@@ -73,6 +73,24 @@ impl TransistorInst {
             + self.aging.dvth_hci_with(hci)
     }
 
+    /// [`Mosfet::dvth_total`] with the raw HCI power law memoized through
+    /// `memo` (see [`TransistorAging::dvth_hci_memoized`]). Every device of
+    /// a ring accumulates the same equivalent cycle count, so a kernel
+    /// rebuild shares one memo across all its stages. The sum order is
+    /// identical to `dvth_total`, keeping the result bitwise equal.
+    #[must_use]
+    pub fn dvth_total_memoized(
+        &self,
+        systematic_dvth: f64,
+        hci: &HciModel,
+        memo: &mut Option<(f64, f64)>,
+    ) -> f64 {
+        self.variation.dvth
+            + systematic_dvth
+            + self.aging.dvth_bti()
+            + self.aging.dvth_hci_memoized(hci, memo)
+    }
+
     /// Drive current in amperes under `env`, including every variation and
     /// wear source. `interdie_dvth`/`interdie_dbeta_rel` are the die
     /// common-mode shifts, `systematic_dvth` the within-die surface value

@@ -1,0 +1,200 @@
+//! The precomputed frequency kernel for the ring-oscillator hot path.
+//!
+//! `RingOscillator::frequency` used to rederive everything on every call:
+//! the `HciModel`, the mobility factor, the switched load, the systematic
+//! ΔVth at the ring's die position, and — per stage, per polarity — the
+//! effective threshold, overdrive, drive factor and the `powf` of the
+//! alpha-power law. All of those are pure functions of
+//! *(technology, environment, die process, wear state)*, and a Monte Carlo
+//! sweep evaluates the same ring thousands of times between wear events
+//! (enrollment reads, majority votes, flip-rate scans). A [`FreqKernel`]
+//! folds that whole derivation into one precomputation, stored per ring and
+//! invalidated by a wear epoch counter plus an identity check on the inputs.
+//!
+//! The kernel deliberately stores only the *result* (period and frequency)
+//! plus the identity key — no per-stage intermediates. Populations fabricate
+//! hundreds of thousands of rings per run, and each ring's first `frequency`
+//! call builds a kernel; a flat, allocation-free struct keeps that first
+//! build as cheap as the arithmetic itself.
+//!
+//! **Bit-identity contract:** the kernel evaluates the *same floating-point
+//! expression chain, in the same order*, as the original per-call path
+//! (`InverterStage::period_contribution` →
+//! `Mosfet::drive_current_with_mismatch`), so a cache hit returns a value
+//! bitwise equal to what a cold computation would produce. The golden-output
+//! regression test in the workspace root pins this down end to end.
+
+use aro_device::aging::HciModel;
+use aro_device::environment::Environment;
+use aro_device::params::TechParams;
+use aro_device::process::ChipProcess;
+
+use crate::gates::InverterStage;
+use crate::ring::RoStyle;
+
+/// The cached result of one full frequency derivation, together with the
+/// identity of the inputs it was derived from.
+///
+/// Built once per *(tech, env, chip process, wear epoch, layout bias,
+/// correlated ΔVth)* tuple; [`FreqKernel::is_valid`] re-checks that tuple so
+/// a stale kernel can never leak a frequency across an aging step or an
+/// environment change.
+#[derive(Debug, Clone)]
+pub struct FreqKernel {
+    // --- identity key ---
+    tech: TechParams,
+    env: Environment,
+    chip: ChipProcess,
+    wear_epoch: u64,
+    freq_bias_rel: f64,
+    correlated_dvth: f64,
+    // --- precomputed result ---
+    period_s: f64,
+    freq_hz: f64,
+}
+
+impl FreqKernel {
+    /// Derives the kernel for one ring. See [`FreqKernel::recompute`] for
+    /// the arithmetic.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn build(
+        style: RoStyle,
+        stages: &[InverterStage],
+        position_systematic: f64,
+        correlated_dvth: f64,
+        freq_bias_rel: f64,
+        tech: &TechParams,
+        env: &Environment,
+        chip: &ChipProcess,
+        wear_epoch: u64,
+    ) -> Self {
+        let mut kernel = Self {
+            tech: tech.clone(),
+            env: *env,
+            chip: *chip,
+            wear_epoch,
+            freq_bias_rel,
+            correlated_dvth,
+            period_s: 0.0,
+            freq_hz: 0.0,
+        };
+        kernel.recompute(
+            style,
+            stages,
+            position_systematic,
+            correlated_dvth,
+            freq_bias_rel,
+            tech,
+            env,
+            chip,
+            wear_epoch,
+        );
+        kernel
+    }
+
+    /// Rederives the kernel in place for new inputs (the aging hot path
+    /// rebuilds a ring's kernel on every epoch bump). The float expression
+    /// chain mirrors `period_contribution` / `drive_current_with_mismatch`
+    /// term for term — do not "simplify" the arithmetic here, associativity
+    /// changes bits.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recompute(
+        &mut self,
+        style: RoStyle,
+        stages: &[InverterStage],
+        position_systematic: f64,
+        correlated_dvth: f64,
+        freq_bias_rel: f64,
+        tech: &TechParams,
+        env: &Environment,
+        chip: &ChipProcess,
+        wear_epoch: u64,
+    ) {
+        let hci = HciModel::new(tech);
+        let mobility = env.mobility_factor(tech);
+        let c_load = tech.c_stage * style.load_factor(tech);
+        let systematic = position_systematic + correlated_dvth;
+
+        let mut period_s = 0.0f64;
+        // Every device of the ring has accumulated the same HCI cycle
+        // count, so the raw HCI power law is evaluated once per rebuild and
+        // replayed for the other stages (bit-exact: same input → same
+        // memoized output).
+        let mut hci_memo: Option<(f64, f64)> = None;
+        for stage in stages {
+            let pmos = stage.pmos();
+            let dvth_p =
+                chip.dvth_interdie_p() + pmos.dvth_total_memoized(systematic, &hci, &mut hci_memo);
+            let vth_p = pmos.device().vth_effective(tech, env, dvth_p);
+            let od_p = tech.overdrive(env.vdd(), vth_p);
+            let b_p = pmos.device().beta0()
+                * (1.0 + (pmos.variation().dbeta_rel + chip.dbeta_interdie_rel()))
+                * mobility;
+            let cur_p = b_p * od_p.powf(tech.alpha);
+
+            let nmos = stage.nmos();
+            let dvth_n =
+                chip.dvth_interdie_n() + nmos.dvth_total_memoized(systematic, &hci, &mut hci_memo);
+            let vth_n = nmos.device().vth_effective(tech, env, dvth_n);
+            let od_n = tech.overdrive(env.vdd(), vth_n);
+            let b_n = nmos.device().beta0()
+                * (1.0 + (nmos.variation().dbeta_rel + chip.dbeta_interdie_rel()))
+                * mobility;
+            let cur_n = b_n * od_n.powf(tech.alpha);
+
+            let half_swing = c_load * env.vdd() / 2.0;
+            period_s += half_swing / cur_p + stage.kind().pulldown_penalty() * half_swing / cur_n;
+        }
+
+        self.tech.clone_from(tech);
+        self.env = *env;
+        self.chip = *chip;
+        self.wear_epoch = wear_epoch;
+        self.freq_bias_rel = freq_bias_rel;
+        self.correlated_dvth = correlated_dvth;
+        self.period_s = period_s;
+        self.freq_hz = (1.0 / period_s) * (1.0 + freq_bias_rel);
+        aro_obs::counter("circuit.kernel_rebuilds", 1);
+    }
+
+    /// Whether this kernel still describes the ring under the given inputs.
+    /// The wear epoch is the cheap first gate; the environment, die process
+    /// and technology identity checks guard the rare case of the same ring
+    /// being interrogated under different conditions.
+    #[must_use]
+    pub fn is_valid(
+        &self,
+        tech: &TechParams,
+        env: &Environment,
+        chip: &ChipProcess,
+        wear_epoch: u64,
+        freq_bias_rel: f64,
+        correlated_dvth: f64,
+    ) -> bool {
+        self.wear_epoch == wear_epoch
+            && self.env == *env
+            && self.chip == *chip
+            && self.freq_bias_rel == freq_bias_rel
+            && self.correlated_dvth == correlated_dvth
+            && self.tech == *tech
+    }
+
+    /// The cached oscillation frequency in hertz.
+    #[must_use]
+    pub fn frequency(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// The cached oscillation period in seconds.
+    #[must_use]
+    pub fn period_s(&self) -> f64 {
+        self.period_s
+    }
+
+    /// The wear epoch this kernel was built at.
+    #[must_use]
+    pub fn wear_epoch(&self) -> u64 {
+        self.wear_epoch
+    }
+}

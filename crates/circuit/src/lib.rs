@@ -46,6 +46,7 @@
 //! ```
 
 pub mod gates;
+pub mod kernel;
 pub mod logic;
 pub mod netlist;
 pub mod readout;
@@ -53,6 +54,7 @@ pub mod ring;
 pub mod transient;
 
 pub use gates::{InverterStage, StageKind, TransistorInst};
+pub use kernel::FreqKernel;
 pub use logic::{GateKind, LogicCircuit, NetId, RippleCounter};
 pub use netlist::{CellArea, RoCell};
 pub use readout::{Measurement, ReadoutConfig};

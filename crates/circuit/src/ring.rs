@@ -20,7 +20,9 @@
 //! with it also suppresses the per-position bias that hurts the
 //! conventional array's uniqueness.
 
-use aro_device::aging::{BtiModel, HciModel, StressInterval};
+use std::cell::RefCell;
+
+use aro_device::aging::{BtiBatch, BtiModel, HciModel, StressInterval};
 use aro_device::environment::Environment;
 use aro_device::mosfet::Geometry;
 use aro_device::params::TechParams;
@@ -28,6 +30,7 @@ use aro_device::process::{ChipProcess, DiePosition};
 use rand::Rng;
 
 use crate::gates::{InverterStage, StageKind};
+use crate::kernel::FreqKernel;
 
 /// The three wear-out models bundled, so callers don't rebuild them per
 /// stress call.
@@ -49,6 +52,88 @@ impl AgingModels {
             nbti: BtiModel::nbti(tech),
             pbti: BtiModel::pbti(tech),
             hci: HciModel::new(tech),
+        }
+    }
+}
+
+/// One idle-stress interval, prefactored and memoized, shareable across
+/// every ring of a chip.
+///
+/// The Arrhenius/voltage acceleration of an interval depends only on the
+/// interval itself — never on the device — so a chip evaluates it once and
+/// hands the same batch to all of its rings via
+/// [`RingOscillator::stress_idle_with`]. The embedded [`BtiBatch`] memos
+/// then collapse the per-device BTI power law: devices that share a stress
+/// history (all same-polarity devices of an ARO chip; each idle-level group
+/// of a conventional chip) replay one memoized, bitwise-identical
+/// transition instead of re-running `powf`.
+#[derive(Debug, Clone)]
+pub struct IdleStressBatch {
+    style: RoStyle,
+    duration_s: f64,
+    /// NBTI transitions for PMOS devices under idle stress.
+    nbti: BtiBatch,
+    /// PBTI transitions for NMOS devices under idle stress.
+    pbti: BtiBatch,
+}
+
+impl IdleStressBatch {
+    /// Prefactors one idle interval for rings of `style`.
+    #[must_use]
+    pub fn new(
+        style: RoStyle,
+        tech: &TechParams,
+        models: &AgingModels,
+        temp_celsius: f64,
+        vdd: f64,
+        duration_s: f64,
+    ) -> Self {
+        let interval = match style {
+            RoStyle::Conventional => StressInterval::static_dc(duration_s, temp_celsius, vdd),
+            RoStyle::AgingResistant => StressInterval::duty_cycled(
+                duration_s,
+                temp_celsius,
+                vdd,
+                tech.aro_idle_stress_fraction,
+            ),
+        };
+        Self {
+            style,
+            duration_s,
+            nbti: BtiBatch::new(models.nbti.time_exp(), models.nbti.k_eff(&interval), duration_s),
+            pbti: BtiBatch::new(models.pbti.time_exp(), models.pbti.k_eff(&interval), duration_s),
+        }
+    }
+}
+
+/// One oscillation-stress interval, prefactored and memoized, shareable
+/// across every ring of a chip (see [`IdleStressBatch`]).
+///
+/// BTI under oscillation depends only on the interval, so its transitions
+/// are shared; HCI depends on each ring's own cycle count and is *not*
+/// memoized here — only its voltage acceleration factor is hoisted.
+#[derive(Debug, Clone)]
+pub struct ActiveStressBatch {
+    duration_s: f64,
+    /// NBTI transitions for PMOS devices under 50 %-duty AC stress.
+    nbti: BtiBatch,
+    /// PBTI transitions for NMOS devices under 50 %-duty AC stress.
+    pbti: BtiBatch,
+    /// Per-cycle HCI equivalence factor at the interval's supply.
+    hci_factor: f64,
+}
+
+impl ActiveStressBatch {
+    /// Prefactors one oscillation interval under `env`.
+    #[must_use]
+    pub fn new(models: &AgingModels, env: &Environment, duration_s: f64) -> Self {
+        let interval =
+            StressInterval::oscillating(duration_s, env.temp_celsius(), env.vdd());
+        Self {
+            duration_s,
+            nbti: BtiBatch::new(models.nbti.time_exp(), models.nbti.k_eff(&interval), duration_s),
+            pbti: BtiBatch::new(models.pbti.time_exp(), models.pbti.k_eff(&interval), duration_s),
+            hci_factor: models.hci.equivalent_cycle_factor(env.vdd()),
         }
     }
 }
@@ -100,13 +185,53 @@ impl std::fmt::Display for RoStyle {
 }
 
 /// One fabricated ring oscillator.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Carries a lazily built [`FreqKernel`] so repeated frequency queries
+/// between wear events cost one cached load instead of a full alpha-power
+/// rederivation. The kernel is interior state: two rings compare equal iff
+/// their fabricated silicon and wear histories match, regardless of what
+/// either has cached. It is boxed so an idle cache costs one pointer per
+/// ring, not an inline 480-byte slab — populations hold tens of thousands
+/// of rings and clone often.
+#[derive(Debug)]
 pub struct RingOscillator {
     style: RoStyle,
     stages: Vec<InverterStage>,
     position: DiePosition,
     freq_bias_rel: f64,
     correlated_dvth: f64,
+    /// Bumped by every wear mutation; the kernel stores the epoch it was
+    /// built at, so a bump invalidates without touching the cache itself.
+    wear_epoch: u64,
+    kernel: RefCell<Option<Box<FreqKernel>>>,
+}
+
+impl Clone for RingOscillator {
+    fn clone(&self) -> Self {
+        // The kernel is a derived cache — rebuilding it in the clone is
+        // cheaper than deep-copying it on every population clone.
+        Self {
+            style: self.style,
+            stages: self.stages.clone(),
+            position: self.position,
+            freq_bias_rel: self.freq_bias_rel,
+            correlated_dvth: self.correlated_dvth,
+            wear_epoch: self.wear_epoch,
+            kernel: RefCell::new(None),
+        }
+    }
+}
+
+impl PartialEq for RingOscillator {
+    fn eq(&self, other: &Self) -> bool {
+        // The kernel cache and the epoch counter are performance state, not
+        // silicon: `stages` already carries the full wear history.
+        self.style == other.style
+            && self.stages == other.stages
+            && self.position == other.position
+            && self.freq_bias_rel == other.freq_bias_rel
+            && self.correlated_dvth == other.correlated_dvth
+    }
 }
 
 impl RingOscillator {
@@ -145,7 +270,28 @@ impl RingOscillator {
             position,
             freq_bias_rel: 0.0,
             correlated_dvth: 0.0,
+            wear_epoch: 0,
+            kernel: RefCell::new(None),
         }
+    }
+
+    /// Marks every cached derivation of this ring's wear state stale.
+    fn bump_wear_epoch(&mut self) {
+        self.wear_epoch = self.wear_epoch.wrapping_add(1);
+    }
+
+    /// The current wear epoch: increments on every stress application and
+    /// wear reset. Exposed for cache-invalidation tests.
+    #[must_use]
+    pub fn wear_epoch(&self) -> u64 {
+        self.wear_epoch
+    }
+
+    /// Whether a frequency kernel is currently cached (it may still be
+    /// stale for a given query). Exposed for cache-invalidation tests.
+    #[must_use]
+    pub fn kernel_is_cached(&self) -> bool {
+        self.kernel.borrow().is_some()
     }
 
     /// The cell style.
@@ -202,26 +348,46 @@ impl RingOscillator {
     /// variation, layout bias, and all accumulated wear.
     #[must_use]
     pub fn frequency(&self, tech: &TechParams, env: &Environment, chip: &ChipProcess) -> f64 {
-        let hci = HciModel::new(tech);
-        let c_load = tech.c_stage * self.style.load_factor(tech);
-        let systematic = chip.systematic_dvth(self.position) + self.correlated_dvth;
-        let period: f64 = self
-            .stages
-            .iter()
-            .map(|s| {
-                s.period_contribution(
-                    tech,
-                    env,
-                    &hci,
-                    c_load,
-                    chip.dvth_interdie_p(),
-                    chip.dvth_interdie_n(),
-                    chip.dbeta_interdie_rel(),
-                    systematic,
-                )
-            })
-            .sum();
-        (1.0 / period) * (1.0 + self.freq_bias_rel)
+        let mut slot = self.kernel.borrow_mut();
+        if let Some(kernel) = slot.as_deref_mut() {
+            if kernel.is_valid(
+                tech,
+                env,
+                chip,
+                self.wear_epoch,
+                self.freq_bias_rel,
+                self.correlated_dvth,
+            ) {
+                return kernel.frequency();
+            }
+            // Stale: rederive in place, reusing the per-stage buffers.
+            kernel.recompute(
+                self.style,
+                &self.stages,
+                chip.systematic_dvth(self.position),
+                self.correlated_dvth,
+                self.freq_bias_rel,
+                tech,
+                env,
+                chip,
+                self.wear_epoch,
+            );
+            return kernel.frequency();
+        }
+        let kernel = Box::new(FreqKernel::build(
+            self.style,
+            &self.stages,
+            chip.systematic_dvth(self.position),
+            self.correlated_dvth,
+            self.freq_bias_rel,
+            tech,
+            env,
+            chip,
+            self.wear_epoch,
+        ));
+        let freq = kernel.frequency();
+        *slot = Some(kernel);
+        freq
     }
 
     /// Ages the ring through `duration_s` seconds of *idle* time at die
@@ -241,46 +407,50 @@ impl RingOscillator {
         vdd: f64,
         duration_s: f64,
     ) {
-        if duration_s <= 0.0 {
+        let mut batch =
+            IdleStressBatch::new(self.style, tech, models, temp_celsius, vdd, duration_s);
+        self.stress_idle_with(&mut batch);
+    }
+
+    /// [`RingOscillator::stress_idle`] driven by a prebuilt, possibly
+    /// shared [`IdleStressBatch`]. A chip passes one batch across all of
+    /// its rings: the interval acceleration is evaluated once per chip, and
+    /// the batch's transition memo collapses the per-device BTI power law
+    /// to one evaluation per distinct stress history (see
+    /// [`BtiBatch::apply`] for why replaying a memoized transition is
+    /// bit-exact). The batch must have been built for this ring's style.
+    pub fn stress_idle_with(&mut self, batch: &mut IdleStressBatch) {
+        debug_assert_eq!(batch.style, self.style, "batch built for another style");
+        if batch.duration_s <= 0.0 {
             return;
         }
+        self.bump_wear_epoch();
+        // Applies are tallied locally and reported as one aggregated
+        // counter bump per interval, keeping registry traffic off the
+        // per-device path.
+        let mut bti_applies: u64 = 0;
         match self.style {
             RoStyle::Conventional => {
                 for (i, stage) in self.stages.iter_mut().enumerate() {
                     // Idle node pattern of the disabled ring (see module docs).
                     let input_high = i == 0 || i % 2 == 1;
-                    let interval = StressInterval::static_dc(duration_s, temp_celsius, vdd);
-                    if input_high {
-                        stage
-                            .nmos_mut()
-                            .aging_mut()
-                            .apply_bti(&models.pbti, &interval);
+                    let applied = if input_high {
+                        batch.pbti.apply(stage.nmos_mut().aging_mut())
                     } else {
-                        stage
-                            .pmos_mut()
-                            .aging_mut()
-                            .apply_bti(&models.nbti, &interval);
-                    }
+                        batch.nbti.apply(stage.pmos_mut().aging_mut())
+                    };
+                    bti_applies += u64::from(applied);
                 }
             }
             RoStyle::AgingResistant => {
-                let interval = StressInterval::duty_cycled(
-                    duration_s,
-                    temp_celsius,
-                    vdd,
-                    tech.aro_idle_stress_fraction,
-                );
                 for stage in &mut self.stages {
-                    stage
-                        .pmos_mut()
-                        .aging_mut()
-                        .apply_bti(&models.nbti, &interval);
-                    stage
-                        .nmos_mut()
-                        .aging_mut()
-                        .apply_bti(&models.pbti, &interval);
+                    bti_applies += u64::from(batch.nbti.apply(stage.pmos_mut().aging_mut()));
+                    bti_applies += u64::from(batch.pbti.apply(stage.nmos_mut().aging_mut()));
                 }
             }
+        }
+        if bti_applies > 0 {
+            aro_obs::counter("device.bti_applies", bti_applies);
         }
     }
 
@@ -295,28 +465,59 @@ impl RingOscillator {
         chip: &ChipProcess,
         duration_s: f64,
     ) {
-        if duration_s <= 0.0 {
+        let mut batch = ActiveStressBatch::new(models, env, duration_s);
+        self.stress_active_with(tech, env, chip, &mut batch);
+    }
+
+    /// [`RingOscillator::stress_active`] driven by a prebuilt, possibly
+    /// shared [`ActiveStressBatch`]. A chip passes one batch across all of
+    /// its rings (see [`RingOscillator::stress_idle_with`]); the HCI cycle
+    /// count still depends on this ring's own frequency, so only the BTI
+    /// transitions and the acceleration prefactors are shared.
+    pub fn stress_active_with(
+        &mut self,
+        tech: &TechParams,
+        env: &Environment,
+        chip: &ChipProcess,
+        batch: &mut ActiveStressBatch,
+    ) {
+        if batch.duration_s <= 0.0 {
             return;
         }
         let freq = self.frequency(tech, env, chip);
-        let cycles = freq * duration_s;
-        let interval = StressInterval::oscillating(duration_s, env.temp_celsius(), env.vdd());
+        self.bump_wear_epoch();
+        let cycles = freq * batch.duration_s;
+        // Tally applies locally; one counter bump per interval (see
+        // `stress_idle_with`).
+        let mut bti_applies: u64 = 0;
+        let mut hci_applies: u64 = 0;
         for stage in &mut self.stages {
-            stage
-                .pmos_mut()
-                .aging_mut()
-                .apply_bti(&models.nbti, &interval);
-            stage
-                .nmos_mut()
-                .aging_mut()
-                .apply_bti(&models.pbti, &interval);
-            stage.pmos_mut().stress_hci(&models.hci, cycles, env.vdd());
-            stage.nmos_mut().stress_hci(&models.hci, cycles, env.vdd());
+            bti_applies += u64::from(batch.nbti.apply(stage.pmos_mut().aging_mut()));
+            bti_applies += u64::from(batch.pbti.apply(stage.nmos_mut().aging_mut()));
+            hci_applies += u64::from(
+                stage
+                    .pmos_mut()
+                    .aging_mut()
+                    .apply_hci_equivalent(cycles, batch.hci_factor),
+            );
+            hci_applies += u64::from(
+                stage
+                    .nmos_mut()
+                    .aging_mut()
+                    .apply_hci_equivalent(cycles, batch.hci_factor),
+            );
+        }
+        if bti_applies > 0 {
+            aro_obs::counter("device.bti_applies", bti_applies);
+        }
+        if hci_applies > 0 {
+            aro_obs::counter("device.hci_applies", hci_applies);
         }
     }
 
     /// Clears all accumulated wear (keeps fabrication randomness).
     pub fn reset_wear(&mut self) {
+        self.bump_wear_epoch();
         for stage in &mut self.stages {
             stage.pmos_mut().aging_mut().reset_wear();
             stage.nmos_mut().aging_mut().reset_wear();
@@ -569,5 +770,90 @@ mod tests {
     fn style_labels_and_display() {
         assert_eq!(RoStyle::Conventional.label(), "RO-PUF");
         assert_eq!(RoStyle::AgingResistant.to_string(), "ARO-PUF");
+    }
+
+    #[test]
+    fn kernel_caches_after_first_query_and_hits_are_bitwise_stable() {
+        let (tech, env, chip, _) = setup();
+        let (ro, _) = make_ring(RoStyle::Conventional, 43);
+        assert!(!ro.kernel_is_cached(), "fresh ring has no kernel");
+        let first = ro.frequency(&tech, &env, &chip);
+        assert!(ro.kernel_is_cached(), "first query builds the kernel");
+        assert_eq!(
+            first.to_bits(),
+            ro.frequency(&tech, &env, &chip).to_bits(),
+            "cache hit must be bitwise identical to the cold computation"
+        );
+    }
+
+    #[test]
+    fn aging_invalidates_the_kernel() {
+        let (tech, env, chip, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 44);
+        let fresh = ro.frequency(&tech, &env, &chip);
+        let epoch = ro.wear_epoch();
+        ro.stress_idle(&tech, &models, 85.0, tech.vdd_nominal, YEAR);
+        assert!(ro.wear_epoch() > epoch, "stress must bump the wear epoch");
+        assert!(
+            ro.frequency(&tech, &env, &chip) < fresh,
+            "a stale kernel must not survive an aging step"
+        );
+    }
+
+    #[test]
+    fn environment_change_invalidates_the_kernel() {
+        let (tech, env, chip, _) = setup();
+        let (ro, _) = make_ring(RoStyle::Conventional, 45);
+        let nominal = ro.frequency(&tech, &env, &chip);
+        let hot = ro.frequency(&tech, &env.with_temp_celsius(85.0), &chip);
+        assert!(hot < nominal, "the hot query must not reuse the cold kernel");
+        assert_eq!(
+            nominal.to_bits(),
+            ro.frequency(&tech, &env, &chip).to_bits(),
+            "returning to the first environment must rebuild exactly"
+        );
+    }
+
+    #[test]
+    fn shared_stress_batches_match_per_ring_stress_bitwise() {
+        // A chip drives many rings through ONE IdleStressBatch /
+        // ActiveStressBatch; the memoized transitions must leave every
+        // device bitwise identical to the unshared per-ring path.
+        for style in [RoStyle::Conventional, RoStyle::AgingResistant] {
+            let (tech, env, chip, models) = setup();
+            let mut rng_a = SeedDomain::new(46).rng(0);
+            let mut rng_b = SeedDomain::new(46).rng(0);
+            let make = |rng: &mut _| {
+                (0..4)
+                    .map(|_| {
+                        RingOscillator::new(style, 5, DiePosition::new(0.5, 0.5), &tech, rng)
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let mut solo = make(&mut rng_a);
+            let mut batched = make(&mut rng_b);
+
+            for ro in &mut solo {
+                ro.stress_active(&tech, &models, &env, &chip, 30.0);
+                ro.stress_idle(&tech, &models, 45.0, tech.vdd_nominal, YEAR);
+            }
+            let mut active = ActiveStressBatch::new(&models, &env, 30.0);
+            for ro in &mut batched {
+                ro.stress_active_with(&tech, &env, &chip, &mut active);
+            }
+            let mut idle =
+                IdleStressBatch::new(style, &tech, &models, 45.0, tech.vdd_nominal, YEAR);
+            for ro in &mut batched {
+                ro.stress_idle_with(&mut idle);
+            }
+
+            for (a, b) in solo.iter().zip(&batched) {
+                assert_eq!(a, b, "{style:?}: shared batch diverged from solo stress");
+                assert_eq!(
+                    a.frequency(&tech, &env, &chip).to_bits(),
+                    b.frequency(&tech, &env, &chip).to_bits()
+                );
+            }
+        }
     }
 }

@@ -138,6 +138,16 @@ impl BtiModel {
         self.prefactor(temp_celsius, vgs) * t_s.max(0.0).powf(self.time_exp)
     }
 
+    /// Effective accelerated prefactor of an interval, `K(T, Vgs)·sqrt(duty)`
+    /// in volts per second^n. It depends only on the interval's conditions —
+    /// never on device state — so stress loops hoist it once per interval
+    /// instead of paying its `exp`/`powf` per transistor (see
+    /// [`TransistorAging::apply_bti_prefactored`]).
+    #[must_use]
+    pub fn k_eff(&self, interval: &StressInterval) -> f64 {
+        self.prefactor(interval.temp_celsius, interval.vgs) * interval.duty.sqrt()
+    }
+
     /// The time exponent `n`.
     #[must_use]
     pub fn time_exp(&self) -> f64 {
@@ -176,8 +186,25 @@ impl HciModel {
         if cycles <= 0.0 {
             return 0.0;
         }
-        let accel = (vdd / self.vdd_ref).powf(self.vdd_exp);
+        // At the reference supply the acceleration is pow(1, k) = 1 exactly
+        // (IEEE 754), so skipping the powf cannot change a single bit — and
+        // the readout path always evaluates at vdd_ref.
+        let accel = if vdd == self.vdd_ref {
+            1.0
+        } else {
+            (vdd / self.vdd_ref).powf(self.vdd_exp)
+        };
         self.prefactor_v * accel * (cycles / HCI_REF_CYCLES).powf(self.cycle_exp)
+    }
+
+    /// Conversion factor from transitions at supply `vdd` to
+    /// reference-condition equivalent cycles. Depends only on the supply,
+    /// so stress loops hoist it once per interval (see
+    /// [`TransistorAging::apply_hci_equivalent`]).
+    #[must_use]
+    pub fn equivalent_cycle_factor(&self, vdd: f64) -> f64 {
+        let accel = (vdd / self.vdd_ref).powf(self.vdd_exp);
+        accel.powf(1.0 / self.cycle_exp)
     }
 
     /// The cycle exponent `m`.
@@ -235,26 +262,57 @@ impl TransistorAging {
     /// so heterogeneous histories (different temperature / duty / Vgs per
     /// interval) compose correctly.
     pub fn apply_bti(&mut self, model: &BtiModel, interval: &StressInterval) {
-        let k_eff = model.prefactor(interval.temp_celsius, interval.vgs) * interval.duty.sqrt();
-        if k_eff <= 0.0 || interval.duration_s <= 0.0 {
-            return;
+        if self.apply_bti_prefactored(model.time_exp(), model.k_eff(interval), interval.duration_s)
+        {
+            aro_obs::counter("device.bti_applies", 1);
         }
-        let n = model.time_exp();
-        let t_equivalent = (self.bti_dvth / k_eff).powf(1.0 / n);
-        self.bti_dvth = k_eff * (t_equivalent + interval.duration_s).powf(n);
-        aro_obs::counter("device.bti_applies", 1);
+    }
+
+    /// [`TransistorAging::apply_bti`] with the interval's accelerated
+    /// prefactor already computed ([`BtiModel::k_eff`]). A ring applies one
+    /// interval to every device it owns; hoisting the prefactor turns ten
+    /// Arrhenius evaluations per ring into one.
+    ///
+    /// Returns whether the stress was applied (false for the degenerate
+    /// zero-duration / zero-prefactor cases), so bulk callers can report
+    /// one aggregated `device.bti_applies` increment per interval instead
+    /// of paying the metrics registry per transistor.
+    pub fn apply_bti_prefactored(&mut self, time_exp: f64, k_eff: f64, duration_s: f64) -> bool {
+        if k_eff <= 0.0 || duration_s <= 0.0 {
+            return false;
+        }
+        // Fresh device: (0/k)^(1/n) is exactly +0.0, skip the powf.
+        let t_equivalent = if self.bti_dvth == 0.0 {
+            0.0
+        } else {
+            (self.bti_dvth / k_eff).powf(1.0 / time_exp)
+        };
+        self.bti_dvth = k_eff * (t_equivalent + duration_s).powf(time_exp);
+        true
     }
 
     /// Applies HCI wear for `cycles` transitions at supply `vdd`,
     /// accumulating equivalent cycles so that varying supplies compose.
     pub fn apply_hci(&mut self, model: &HciModel, cycles: f64, vdd: f64) {
-        if cycles <= 0.0 {
-            return;
+        if self.apply_hci_equivalent(cycles, model.equivalent_cycle_factor(vdd)) {
+            aro_obs::counter("device.hci_applies", 1);
         }
-        // Convert the new stretch into reference-condition cycles.
-        let accel = (vdd / model.vdd_ref).powf(model.vdd_exp);
-        self.hci_eq_cycles += cycles * accel.powf(1.0 / model.cycle_exp);
-        aro_obs::counter("device.hci_applies", 1);
+    }
+
+    /// [`TransistorAging::apply_hci`] with the supply-to-reference
+    /// conversion already computed ([`HciModel::equivalent_cycle_factor`]),
+    /// so stress loops pay its two `powf`s once per interval instead of per
+    /// device.
+    ///
+    /// Returns whether wear was accumulated, for the same aggregated
+    /// `device.hci_applies` accounting as
+    /// [`TransistorAging::apply_bti_prefactored`].
+    pub fn apply_hci_equivalent(&mut self, cycles: f64, factor: f64) -> bool {
+        if cycles <= 0.0 {
+            return false;
+        }
+        self.hci_eq_cycles += cycles * factor;
+        true
     }
 
     /// BTI component of the threshold shift, in volts (includes this
@@ -262,6 +320,25 @@ impl TransistorAging {
     #[must_use]
     pub fn dvth_bti(&self) -> f64 {
         self.bti_dvth * self.bti_multiplier
+    }
+
+    /// [`TransistorAging::dvth_hci_with`] routed through a caller-held
+    /// *(equivalent cycles → raw shift)* memo. Every device of a ring
+    /// accumulates the same equivalent cycles (variability enters only
+    /// through the per-device multiplier applied afterwards), so one
+    /// `powf` evaluation serves the whole ring; equal inputs to the pure
+    /// model give bitwise-equal outputs, so the memo cannot change a bit.
+    #[must_use]
+    pub fn dvth_hci_memoized(&self, model: &HciModel, memo: &mut Option<(f64, f64)>) -> f64 {
+        let raw = match *memo {
+            Some((cycles, raw)) if cycles == self.hci_eq_cycles => raw,
+            _ => {
+                let raw = model.dvth(self.hci_eq_cycles, model.vdd_ref);
+                *memo = Some((self.hci_eq_cycles, raw));
+                raw
+            }
+        };
+        raw * self.hci_multiplier
     }
 
     /// HCI component of the threshold shift for a given model, in volts
@@ -296,6 +373,70 @@ impl TransistorAging {
     #[must_use]
     pub fn bti_multiplier(&self) -> f64 {
         self.bti_multiplier
+    }
+}
+
+/// One BTI stress interval applied to a *batch* of devices, with the
+/// state transition memoized.
+///
+/// The accumulated `bti_dvth` of a device is a pure function of its stress
+/// history alone — per-device variability enters only through the read-time
+/// multiplier — so every device that has lived through the same interval
+/// sequence carries bitwise-identical state. A chip ages all of its rings
+/// through the same intervals, which makes that the common case by far:
+/// one `powf` pair per *distinct incoming state* serves thousands of
+/// devices, and replaying a memoized transition is exact (equal inputs to
+/// a pure function, equal outputs).
+#[derive(Debug, Clone)]
+pub struct BtiBatch {
+    time_exp: f64,
+    k_eff: f64,
+    duration_s: f64,
+    /// Observed `(incoming bti_dvth, outgoing bti_dvth)` transitions. Two
+    /// slots: a conventional ring's devices split into two stress-history
+    /// groups (stages idling high vs low), and an active interval walks
+    /// both groups interleaved — a single slot would thrash.
+    memo: [Option<(f64, f64)>; 2],
+    /// Index of the most recently hit/filled memo slot.
+    mru: usize,
+}
+
+impl BtiBatch {
+    /// A batch for one interval: the model's time exponent, the interval's
+    /// effective prefactor ([`BtiModel::k_eff`]) and its duration.
+    #[must_use]
+    pub fn new(time_exp: f64, k_eff: f64, duration_s: f64) -> Self {
+        Self {
+            time_exp,
+            k_eff,
+            duration_s,
+            memo: [None; 2],
+            mru: 0,
+        }
+    }
+
+    /// Applies the interval to one device; returns whether stress was
+    /// applied (same contract as
+    /// [`TransistorAging::apply_bti_prefactored`]).
+    pub fn apply(&mut self, aging: &mut TransistorAging) -> bool {
+        if self.k_eff <= 0.0 || self.duration_s <= 0.0 {
+            return false;
+        }
+        let input = aging.bti_dvth;
+        for slot in [self.mru, 1 - self.mru] {
+            if let Some((seen, output)) = self.memo[slot] {
+                if seen == input {
+                    aging.bti_dvth = output;
+                    self.mru = slot;
+                    return true;
+                }
+            }
+        }
+        let applied = aging.apply_bti_prefactored(self.time_exp, self.k_eff, self.duration_s);
+        let slot = 1 - self.mru;
+        self.memo[slot] = Some((input, aging.bti_dvth));
+        self.mru = slot;
+        applied
     }
 }
 
@@ -486,5 +627,77 @@ mod tests {
     #[should_panic(expected = "duty must be in [0, 1]")]
     fn invalid_duty_panics() {
         let _ = StressInterval::duty_cycled(1.0, 25.0, 1.2, 1.5);
+    }
+
+    #[test]
+    fn bti_batch_replays_transitions_bitwise() {
+        // Devices in two distinct stress-history groups, visited
+        // interleaved (the conventional-ring active pattern): the two-slot
+        // memo must reproduce the direct path bitwise for every device.
+        let t = tech();
+        let model = BtiModel::nbti(&t);
+        let interval = StressInterval::static_dc(YEAR, 45.0, t.vdd_nominal);
+        let k_eff = model.k_eff(&interval);
+
+        let mut direct: Vec<TransistorAging> = (0..8).map(|_| TransistorAging::new()).collect();
+        // Group A gets a head start so the two groups diverge.
+        for (i, aging) in direct.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                aging.apply_bti(&model, &interval);
+            }
+        }
+        let mut batched = direct.clone();
+
+        for aging in &mut direct {
+            assert!(aging.apply_bti_prefactored(model.time_exp(), k_eff, YEAR));
+        }
+        let mut batch = BtiBatch::new(model.time_exp(), k_eff, YEAR);
+        for aging in &mut batched {
+            assert!(batch.apply(aging));
+        }
+        for (a, b) in direct.iter().zip(&batched) {
+            assert_eq!(
+                a.dvth_bti().to_bits(),
+                b.dvth_bti().to_bits(),
+                "memoized transition must be bitwise equal"
+            );
+        }
+    }
+
+    #[test]
+    fn bti_batch_honors_no_stress_guards() {
+        let mut aging = TransistorAging::new();
+        assert!(!BtiBatch::new(6.0, 0.0, YEAR).apply(&mut aging));
+        assert!(!BtiBatch::new(6.0, 1e-3, 0.0).apply(&mut aging));
+        assert_eq!(aging.dvth_bti(), 0.0);
+    }
+
+    #[test]
+    fn memoized_hci_readout_matches_direct() {
+        let t = tech();
+        let model = HciModel::new(&t);
+        let mut rng = StdRng::seed_from_u64(7);
+        // Same cycle count, distinct per-device multipliers — the memo
+        // caches the raw power law only, so each device still reads its
+        // own dispersed shift.
+        let mut devices: Vec<TransistorAging> = (0..6)
+            .map(|_| TransistorAging::with_variability(&mut rng, t.sigma_aging_rel))
+            .collect();
+        for aging in &mut devices {
+            aging.apply_hci(&model, 1e12, t.vdd_nominal);
+        }
+        let mut memo = None;
+        for aging in &devices {
+            assert_eq!(
+                aging.dvth_hci_with(&model).to_bits(),
+                aging.dvth_hci_memoized(&model, &mut memo).to_bits()
+            );
+        }
+        // The fresh-device case (cycles back to zero) must refresh the memo.
+        let fresh = TransistorAging::new();
+        assert_eq!(
+            fresh.dvth_hci_with(&model).to_bits(),
+            fresh.dvth_hci_memoized(&model, &mut memo).to_bits()
+        );
     }
 }

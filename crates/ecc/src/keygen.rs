@@ -51,12 +51,27 @@ impl KeyGenerator {
         p_fail_target: f64,
         puf: &PufAreaParams,
     ) -> Option<Self> {
-        let mut spec = search_design(p_bit, key_bits, p_fail_target, puf)?;
+        Self::for_bit_error_rate_via(search_design, p_bit, key_bits, p_fail_target, puf)
+    }
+
+    /// [`KeyGenerator::for_bit_error_rate`] with the design-space search
+    /// injected, so callers holding a memoized search (the simulation's
+    /// run-scoped provisioning cache) reuse this exact fallback logic
+    /// instead of duplicating it.
+    #[must_use]
+    pub fn for_bit_error_rate_via(
+        mut search: impl FnMut(f64, usize, f64, &PufAreaParams) -> Option<KeyGenSpec>,
+        p_bit: f64,
+        key_bits: usize,
+        p_fail_target: f64,
+        puf: &PufAreaParams,
+    ) -> Option<Self> {
+        let mut spec = search(p_bit, key_bits, p_fail_target, puf)?;
         if spec.bch_m == 0 {
             // Promote a repetition-only winner to a degenerate BCH wrapper
             // by re-searching with repetition excluded — keeps the
             // generator uniform. In practice this only triggers at p ≈ 0.
-            spec = search_design(p_bit.max(1e-4), key_bits, p_fail_target, puf)?;
+            spec = search(p_bit.max(1e-4), key_bits, p_fail_target, puf)?;
             if spec.bch_m == 0 {
                 return None;
             }

@@ -49,6 +49,30 @@ pub fn set_enabled(on: bool) {
 
 thread_local! {
     static SCRATCH: RefCell<Registry> = RefCell::new(Registry::new());
+    // Counter fast path: name literals are 'static, so deltas accumulate in
+    // a tiny vector searched by pointer identity — no string comparison and
+    // no tree walk on the per-device hot paths (kernel rebuilds, BTI/HCI
+    // applies fire hundreds of thousands of times per run). Two distinct
+    // literals with equal text get separate slots and merge by name when
+    // the slots are folded into the scratch registry on read.
+    static HOT_COUNTERS: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Folds the pointer-keyed counter slots into the scratch registry. Called
+/// by every read/take/reset entry point so the fast path stays invisible.
+fn flush_hot_counters() {
+    HOT_COUNTERS.with(|h| {
+        let mut slots = h.borrow_mut();
+        if slots.is_empty() {
+            return;
+        }
+        SCRATCH.with(|r| {
+            let mut registry = r.borrow_mut();
+            for (name, delta) in slots.drain(..) {
+                registry.add_counter(name, delta);
+            }
+        });
+    });
 }
 
 /// Opens a scoped span; close happens when the returned guard drops.
@@ -63,10 +87,23 @@ pub fn span(name: &str) -> Span {
 }
 
 /// Adds `delta` to the named counter on this thread's scratch registry.
+///
+/// `name` must be a `'static` literal: the hot path accumulates into
+/// pointer-keyed slots and only folds them into the registry when the
+/// metrics are read ([`snapshot`], [`take_scratch`], [`reset`]).
 #[inline]
-pub fn counter(name: &str, delta: u64) {
+pub fn counter(name: &'static str, delta: u64) {
     if enabled() {
-        SCRATCH.with(|r| r.borrow_mut().add_counter(name, delta));
+        HOT_COUNTERS.with(|h| {
+            let mut slots = h.borrow_mut();
+            for slot in slots.iter_mut() {
+                if slot.0.as_ptr() == name.as_ptr() && slot.0.len() == name.len() {
+                    slot.1 += delta;
+                    return;
+                }
+            }
+            slots.push((name, delta));
+        });
     }
 }
 
@@ -93,6 +130,7 @@ pub fn observe(name: &str, value: f64) {
 /// worker-index order via [`merge_scratch`].
 #[must_use]
 pub fn take_scratch() -> Registry {
+    flush_hot_counters();
     SCRATCH.with(|r| std::mem::take(&mut *r.borrow_mut()))
 }
 
@@ -106,12 +144,14 @@ pub fn merge_scratch(worker: &Registry) {
 /// A copy of this thread's accumulated metrics.
 #[must_use]
 pub fn snapshot() -> Registry {
+    flush_hot_counters();
     SCRATCH.with(|r| r.borrow().clone())
 }
 
 /// Clears this thread's metrics and the global span timing table
 /// (between runs or tests). Does not touch the sink or enablement.
 pub fn reset() {
+    HOT_COUNTERS.with(|h| h.borrow_mut().clear());
     SCRATCH.with(|r| *r.borrow_mut() = Registry::new());
     span::reset_timings();
 }

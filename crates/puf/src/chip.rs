@@ -1,7 +1,7 @@
 //! One fabricated chip: a process realization plus its RO array.
 
 use aro_circuit::readout::Measurement;
-use aro_circuit::ring::{AgingModels, RingOscillator};
+use aro_circuit::ring::{ActiveStressBatch, AgingModels, IdleStressBatch, RingOscillator};
 use aro_device::environment::Environment;
 use aro_device::process::{ChipProcess, DiePosition};
 use aro_device::rng::SeedDomain;
@@ -111,6 +111,14 @@ impl Chip {
         (0..self.ros.len())
             .map(|i| self.frequency(design, env, i))
             .collect()
+    }
+
+    /// Writes the true frequencies of every ring under `env` into `buf`,
+    /// reusing its allocation — the per-checkpoint variant of
+    /// [`Chip::frequencies`] for tight timeline loops.
+    pub fn frequencies_into(&self, design: &PufDesign, env: &Environment, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend((0..self.ros.len()).map(|i| self.frequency(design, env, i)));
     }
 
     /// A fresh deterministic noise stream for the next measurement.
@@ -244,8 +252,20 @@ impl Chip {
         vdd: f64,
         duration_s: f64,
     ) {
+        // One batch for the whole chip: interval acceleration is evaluated
+        // once, and devices sharing a stress history across rings replay
+        // memoized (bit-identical) BTI transitions instead of re-running
+        // the power law per device.
+        let mut batch = IdleStressBatch::new(
+            design.style(),
+            design.tech(),
+            models,
+            temp_celsius,
+            vdd,
+            duration_s,
+        );
         for ro in &mut self.ros {
-            ro.stress_idle(design.tech(), models, temp_celsius, vdd, duration_s);
+            ro.stress_idle_with(&mut batch);
         }
     }
 
@@ -259,8 +279,10 @@ impl Chip {
         duration_s: f64,
     ) {
         let process = self.process;
+        // Chip-wide batch, as in `stress_idle`.
+        let mut batch = ActiveStressBatch::new(models, env, duration_s);
         for ro in &mut self.ros {
-            ro.stress_active(design.tech(), models, env, &process, duration_s);
+            ro.stress_active_with(design.tech(), env, &process, &mut batch);
         }
     }
 }

@@ -18,16 +18,16 @@ pub struct Population {
 
 impl Population {
     /// Fabricates `n_chips` chips of a design (deterministic in the design
-    /// seed).
+    /// seed). Chips fabricate in parallel: each draws from its own
+    /// index-derived RNG stream, so the result is bit-identical to a
+    /// sequential build regardless of thread count.
     ///
     /// # Panics
     /// Panics if `n_chips` is zero.
     #[must_use]
     pub fn fabricate(design: &PufDesign, n_chips: usize) -> Self {
         assert!(n_chips > 0, "population needs at least one chip");
-        let chips = (0..n_chips as u64)
-            .map(|id| Chip::fabricate(design, id))
-            .collect();
+        let chips = aro_par::par_build(n_chips, |id| Chip::fabricate(design, id as u64));
         Self {
             design: design.clone(),
             chips,
@@ -64,20 +64,19 @@ impl Population {
     }
 
     /// One noisy response per chip under `env` (pairs chosen per chip for
-    /// enrollment-dependent strategies).
+    /// enrollment-dependent strategies). Chips measure in parallel; every
+    /// chip owns its noise nonce stream, so results match a sequential scan
+    /// bit for bit.
     pub fn responses(&mut self, env: &Environment, strategy: &PairingStrategy) -> Vec<BitString> {
         let design = self.design.clone();
-        self.chips
-            .iter_mut()
-            .map(|chip| {
-                let pairs = if strategy.needs_enrollment() {
-                    strategy.pairs_with_enrollment(&chip.frequencies(&design, env))
-                } else {
-                    strategy.pairs(design.n_ros())
-                };
-                chip.response(&design, env, &pairs)
-            })
-            .collect()
+        aro_par::par_map_mut(&mut self.chips, |_, chip| {
+            let pairs = if strategy.needs_enrollment() {
+                strategy.pairs_with_enrollment(&chip.frequencies(&design, env))
+            } else {
+                strategy.pairs(design.n_ros())
+            };
+            chip.response(&design, env, &pairs)
+        })
     }
 
     /// One golden (noiseless) response per chip under `env`.

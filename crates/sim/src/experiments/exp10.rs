@@ -11,7 +11,7 @@
 use aro_circuit::ring::RoStyle;
 use aro_device::environment::Environment;
 use aro_device::units::YEAR;
-use aro_puf::{Enrollment, MissionProfile, PairingStrategy, Population};
+use aro_puf::{Enrollment, MissionProfile, PairingStrategy};
 
 use crate::config::SimConfig;
 use crate::report::Report;
@@ -37,7 +37,7 @@ pub struct MaskingPoint {
 pub fn masking_sweep(cfg: &SimConfig, style: RoStyle) -> Vec<MaskingPoint> {
     let design = design_for(cfg, style);
     let n_chips = (cfg.n_chips / 2).max(6).min(cfg.n_chips);
-    let mut population = Population::fabricate(&design, n_chips);
+    let mut population = crate::popcache::fabricate(&design, n_chips);
     let env = Environment::nominal(design.tech());
     let enrollments: Vec<Enrollment> = population.enroll_all(&env, &PairingStrategy::Neighbor);
     population.age_all(&MissionProfile::typical(design.tech()), 10.0 * YEAR);

@@ -18,7 +18,7 @@ use aro_device::params::TechParams;
 use aro_device::units::YEAR;
 use aro_metrics::quality::inter_chip_hd;
 use aro_metrics::stats::Summary;
-use aro_puf::{Enrollment, MissionProfile, PairingStrategy, Population, PufDesign};
+use aro_puf::{Enrollment, MissionProfile, PairingStrategy, PufDesign};
 
 use crate::config::SimConfig;
 use crate::report::Report;
@@ -56,7 +56,7 @@ pub fn evaluate(cfg: &SimConfig, sigma_v: f64, strategy: &PairingStrategy) -> Co
         .seed(cfg.seed ^ 0xe11)
         .build();
     let n_chips = (cfg.n_chips / 2).max(6).min(cfg.n_chips);
-    let mut population = Population::fabricate(&design, n_chips);
+    let mut population = crate::popcache::fabricate(&design, n_chips);
     let env = Environment::nominal(design.tech());
 
     let inter_hd = inter_chip_hd(&population.golden_responses(&env, strategy)).mean();

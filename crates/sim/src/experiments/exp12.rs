@@ -13,7 +13,7 @@ use aro_circuit::ring::RoStyle;
 use aro_device::environment::Environment;
 use aro_device::units::YEAR;
 use aro_puf::auth::{far_frr, CrpDatabase};
-use aro_puf::{Challenge, MissionProfile, Population};
+use aro_puf::{Challenge, MissionProfile};
 
 use crate::config::SimConfig;
 use crate::report::Report;
@@ -28,7 +28,7 @@ const THRESHOLDS: [f64; 7] = [0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40];
 pub fn distance_samples(cfg: &SimConfig, style: RoStyle) -> (Vec<f64>, Vec<f64>) {
     let design = design_for(cfg, style);
     let n_chips = (cfg.n_chips / 2).clamp(6, cfg.n_chips.max(6));
-    let mut population = Population::fabricate(&design, n_chips);
+    let mut population = crate::popcache::fabricate(&design, n_chips);
     let env = Environment::nominal(design.tech());
     let challenges: Vec<Challenge> = (0..4u64).map(|i| Challenge(0x12e + i)).collect();
     let bits = (design.n_ros() / 2).min(64);

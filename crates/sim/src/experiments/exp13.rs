@@ -13,7 +13,6 @@ use aro_metrics::stats::Summary;
 use aro_puf::PairingStrategy;
 
 use crate::config::SimConfig;
-use crate::experiments::exp2;
 use crate::report::Report;
 use crate::runner::{build_population, pct};
 use crate::table::Table;
@@ -31,10 +30,17 @@ pub struct Headline {
 }
 
 /// Measures one style's headline pair at one seed.
+///
+/// Both measurements go through the cross-experiment population cache:
+/// the flip timeline is the standard memoized one (for the run's own
+/// master seed this is a guaranteed hit against EXP-2/EXP-6), and the
+/// pristine population read for inter-chip HD is a cache clone — which is
+/// bit-identical to a fresh fabrication (same seed, fresh measurement
+/// nonces, no accumulated wear).
 #[must_use]
 pub fn headline(cfg: &SimConfig, style: RoStyle, seed: u64) -> Headline {
     let cfg = cfg.clone().with_seed(seed);
-    let flips_10y = exp2::flip_timeline(&cfg, style).final_mean();
+    let flips_10y = crate::popcache::standard_flip_timeline(&cfg, style).final_mean();
     let population = build_population(&cfg, style);
     let env = Environment::nominal(population.design().tech());
     let inter_hd =

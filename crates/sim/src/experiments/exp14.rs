@@ -46,7 +46,7 @@ pub fn measure(cfg: &SimConfig, chips: usize, attempts_per_chip: usize) -> SoftG
     let ber = timeline.final_quantile(0.99);
     let params = puf_area_params(RoStyle::AgingResistant, 5);
     let provisioned =
-        KeyGenerator::for_bit_error_rate(ber, cfg.key_bits, cfg.key_fail_target, &params)
+        crate::popcache::provisioned_generator(ber, cfg.key_bits, cfg.key_fail_target, &params)
             .expect("feasible ARO design point");
     // Under-provision both layers: the thinnest soft-capable inner code
     // (r = 3) and a quarter of the outer correction capability. Hard

@@ -9,20 +9,18 @@
 
 use aro_circuit::ring::RoStyle;
 use aro_device::units::{format_duration, YEAR};
-use aro_puf::lifetime::standard_checkpoints;
-use aro_puf::MissionProfile;
 
 use crate::config::SimConfig;
 use crate::report::Report;
-use crate::runner::{build_population, measure_flip_timeline, pct, FlipTimeline};
+use crate::runner::{pct, FlipTimeline};
 use crate::table::{Figure, Series, Table};
 
 /// Measures the flip timeline of one style under the typical mission.
+/// Memoized per run scope — exp5, exp8 and exp14 re-request the same
+/// timeline this experiment measures.
 #[must_use]
 pub fn flip_timeline(cfg: &SimConfig, style: RoStyle) -> FlipTimeline {
-    let mut population = build_population(cfg, style);
-    let profile = MissionProfile::typical(population.design().tech());
-    measure_flip_timeline(&mut population, &profile, &standard_checkpoints())
+    crate::popcache::standard_flip_timeline(cfg, style)
 }
 
 /// Runs EXP-2.

@@ -10,7 +10,7 @@
 use aro_circuit::ring::RoStyle;
 use aro_device::params::TechParams;
 use aro_device::units::YEAR;
-use aro_puf::{MissionProfile, Population, PufDesign};
+use aro_puf::{MissionProfile, PufDesign};
 
 use crate::config::SimConfig;
 use crate::report::Report;
@@ -40,7 +40,7 @@ pub fn flip_rate_at_duty(cfg: &SimConfig, duty: f64) -> f64 {
         .tech(tech)
         .seed(cfg.seed ^ 0x6e6)
         .build();
-    let mut population = Population::fabricate(&design, sweep_chips(cfg));
+    let mut population = crate::popcache::fabricate(&design, sweep_chips(cfg));
     let profile = MissionProfile::typical(design.tech());
     measure_flip_timeline(&mut population, &profile, &[10.0 * YEAR]).final_mean()
 }
@@ -48,8 +48,12 @@ pub fn flip_rate_at_duty(cfg: &SimConfig, duty: f64) -> f64 {
 /// Ten-year flip rate of a style at mission temperature `temp_celsius`.
 #[must_use]
 pub fn flip_rate_at_temp(cfg: &SimConfig, style: RoStyle, temp_celsius: f64) -> f64 {
+    // The population cache collapses the temperature sweep to two
+    // fabrications per style (first sighting + baseline promotion); every
+    // later point clones the baseline (this function used to refabricate
+    // the identical population per point).
     let design = design_for(cfg, style);
-    let mut population = Population::fabricate(&design, sweep_chips(cfg));
+    let mut population = crate::popcache::fabricate(&design, sweep_chips(cfg));
     let mut profile = MissionProfile::typical(design.tech());
     profile.temp_celsius = temp_celsius;
     measure_flip_timeline(&mut population, &profile, &[10.0 * YEAR]).final_mean()

@@ -10,7 +10,7 @@ use aro_circuit::ring::RoStyle;
 use aro_device::environment::Environment;
 use aro_device::units::YEAR;
 use aro_metrics::quality::inter_chip_hd;
-use aro_puf::{Enrollment, MissionProfile, PairingStrategy, Population};
+use aro_puf::{Enrollment, MissionProfile, PairingStrategy};
 
 use crate::config::SimConfig;
 use crate::report::Report;
@@ -36,7 +36,7 @@ pub struct StrategyOutcome {
 #[must_use]
 pub fn evaluate(cfg: &SimConfig, style: RoStyle, strategy: PairingStrategy) -> StrategyOutcome {
     let design = design_for(cfg, style);
-    let mut population = Population::fabricate(&design, cfg.n_chips);
+    let mut population = crate::popcache::fabricate(&design, cfg.n_chips);
     let env = Environment::nominal(design.tech());
 
     let fresh = population.golden_responses(&env, &strategy);

@@ -96,7 +96,7 @@ pub fn run(cfg: &SimConfig) -> Report {
     let ber = timeline.final_quantile(0.99);
     let params = puf_area_params(RoStyle::AgingResistant, 5);
     let Some(generator) =
-        KeyGenerator::for_bit_error_rate(ber, cfg.key_bits, cfg.key_fail_target, &params)
+        crate::popcache::provisioned_generator(ber, cfg.key_bits, cfg.key_fail_target, &params)
     else {
         report.push_note("no feasible ARO design point — increase the code search space");
         return report;

@@ -29,7 +29,7 @@ pub type TmvCurve = Vec<(f64, f64)>;
 pub fn tmv_curves(cfg: &SimConfig, style: RoStyle) -> (TmvCurve, TmvCurve) {
     let design = design_for(cfg, style);
     let n_chips = (cfg.n_chips / 2).max(6).min(cfg.n_chips);
-    let mut population = Population::fabricate(&design, n_chips);
+    let mut population = crate::popcache::fabricate(&design, n_chips);
     let env = Environment::nominal(design.tech());
     let strategy = PairingStrategy::Neighbor;
     let enrollments: Vec<Enrollment> = population.enroll_all(&env, &strategy);

@@ -35,17 +35,23 @@ fn traced(id: &str, cfg: &SimConfig, run: fn(&SimConfig) -> Report) -> Report {
     report
 }
 
-/// Runs every experiment at the given configuration, in order.
+/// Runs every experiment at the given configuration, in order. The whole
+/// sweep shares one population cache, so each reused (design, chip count)
+/// key fabricates at most twice — once to detect reuse, once for the
+/// retained baseline — no matter how many experiments request it.
 #[must_use]
 pub fn run_all(cfg: &SimConfig) -> Vec<Report> {
-    ALL_IDS
-        .iter()
-        .map(|id| run_by_id(id, cfg).expect("ALL_IDS entries are valid"))
-        .collect()
+    crate::popcache::scoped(|| {
+        ALL_IDS
+            .iter()
+            .map(|id| run_by_id(id, cfg).expect("ALL_IDS entries are valid"))
+            .collect()
+    })
 }
 
 /// Runs one experiment by id (`"exp1"`…`"exp14"`), or `None` for an
-/// unknown id.
+/// unknown id. Opens a population-cache scope of its own (a no-op when
+/// the caller — e.g. [`run_all`] — already holds one).
 #[must_use]
 pub fn run_by_id(id: &str, cfg: &SimConfig) -> Option<Report> {
     let run: fn(&SimConfig) -> Report = match id {
@@ -65,5 +71,5 @@ pub fn run_by_id(id: &str, cfg: &SimConfig) -> Option<Report> {
         "exp14" => exp14::run,
         _ => return None,
     };
-    Some(traced(id, cfg, run))
+    Some(crate::popcache::scoped(|| traced(id, cfg, run)))
 }

@@ -29,6 +29,7 @@
 pub mod config;
 pub mod experiments;
 pub mod parallel;
+pub mod popcache;
 pub mod report;
 pub mod runner;
 pub mod summary;

@@ -1,0 +1,416 @@
+//! Cross-experiment population cache.
+//!
+//! `run_all` used to refabricate identical chip populations over and over:
+//! every experiment that calls [`crate::runner::build_population`] (or
+//! `Population::fabricate` directly) re-sampled the same deterministic
+//! RNG streams into the same silicon. Fabrication is a pure function of
+//! *(design, n_chips)*, so one baseline build per distinct key suffices —
+//! callers get a clone of an [`Rc`]'d pristine population and mutate that.
+//!
+//! The cache is **scoped, not global**: it exists only inside a
+//! [`scoped`] region (installed by `experiments::run_all`, `run_by_id`,
+//! and the `repro` binary's experiment loop) and is dropped when the
+//! outermost scope exits. Every run therefore starts cold, which keeps
+//! repeated runs — and the observability suite's thread-count determinism
+//! comparison — byte-identical. The cache is also thread-local; worker
+//! threads inside `par_map_mut` never touch it.
+//!
+//! Keying compares the **full design** (style, seed domain, technology,
+//! readout, pairing bias — everything `PufDesign::eq` sees) plus the chip
+//! count. exp6's duty sweep shares a seed and style across designs that
+//! differ only in one `TechParams` field, so a narrower key would alias
+//! them; a linear scan over at most [`CAPACITY`] entries is cheaper than
+//! hashing the design anyway.
+//!
+//! Caching is **lazy**: the first request for a key passes straight
+//! through to `Population::fabricate` and only records the key; a baseline
+//! is built and retained when the *second* request for the same key
+//! arrives. Single-use designs — exp13's per-seed populations, exp6's six
+//! duty-sweep designs — therefore pay nothing (no retained copy, no extra
+//! clone), while every key that is actually reused costs one extra
+//! fabrication amortized over all subsequent hits.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aro_circuit::ring::RoStyle;
+use aro_ecc::area::{search_design, KeyGenSpec, PufAreaParams};
+use aro_ecc::keygen::KeyGenerator;
+use aro_puf::{MissionProfile, Population, PufDesign};
+
+use crate::config::SimConfig;
+use crate::runner::{build_population, measure_flip_timeline, FlipTimeline};
+
+/// Maximum retained baselines per scope (LRU beyond this). Only keys
+/// requested at least twice are ever retained; at paper scale the working
+/// set is the two main-config populations plus exp6's two half-size
+/// temperature-sweep populations.
+pub const CAPACITY: usize = 8;
+
+/// Maximum remembered seen-once keys (FIFO beyond this). A key holds a
+/// `PufDesign` clone, not a population, so this bound is about lookup
+/// cost, not memory.
+const SEEN_CAPACITY: usize = 32;
+
+type Entry = (PufDesign, usize, Rc<Population>);
+
+/// Identity of one ECC provisioning problem. Exact float bit patterns:
+/// provisioning is deterministic in its inputs, and two BERs that differ
+/// in the last ulp are legitimately different problems.
+type ProvisionKey = (u64, usize, u64, PufAreaParams);
+
+fn provision_key(p_bit: f64, key_bits: usize, p_fail_target: f64, puf: &PufAreaParams) -> ProvisionKey {
+    (p_bit.to_bits(), key_bits, p_fail_target.to_bits(), *puf)
+}
+
+#[derive(Default)]
+struct Scope {
+    /// Baselines for keys requested at least twice, LRU-ordered (oldest
+    /// first).
+    entries: Vec<Entry>,
+    /// Keys requested exactly once, FIFO-ordered, awaiting promotion.
+    seen_once: Vec<(PufDesign, usize)>,
+    /// Memoized standard flip timelines, keyed by (config, style). A
+    /// timeline is a few hundred bytes, so these are kept unconditionally
+    /// (no lazy promotion, no eviction) for the scope's lifetime.
+    timelines: Vec<((SimConfig, RoStyle), FlipTimeline)>,
+    /// Memoized ECC design-space searches (exp5 sweeps four points; exp8
+    /// and exp14 re-derive exp5's worst-case ARO point).
+    specs: Vec<(ProvisionKey, Option<KeyGenSpec>)>,
+    /// Memoized key generators built from those searches (shared by exp8
+    /// and exp14, which provision for the same measured BER).
+    generators: Vec<(ProvisionKey, Option<KeyGenerator>)>,
+}
+
+thread_local! {
+    /// `None` = no scope active (plain fabrication, no caching).
+    static CACHE: RefCell<Option<Scope>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with a population cache installed. Re-entrant: nested scopes
+/// join the outermost one instead of shadowing it, so `run_all` keeps its
+/// cross-experiment cache even though each `run_by_id` opens its own scope.
+pub fn scoped<R>(f: impl FnOnce() -> R) -> R {
+    let installed = CACHE.with(|cache| {
+        let mut slot = cache.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(Scope::default());
+            true
+        } else {
+            false
+        }
+    });
+    // Drop guard so a panicking experiment still clears the scope.
+    struct Guard(bool);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            if self.0 {
+                CACHE.with(|cache| *cache.borrow_mut() = None);
+            }
+        }
+    }
+    let _guard = Guard(installed);
+    f()
+}
+
+/// Whether a cache scope is currently active on this thread.
+#[must_use]
+pub fn is_active() -> bool {
+    CACHE.with(|cache| cache.borrow().is_some())
+}
+
+/// Fabricates (or re-uses) the population of `design` with `n_chips`
+/// chips. Inside a [`scoped`] region the second request per key builds a
+/// pristine baseline and every later request returns a clone of it;
+/// outside any scope — and on any key's first request — this is exactly
+/// `Population::fabricate`.
+#[must_use]
+pub fn fabricate(design: &PufDesign, n_chips: usize) -> Population {
+    CACHE.with(|cache| {
+        let mut slot = cache.borrow_mut();
+        let Some(scope) = slot.as_mut() else {
+            return Population::fabricate(design, n_chips);
+        };
+        if let Some(index) = scope
+            .entries
+            .iter()
+            .position(|(d, n, _)| *n == n_chips && d == design)
+        {
+            aro_obs::counter("sim.popcache_hits", 1);
+            // LRU: refresh the entry's position before handing out a clone.
+            let entry = scope.entries.remove(index);
+            let population = (*entry.2).clone();
+            scope.entries.push(entry);
+            return population;
+        }
+        aro_obs::counter("sim.popcache_misses", 1);
+        if let Some(index) = scope
+            .seen_once
+            .iter()
+            .position(|(d, n)| *n == n_chips && d == design)
+        {
+            // Second request: the key earns a retained baseline.
+            scope.seen_once.remove(index);
+            let baseline = Rc::new(Population::fabricate(design, n_chips));
+            let population = (*baseline).clone();
+            if scope.entries.len() >= CAPACITY {
+                scope.entries.remove(0);
+            }
+            scope.entries.push((design.clone(), n_chips, baseline));
+            return population;
+        }
+        // First sighting: remember the key, don't pay for a copy.
+        if scope.seen_once.len() >= SEEN_CAPACITY {
+            scope.seen_once.remove(0);
+        }
+        scope.seen_once.push((design.clone(), n_chips));
+        Population::fabricate(design, n_chips)
+    })
+}
+
+/// Number of retained baselines in the active scope (0 without a scope).
+/// Exposed for cache-behavior tests.
+#[must_use]
+pub fn retained_baselines() -> usize {
+    CACHE.with(|cache| cache.borrow().as_ref().map_or(0, |s| s.entries.len()))
+}
+
+/// The ten-year flip timeline of a style under a config — the
+/// paper-standard measurement (typical mission, standard checkpoints) that
+/// exp2, exp5, exp8, exp13 and exp14 all start from. Deterministic in
+/// *(config, style)*: the population comes from [`fabricate`] (a pristine
+/// clone or a fresh build, bit-identical either way) and every noise
+/// stream is seeded from the design, so inside a [`scoped`] region the
+/// measurement runs once per key and later callers get a memoized copy.
+#[must_use]
+pub fn standard_flip_timeline(cfg: &SimConfig, style: RoStyle) -> FlipTimeline {
+    let cached = CACHE.with(|cache| {
+        cache.borrow().as_ref().and_then(|scope| {
+            scope
+                .timelines
+                .iter()
+                .find(|(key, _)| key.1 == style && key.0 == *cfg)
+                .map(|(_, timeline)| timeline.clone())
+        })
+    });
+    if let Some(timeline) = cached {
+        aro_obs::counter("sim.popcache_timeline_hits", 1);
+        return timeline;
+    }
+    let mut population = build_population(cfg, style);
+    let profile = MissionProfile::typical(population.design().tech());
+    let timeline = measure_flip_timeline(
+        &mut population,
+        &profile,
+        &aro_puf::lifetime::standard_checkpoints(),
+    );
+    CACHE.with(|cache| {
+        if let Some(scope) = cache.borrow_mut().as_mut() {
+            aro_obs::counter("sim.popcache_timeline_misses", 1);
+            scope
+                .timelines
+                .push(((cfg.clone(), style), timeline.clone()));
+        }
+    });
+    timeline
+}
+
+/// [`search_design`] memoized per scope. The search sweeps hundreds of
+/// (repetition ⊗ BCH) points per call and is pure in its inputs, so one
+/// run never needs to solve the same provisioning problem twice.
+#[must_use]
+pub fn provisioned_spec(
+    p_bit: f64,
+    key_bits: usize,
+    p_fail_target: f64,
+    puf: &PufAreaParams,
+) -> Option<KeyGenSpec> {
+    let key = provision_key(p_bit, key_bits, p_fail_target, puf);
+    let cached = CACHE.with(|cache| {
+        cache.borrow().as_ref().and_then(|scope| {
+            scope
+                .specs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, spec)| spec.clone())
+        })
+    });
+    if let Some(spec) = cached {
+        aro_obs::counter("sim.provision_hits", 1);
+        return spec;
+    }
+    let spec = search_design(p_bit, key_bits, p_fail_target, puf);
+    CACHE.with(|cache| {
+        if let Some(scope) = cache.borrow_mut().as_mut() {
+            aro_obs::counter("sim.provision_misses", 1);
+            scope.specs.push((key, spec.clone()));
+        }
+    });
+    spec
+}
+
+/// [`KeyGenerator::for_bit_error_rate`] memoized per scope, with its
+/// internal searches also routed through [`provisioned_spec`]. exp8 and
+/// exp14 both provision for the ARO design's worst-case ten-year BER;
+/// inside one run the second caller gets a clone.
+#[must_use]
+pub fn provisioned_generator(
+    p_bit: f64,
+    key_bits: usize,
+    p_fail_target: f64,
+    puf: &PufAreaParams,
+) -> Option<KeyGenerator> {
+    let key = provision_key(p_bit, key_bits, p_fail_target, puf);
+    let cached = CACHE.with(|cache| {
+        cache.borrow().as_ref().and_then(|scope| {
+            scope
+                .generators
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, generator)| generator.clone())
+        })
+    });
+    if let Some(generator) = cached {
+        aro_obs::counter("sim.provision_hits", 1);
+        return generator;
+    }
+    let generator =
+        KeyGenerator::for_bit_error_rate_via(provisioned_spec, p_bit, key_bits, p_fail_target, puf);
+    CACHE.with(|cache| {
+        if let Some(scope) = cache.borrow_mut().as_mut() {
+            scope.generators.push((key, generator.clone()));
+        }
+    });
+    generator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aro_circuit::ring::RoStyle;
+
+    fn design(style: RoStyle, seed: u64) -> PufDesign {
+        PufDesign::builder(style).n_ros(8).seed(seed).build()
+    }
+
+    #[test]
+    fn scoped_reuse_is_bit_identical_to_fresh_fabrication() {
+        let d = design(RoStyle::Conventional, 7);
+        let fresh = Population::fabricate(&d, 3);
+        let (first, second, third) = scoped(|| {
+            let first = fabricate(&d, 3); // passthrough (first sighting)
+            let second = fabricate(&d, 3); // promotion (baseline retained)
+            let third = fabricate(&d, 3); // hit (clone of the baseline)
+            (first, second, third)
+        });
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+        assert_eq!(third, fresh);
+    }
+
+    #[test]
+    fn baselines_are_retained_only_on_the_second_request() {
+        let d = design(RoStyle::Conventional, 8);
+        scoped(|| {
+            let _ = fabricate(&d, 3);
+            assert_eq!(retained_baselines(), 0, "first sighting must not retain");
+            let _ = fabricate(&d, 3);
+            assert_eq!(retained_baselines(), 1, "second request must promote");
+            let _ = fabricate(&d, 3);
+            assert_eq!(retained_baselines(), 1);
+        });
+        assert_eq!(retained_baselines(), 0);
+    }
+
+    #[test]
+    fn different_seeds_and_styles_never_share() {
+        scoped(|| {
+            let a = fabricate(&design(RoStyle::Conventional, 1), 3);
+            let b = fabricate(&design(RoStyle::Conventional, 2), 3);
+            let c = fabricate(&design(RoStyle::AgingResistant, 1), 3);
+            assert_ne!(a, b, "different seeds must fabricate differently");
+            assert_ne!(a, c, "different styles must fabricate differently");
+            assert_ne!(b, c);
+        });
+    }
+
+    #[test]
+    fn different_chip_counts_never_share() {
+        let d = design(RoStyle::Conventional, 3);
+        scoped(|| {
+            let small = fabricate(&d, 2);
+            let large = fabricate(&d, 4);
+            assert_eq!(small.len(), 2);
+            assert_eq!(large.len(), 4);
+            // The shared prefix is still identical chips (same id streams).
+            assert_eq!(small.chips(), &large.chips()[..2]);
+        });
+    }
+
+    #[test]
+    fn tech_difference_is_part_of_the_key() {
+        // exp6's duty sweep: same seed/style/chip count, one tech field off.
+        let base = design(RoStyle::AgingResistant, 4);
+        let tweaked_tech = aro_device::params::TechParams {
+            aro_idle_stress_fraction: 0.5,
+            ..aro_device::params::TechParams::default()
+        };
+        let tweaked = PufDesign::builder(RoStyle::AgingResistant)
+            .n_ros(8)
+            .tech(tweaked_tech)
+            .seed(4)
+            .build();
+        scoped(|| {
+            let a = fabricate(&base, 2);
+            let b = fabricate(&tweaked, 2);
+            assert_eq!(a.design(), &base);
+            assert_eq!(b.design(), &tweaked);
+            assert_ne!(a.design(), b.design(), "tech params must split the key");
+        });
+    }
+
+    #[test]
+    fn no_scope_means_no_cache() {
+        assert!(!is_active());
+        let d = design(RoStyle::Conventional, 5);
+        // Plain passthrough; nothing to assert beyond it working.
+        let population = fabricate(&d, 2);
+        assert_eq!(population.len(), 2);
+        scoped(|| assert!(is_active()));
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn nested_scopes_share_the_outer_cache() {
+        let d = design(RoStyle::Conventional, 6);
+        scoped(|| {
+            let outer = fabricate(&d, 2);
+            let inner = scoped(|| fabricate(&d, 2));
+            assert_eq!(outer, inner);
+            // The outer scope survives the nested region.
+            assert!(is_active());
+        });
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn capacity_is_bounded_lru() {
+        scoped(|| {
+            // Request every key twice so each one gets promoted; the LRU
+            // must still never hold more than CAPACITY baselines.
+            for seed in 0..(CAPACITY as u64 + 3) {
+                let d = design(RoStyle::Conventional, seed);
+                let _ = fabricate(&d, 2);
+                let _ = fabricate(&d, 2);
+            }
+            assert_eq!(retained_baselines(), CAPACITY);
+            // The oldest entry was evicted; requesting it again must still
+            // produce the deterministic result.
+            let again = fabricate(&design(RoStyle::Conventional, 0), 2);
+            assert_eq!(
+                again,
+                Population::fabricate(&design(RoStyle::Conventional, 0), 2)
+            );
+        });
+    }
+}

@@ -23,10 +23,13 @@ pub fn design_for(cfg: &SimConfig, style: RoStyle) -> PufDesign {
         .build()
 }
 
-/// Fabricates the population of a style under a config.
+/// Fabricates the population of a style under a config. Inside a
+/// [`crate::popcache::scoped`] region (every `run_all`/`run_by_id` call)
+/// repeated requests past the second clone one cached baseline instead of
+/// refabricating.
 #[must_use]
 pub fn build_population(cfg: &SimConfig, style: RoStyle) -> Population {
-    Population::fabricate(&design_for(cfg, style), cfg.n_chips)
+    crate::popcache::fabricate(&design_for(cfg, style), cfg.n_chips)
 }
 
 /// Flip-rate statistics along an aging timeline.

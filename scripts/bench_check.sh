@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Perf-trajectory check for the ARO-PUF reproduction.
+#
+# Re-runs the full quick-scale reproduction with --bench-json and compares
+# the total wall time against the committed pre-optimization capture
+# (BENCH_baseline.json, recorded at the seed commit before the frequency
+# kernel / parallel fabrication / population cache work).
+#
+# This is a trend monitor, not a gate: wall-clock on shared or throttled
+# machines drifts by double-digit percentages between runs (see
+# docs/PERFORMANCE.md), so regressions print a loud WARNING but the script
+# still exits 0. Tune the alarm threshold with BENCH_MIN_SPEEDUP
+# (default 1.2 — i.e. warn only when the optimized tree has lost most of
+# its measured ~2x headroom over the baseline).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_baseline.json"
+MIN_SPEEDUP="${BENCH_MIN_SPEEDUP:-1.2}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_check: no $BASELINE at the workspace root; nothing to compare" >&2
+    exit 0
+fi
+
+echo "==> building repro (release)"
+CARGO_NET_OFFLINE=true cargo build --release -q -p aro-bench
+
+fresh="$(mktemp /tmp/BENCH_fresh.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "==> timing repro --quick (three runs, keeping the fastest)"
+best=""
+for _ in 1 2 3; do
+    ./target/release/repro --quick --quiet --bench-json "$fresh"
+    total="$(sed -n 's/.*"total_wall_ns": \([0-9]*\).*/\1/p' "$fresh")"
+    if [[ -z "$best" || "$total" -lt "$best" ]]; then
+        best="$total"
+    fi
+done
+
+baseline_total="$(sed -n 's/.*"total_wall_ns": \([0-9]*\).*/\1/p' "$BASELINE")"
+if [[ -z "$baseline_total" || -z "$best" ]]; then
+    echo "bench_check: could not parse total_wall_ns; skipping comparison" >&2
+    exit 0
+fi
+
+awk -v base="$baseline_total" -v now="$best" -v min="$MIN_SPEEDUP" 'BEGIN {
+    speedup = base / now
+    printf "baseline total : %10.1f ms  (%s ns)\n", base / 1e6, base
+    printf "current  total : %10.1f ms  (%s ns)\n", now / 1e6, now
+    printf "speedup        : %10.2fx  (alarm below %.2fx)\n", speedup, min
+    if (speedup < min) {
+        printf "WARNING: speedup %.2fx is below the %.2fx floor — the hot-path\n", speedup, min
+        printf "WARNING: optimizations may have regressed (or this machine is\n"
+        printf "WARNING: slow right now; see docs/PERFORMANCE.md on timing noise).\n"
+    } else {
+        printf "bench_check OK\n"
+    }
+}'

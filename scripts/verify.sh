@@ -19,4 +19,11 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Bench smoke: run each microbenchmark once (the vendored criterion runs a
+# single iteration when invoked without `--bench`), proving the bench
+# harness still compiles and executes. Full timing comparisons live in
+# scripts/bench_check.sh, which warns rather than fails.
+echo "==> bench smoke (one iteration per microbenchmark)"
+cargo test -q -p aro-bench --benches
+
 echo "==> verify OK"

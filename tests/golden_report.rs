@@ -1,0 +1,64 @@
+//! Golden-output regression test: the full quick-config reproduction run
+//! must stay byte-identical to the committed fixture.
+//!
+//! This is the contract every performance change in this repo is held to:
+//! kernels, caches and parallel fan-out may reorder *work*, never *bits*.
+//! The fixture `tests/fixtures/golden_quick.md` is the exact stdout of
+//! `repro --quick`; regenerate it (and justify the diff in the PR) with
+//!
+//! ```text
+//! cargo run --release -p aro-bench --bin repro -- --quick \
+//!     > tests/fixtures/golden_quick.md
+//! ```
+
+use aro_puf_repro::sim::experiments::{run_by_id, ALL_IDS};
+use aro_puf_repro::sim::{popcache, SimConfig};
+use std::fmt::Write;
+
+const FIXTURE: &str = include_str!("fixtures/golden_quick.md");
+
+/// Renders the quick run exactly as the `repro` binary prints it: the
+/// header line, then every report's `Display` output, each followed by a
+/// newline (one `writeln!` per `emit` call in `repro`).
+fn render_quick_run() -> String {
+    let cfg = SimConfig::quick();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# ARO-PUF (DATE 2014) reproduction — {} chips x {} ROs, seed {}\n",
+        cfg.n_chips, cfg.n_ros, cfg.seed
+    )
+    .expect("writing to a String cannot fail");
+    popcache::scoped(|| {
+        for id in ALL_IDS {
+            let report = run_by_id(id, &cfg).expect("every ALL_IDS entry runs");
+            writeln!(out, "{report}").expect("writing to a String cannot fail");
+        }
+    });
+    out
+}
+
+#[test]
+fn quick_run_is_byte_identical_to_the_committed_fixture() {
+    let rendered = render_quick_run();
+    if rendered != FIXTURE {
+        // Byte-level assert_eq on 17 kB of markdown is unreadable; point
+        // at the first diverging line instead.
+        for (i, (got, want)) in rendered.lines().zip(FIXTURE.lines()).enumerate() {
+            assert_eq!(got, want, "first divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            rendered.len(),
+            FIXTURE.len(),
+            "outputs agree line-by-line but differ in length (trailing content)"
+        );
+        unreachable!("outputs differ but no line-level divergence was found");
+    }
+}
+
+#[test]
+fn golden_rendering_is_deterministic_across_repeated_runs() {
+    // The popcache scope is per-run; two runs must not leak state into
+    // each other's bytes.
+    assert_eq!(render_quick_run(), render_quick_run());
+}
