@@ -10,21 +10,32 @@
 //! repro --metrics                # print the instrumented run summary
 //! repro --bench-json BENCH_run.json  # per-experiment wall-time dump
 //! repro --threads 4              # force the worker-thread count
+//! repro --faults smoke           # run under an injected-fault plan
+//! repro --max-retries 2          # retry failed experiments (reseeding
+//!                                # only the flaky-tolerant ones)
+//! repro --watchdog 600           # abandon any experiment past 600 s
+//! repro --fail exp3              # force exp3 to panic (chaos testing)
 //! repro --quiet                  # suppress report output (for timing runs)
 //! repro --list                   # what is available
 //! ```
 //!
 //! Output is markdown: tables render as pipe tables, figures as data
-//! listings (x column + one y column per series). Exit codes: 0 success,
-//! 1 runtime/I-O failure, 2 usage error.
+//! listings (x column + one y column per series). A run where some — but
+//! not all — experiments fail still prints every surviving report plus a
+//! failure table (degraded mode). Exit codes: 0 success, 1 runtime/I-O
+//! failure, 2 usage error, 3 partial failure (degraded report emitted),
+//! 4 total failure (no experiment completed), 141 closed output pipe.
 
-use aro_sim::experiments::{run_by_id, ALL_IDS};
+use aro_faults::{FaultInjector, FaultPlan};
+use aro_sim::experiments::ALL_IDS;
+use aro_sim::harness::{self, HarnessOptions};
 use aro_sim::{Report, SimConfig};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::Duration;
 
-const EXPERIMENTS: [(&str, &str); 14] = [
+const EXPERIMENTS: [(&str, &str); 15] = [
     ("exp1", "RO frequency degradation vs. time"),
     (
         "exp2",
@@ -51,6 +62,7 @@ const EXPERIMENTS: [(&str, &str); 14] = [
     ("exp12", "Authentication FAR/FRR after ten years"),
     ("exp13", "Seed robustness of the headline claims"),
     ("exp14", "Soft-decision decoding gain"),
+    ("exp15", "Key recovery under injected faults (chaos sweep)"),
 ];
 
 /// Everything that can go wrong, with the exit code it maps to.
@@ -116,9 +128,28 @@ fn usage() -> String {
          \x20 --bench-json PATH    write per-experiment wall times as JSON\n\
          \x20 --threads N          force N worker threads (1 = sequential,\n\
          \x20                      results are bit-identical at any count)\n\
+         \x20 --faults PLAN        inject deterministic faults; PLAN is\n\
+         \x20                      off | smoke | storm, optionally scaled\n\
+         \x20                      as PLAN@INTENSITY (e.g. storm@0.5)\n\
+         \x20 --max-retries N      retry a failed experiment up to N times\n\
+         \x20                      (flaky-tolerant experiments reseed,\n\
+         \x20                      headline ones keep their seed)\n\
+         \x20 --watchdog SECS      abandon any experiment attempt that is\n\
+         \x20                      still running after SECS seconds\n\
+         \x20 --fail ID            force experiment ID to panic (repeatable;\n\
+         \x20                      exercises degraded mode end to end)\n\
          \x20 --quiet              suppress report output\n\
          \x20 --list               list every experiment with its title\n\
-         \x20 --help               this message"
+         \x20 --help               this message\n\
+         \n\
+         exit codes:\n\
+         \x20 0  every requested experiment completed\n\
+         \x20 1  runtime/I-O failure\n\
+         \x20 2  usage error\n\
+         \x20 3  partial failure: some experiments failed, the rest were\n\
+         \x20    reported together with a failure table (degraded mode)\n\
+         \x20 4  total failure: no requested experiment completed\n\
+         \x20 141 output pipe closed by the consumer"
     )
 }
 
@@ -130,6 +161,11 @@ struct Options {
     telemetry: Option<PathBuf>,
     bench_json: Option<PathBuf>,
     threads: Option<usize>,
+    faults: Option<FaultPlan>,
+    fault_spec: Option<String>,
+    max_retries: usize,
+    watchdog: Option<Duration>,
+    forced_panics: Vec<String>,
     metrics: bool,
     quiet: bool,
     quick: bool,
@@ -149,6 +185,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
         telemetry: None,
         bench_json: None,
         threads: None,
+        faults: None,
+        fault_spec: None,
+        max_retries: 0,
+        watchdog: None,
+        forced_panics: Vec::new(),
         metrics: false,
         quiet: false,
         quick: false,
@@ -198,6 +239,45 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
                     ));
                 }
                 opts.threads = Some(threads);
+            }
+            "--faults" => {
+                let spec = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--faults expects a plan".into()))?;
+                let plan = FaultPlan::parse(&spec).map_err(|e| CliError::Usage(e.to_string()))?;
+                opts.faults = Some(plan);
+                opts.fault_spec = Some(spec);
+            }
+            "--max-retries" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--max-retries expects a value".into()))?;
+                opts.max_retries = value.parse().map_err(|_| {
+                    CliError::Usage(format!("--max-retries expects an integer, got `{value}`"))
+                })?;
+            }
+            "--watchdog" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--watchdog expects seconds".into()))?;
+                let secs: f64 = value.parse().map_err(|_| {
+                    CliError::Usage(format!("--watchdog expects seconds, got `{value}`"))
+                })?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CliError::Usage(
+                        "--watchdog expects a positive number of seconds".into(),
+                    ));
+                }
+                opts.watchdog = Some(Duration::from_secs_f64(secs));
+            }
+            "--fail" => {
+                let id = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--fail expects an experiment id".into()))?;
+                if !ALL_IDS.contains(&id.as_str()) {
+                    return Err(CliError::UnknownExperiment(id));
+                }
+                opts.forced_panics.push(id);
             }
             "--metrics" => opts.metrics = true,
             "--quiet" => opts.quiet = true,
@@ -263,7 +343,10 @@ fn emit(text: impl std::fmt::Display) {
     }
 }
 
-fn run(opts: &Options) -> Result<(), CliError> {
+fn run(opts: &Options) -> Result<i32, CliError> {
+    opts.cfg
+        .validate()
+        .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
     if let Some(threads) = opts.threads {
         aro_sim::parallel::set_thread_override(threads);
     }
@@ -281,6 +364,14 @@ fn run(opts: &Options) -> Result<(), CliError> {
             "# ARO-PUF (DATE 2014) reproduction — {} chips x {} ROs, seed {}\n",
             opts.cfg.n_chips, opts.cfg.n_ros, opts.cfg.seed
         ));
+        // A live fault plan changes the bytes anyway, so it may announce
+        // itself; a zero-intensity plan must stay byte-identical to a run
+        // with no --faults at all, so it stays silent.
+        if let (Some(plan), Some(spec)) = (&opts.faults, &opts.fault_spec) {
+            if !plan.is_off() {
+                emit(format_args!("> fault plan: {spec}\n"));
+            }
+        }
     }
 
     let ids: Vec<&str> = if opts.ids.is_empty() {
@@ -289,28 +380,50 @@ fn run(opts: &Options) -> Result<(), CliError> {
         opts.ids.iter().map(String::as_str).collect()
     };
 
-    let mut wall: Vec<(String, u128)> = Vec::with_capacity(ids.len());
+    let harness_opts = HarnessOptions {
+        max_retries: opts.max_retries,
+        watchdog: opts.watchdog,
+        forced_panics: opts.forced_panics.clone(),
+    };
+    let injector = opts
+        .faults
+        .map(|plan| Arc::new(FaultInjector::new(plan, opts.cfg.seed)));
+
     // One population cache for the whole invocation: experiments sharing
-    // a (design, chip count) fabricate it once and clone thereafter.
-    aro_sim::popcache::scoped(|| -> Result<(), CliError> {
+    // a (design, chip count) fabricate it once and clone thereafter. The
+    // fault context (if any) wraps the same scope; the harness isolates
+    // each experiment and collects whatever survives.
+    let outcome = aro_sim::popcache::scoped(|| {
         let _run_span = aro_obs::span("run");
-        for id in ids {
-            let started = Instant::now();
-            let report = run_by_id(id, &opts.cfg).ok_or_else(|| {
-                // Unreachable for ALL_IDS entries; user ids were validated
-                // at parse time, but keep the error path total.
-                CliError::UnknownExperiment(id.to_string())
-            })?;
-            wall.push((id.to_string(), started.elapsed().as_nanos()));
-            if !opts.quiet {
-                emit(&report);
-            }
-            if let Some(dir) = &opts.csv_dir {
-                dump_csv(&report, dir)?;
-            }
+        aro_sim::faultctx::scoped(injector, || {
+            harness::run_experiments(&opts.cfg, &ids, &harness_opts)
+        })
+    });
+
+    let mut wall: Vec<(String, u128)> = Vec::with_capacity(outcome.successes.len());
+    for success in &outcome.successes {
+        wall.push((success.id.clone(), success.wall.as_nanos()));
+        if !opts.quiet {
+            emit(&success.report);
         }
-        Ok(())
-    })?;
+        if let Some(dir) = &opts.csv_dir {
+            dump_csv(&success.report, dir)?;
+        }
+    }
+    for failure in &outcome.failures {
+        eprintln!(
+            "repro: {} failed after {} attempt(s): {}",
+            failure.id, failure.attempts, failure.error
+        );
+    }
+    if let Some(table) = outcome.failure_table() {
+        if !opts.quiet {
+            emit(format_args!(
+                "## FAILURES — degraded run\n\n{}",
+                table.to_markdown()
+            ));
+        }
+    }
 
     if instrumented {
         let registry = aro_obs::snapshot();
@@ -329,7 +442,13 @@ fn run(opts: &Options) -> Result<(), CliError> {
         let json = bench_json(&opts.cfg, opts.quick, &wall);
         std::fs::write(path, json).map_err(CliError::io("write bench json", path))?;
     }
-    Ok(())
+    Ok(if outcome.is_total_failure() {
+        4
+    } else if outcome.is_degraded() {
+        3
+    } else {
+        0
+    })
 }
 
 fn main() {
@@ -340,12 +459,14 @@ fn main() {
             }
         }
         Ok(Parsed::Help) => emit(usage()),
-        Ok(Parsed::Run(opts)) => {
-            if let Err(e) = run(&opts) {
+        Ok(Parsed::Run(opts)) => match run(&opts) {
+            Ok(0) => {}
+            Ok(code) => std::process::exit(code),
+            Err(e) => {
                 eprintln!("repro: {e}");
                 std::process::exit(e.exit_code());
             }
-        }
+        },
         Err(e) => {
             eprintln!("repro: {e}");
             if e.exit_code() == 2 {

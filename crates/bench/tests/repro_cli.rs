@@ -24,7 +24,7 @@ fn unknown_option_exits_2_with_usage() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown option `--bogus`"), "{err}");
     assert!(err.contains("usage: repro"), "{err}");
-    assert!(err.contains("exp14"), "usage must list exp1..exp14: {err}");
+    assert!(err.contains("exp15"), "usage must list exp1..exp15: {err}");
 }
 
 #[test]

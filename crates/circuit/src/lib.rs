@@ -58,4 +58,4 @@ pub use kernel::FreqKernel;
 pub use logic::{GateKind, LogicCircuit, NetId, RippleCounter};
 pub use netlist::{CellArea, RoCell};
 pub use readout::{Measurement, ReadoutConfig};
-pub use ring::{AgingModels, RingOscillator, RoStyle};
+pub use ring::{AgingModels, RingOscillator, RoHealth, RoStyle};

@@ -90,10 +90,35 @@ impl ReadoutConfig {
         self.gate_time_s
     }
 
+    /// Returns this readout with both noise contributions (cycle jitter
+    /// and the environmental floor) amplified by `factor` — the
+    /// fault-injection hook for RTN bursts, where a trap ensemble briefly
+    /// multiplies the non-averaging noise floor (see [`aro_device::rtn`]).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and `>= 1.0` (a burst never
+    /// quietens the readout).
+    #[must_use]
+    pub fn with_noise_burst(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "noise burst factor must be >= 1"
+        );
+        Self {
+            gate_time_s: self.gate_time_s,
+            jitter_rel: self.jitter_rel * factor,
+            sigma_meas_rel: self.sigma_meas_rel * factor,
+        }
+    }
+
     /// Counts `f_true` through the gate window, adding jitter noise and
-    /// quantizing.
+    /// quantizing. A dead ring (`f_true == 0`) legitimately counts zero —
+    /// the counter simply never advances.
     pub fn measure<R: Rng + ?Sized>(&self, f_true: f64, rng: &mut R) -> Measurement {
-        assert!(f_true > 0.0, "frequency must be positive");
+        assert!(f_true >= 0.0, "frequency must be non-negative");
+        if f_true == 0.0 {
+            return Measurement::new(0, self.gate_time_s);
+        }
         let sigma = self.sigma_rel_at(f_true);
         let f_noisy = f_true * (1.0 + sigma * standard_normal(rng));
         let phase: f64 = rng.gen_range(0.0..1.0);
@@ -136,6 +161,20 @@ impl Measurement {
     #[must_use]
     pub fn frequency(&self) -> f64 {
         self.count as f64 / self.gate_time_s
+    }
+
+    /// Returns this measurement with `xor_mask` xored into the raw count —
+    /// the fault-injection hook for counter glitches, where a single-event
+    /// upset flips counter flip-flops mid-window. The gate time is
+    /// unchanged; the corrupted count propagates into
+    /// [`Measurement::frequency`] and [`Measurement::bit_against`] exactly
+    /// like a genuine miscounting.
+    #[must_use]
+    pub fn glitched(&self, xor_mask: u64) -> Self {
+        Self {
+            count: self.count ^ xor_mask,
+            gate_time_s: self.gate_time_s,
+        }
     }
 
     /// The response bit of a pair: `1` iff `self` counted strictly more
@@ -252,10 +291,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "frequency must be positive")]
-    fn measuring_nonpositive_frequency_panics() {
+    #[should_panic(expected = "frequency must be non-negative")]
+    fn measuring_negative_frequency_panics() {
         let cfg = ReadoutConfig::default();
         let mut rng = SeedDomain::new(54).rng(0);
-        let _ = cfg.measure(0.0, &mut rng);
+        let _ = cfg.measure(-1.0, &mut rng);
+    }
+
+    #[test]
+    fn dead_ring_counts_zero_without_consuming_randomness() {
+        let cfg = ReadoutConfig::default();
+        let mut rng = SeedDomain::new(55).rng(0);
+        let m = cfg.measure(0.0, &mut rng);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.frequency(), 0.0);
+        // The zero path returns before any draw: the stream is untouched.
+        let mut fresh = SeedDomain::new(55).rng(0);
+        assert_eq!(
+            cfg.measure(1e9, &mut rng).count(),
+            cfg.measure(1e9, &mut fresh).count()
+        );
+    }
+
+    #[test]
+    fn glitch_xors_the_count_and_keeps_the_gate_time() {
+        let m = Measurement::new(0b1010, 1e-4);
+        let g = m.glitched(0b0110);
+        assert_eq!(g.count(), 0b1100);
+        assert_eq!(g.gate_time_s(), m.gate_time_s());
+        assert_eq!(g.glitched(0b0110), m, "xor is self-inverse");
+        assert_eq!(m.glitched(0), m, "zero mask is the identity");
+    }
+
+    #[test]
+    fn noise_burst_amplifies_sigma() {
+        let base = ReadoutConfig::default();
+        let burst = base.with_noise_burst(8.0);
+        assert!(burst.sigma_rel_at(1e9) > 7.9 * base.sigma_rel_at(1e9));
+        assert_eq!(burst.gate_time_s, base.gate_time_s);
+        assert_eq!(base.with_noise_burst(1.0), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise burst factor")]
+    fn quieting_noise_burst_panics() {
+        let _ = ReadoutConfig::default().with_noise_burst(0.5);
     }
 }

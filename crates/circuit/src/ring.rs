@@ -184,6 +184,33 @@ impl std::fmt::Display for RoStyle {
     }
 }
 
+/// Hard-fault state of one ring — the circuit-level hook consumed by the
+/// fault-injection layer (`aro-faults`).
+///
+/// Real arrays lose rings: an enable net shorts and the ring never
+/// oscillates (`Dead`), or a mux/control defect leaves the readout seeing a
+/// constant source instead of the ring's own mismatch signature (`Stuck`).
+/// Both destroy the affected pair bits *persistently*, unlike the transient
+/// faults modelled at measurement time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoHealth {
+    /// The ring oscillates normally.
+    Healthy,
+    /// The ring does not oscillate at all; its counter reads zero.
+    Dead,
+    /// The readout sees a constant frequency (in hertz) regardless of the
+    /// ring's silicon, environment, or wear.
+    Stuck(f64),
+}
+
+impl RoHealth {
+    /// Whether the ring is fault-free.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, RoHealth::Healthy)
+    }
+}
+
 /// One fabricated ring oscillator.
 ///
 /// Carries a lazily built [`FreqKernel`] so repeated frequency queries
@@ -200,6 +227,7 @@ pub struct RingOscillator {
     position: DiePosition,
     freq_bias_rel: f64,
     correlated_dvth: f64,
+    health: RoHealth,
     /// Bumped by every wear mutation; the kernel stores the epoch it was
     /// built at, so a bump invalidates without touching the cache itself.
     wear_epoch: u64,
@@ -216,6 +244,7 @@ impl Clone for RingOscillator {
             position: self.position,
             freq_bias_rel: self.freq_bias_rel,
             correlated_dvth: self.correlated_dvth,
+            health: self.health,
             wear_epoch: self.wear_epoch,
             kernel: RefCell::new(None),
         }
@@ -231,6 +260,7 @@ impl PartialEq for RingOscillator {
             && self.position == other.position
             && self.freq_bias_rel == other.freq_bias_rel
             && self.correlated_dvth == other.correlated_dvth
+            && self.health == other.health
     }
 }
 
@@ -270,6 +300,7 @@ impl RingOscillator {
             position,
             freq_bias_rel: 0.0,
             correlated_dvth: 0.0,
+            health: RoHealth::Healthy,
             wear_epoch: 0,
             kernel: RefCell::new(None),
         }
@@ -330,6 +361,20 @@ impl RingOscillator {
         self.freq_bias_rel = bias_rel;
     }
 
+    /// Hard-fault state of this ring.
+    #[must_use]
+    pub fn health(&self) -> RoHealth {
+        self.health
+    }
+
+    /// Sets the hard-fault state of this ring (fault-injection hook). A
+    /// faulted ring reports a degenerate frequency from
+    /// [`RingOscillator::frequency`]; restoring `Healthy` reverts to the
+    /// physical model — the underlying silicon and wear are untouched.
+    pub fn set_health(&mut self, health: RoHealth) {
+        self.health = health;
+    }
+
     /// This ring's sampled mid-range correlated Vth offset in volts
     /// (zero unless the design enables the correlated field).
     #[must_use]
@@ -346,8 +391,16 @@ impl RingOscillator {
     /// The oscillation frequency in hertz under environment `env` on a die
     /// with process realization `chip`, including mismatch, systematic
     /// variation, layout bias, and all accumulated wear.
+    ///
+    /// A hard-faulted ring short-circuits the physical model: `Dead` reads
+    /// 0 Hz, `Stuck` reads its fixed frequency.
     #[must_use]
     pub fn frequency(&self, tech: &TechParams, env: &Environment, chip: &ChipProcess) -> f64 {
+        match self.health {
+            RoHealth::Healthy => {}
+            RoHealth::Dead => return 0.0,
+            RoHealth::Stuck(freq_hz) => return freq_hz,
+        }
         let mut slot = self.kernel.borrow_mut();
         if let Some(kernel) = slot.as_deref_mut() {
             if kernel.is_valid(
@@ -770,6 +823,46 @@ mod tests {
     fn style_labels_and_display() {
         assert_eq!(RoStyle::Conventional.label(), "RO-PUF");
         assert_eq!(RoStyle::AgingResistant.to_string(), "ARO-PUF");
+    }
+
+    #[test]
+    fn dead_ring_reads_zero_and_recovers_on_repair() {
+        let (tech, env, chip, _) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 50);
+        let fresh = ro.frequency(&tech, &env, &chip);
+        assert!(ro.health().is_healthy());
+        ro.set_health(RoHealth::Dead);
+        assert_eq!(ro.frequency(&tech, &env, &chip), 0.0);
+        ro.set_health(RoHealth::Healthy);
+        assert_eq!(
+            ro.frequency(&tech, &env, &chip).to_bits(),
+            fresh.to_bits(),
+            "repairing a fault must restore the physical model exactly"
+        );
+    }
+
+    #[test]
+    fn stuck_ring_ignores_environment_and_wear() {
+        let (tech, env, chip, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 51);
+        ro.set_health(RoHealth::Stuck(1.0e9));
+        assert_eq!(ro.frequency(&tech, &env, &chip), 1.0e9);
+        ro.stress_idle(&tech, &models, 85.0, tech.vdd_nominal, YEAR);
+        assert_eq!(
+            ro.frequency(&tech, &env.with_temp_celsius(85.0), &chip),
+            1.0e9
+        );
+    }
+
+    #[test]
+    fn health_participates_in_equality_and_clone() {
+        let (mut a, _) = make_ring(RoStyle::Conventional, 52);
+        let b = a.clone();
+        assert_eq!(a, b);
+        a.set_health(RoHealth::Dead);
+        assert_ne!(a, b, "a faulted ring is not equal to its healthy twin");
+        let c = a.clone();
+        assert_eq!(c.health(), RoHealth::Dead, "clone carries the fault");
     }
 
     #[test]

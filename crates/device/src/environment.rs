@@ -85,6 +85,27 @@ impl Environment {
         self
     }
 
+    /// Returns a copy of this operating point shifted by a transient
+    /// excursion of `d_temp_c` degrees and `d_vdd` volts — the
+    /// fault-injection hook for supply droops and temperature spikes
+    /// (`aro-faults`). Unlike the panicking setters, the result is clamped
+    /// into the physically representable range (supply floored at
+    /// [`Environment::MIN_FAULT_VDD`], temperature floored just above
+    /// absolute zero), so an arbitrarily violent injected excursion still
+    /// yields a valid operating point instead of aborting the simulation.
+    #[must_use]
+    pub fn perturbed(&self, d_temp_c: f64, d_vdd: f64) -> Self {
+        Self {
+            temp_celsius: (self.temp_celsius + d_temp_c).max(-273.0),
+            vdd: (self.vdd + d_vdd).max(Self::MIN_FAULT_VDD),
+        }
+    }
+
+    /// Lowest supply voltage an injected droop can reach: deep enough to
+    /// corrupt every comparison, but still a valid operating point for the
+    /// alpha-power delay model.
+    pub const MIN_FAULT_VDD: f64 = 0.05;
+
     /// Carrier-mobility scaling factor relative to the reference
     /// temperature: `(T/T_ref)^(−k)`. Below 1 when hot, above 1 when cold.
     #[must_use]
@@ -148,6 +169,30 @@ mod tests {
     #[should_panic(expected = "temperature below absolute zero")]
     fn sub_absolute_zero_panics() {
         let _ = Environment::new(-300.0, 1.2);
+    }
+
+    #[test]
+    fn perturbed_applies_excursions() {
+        let env = Environment::new(25.0, 1.20);
+        let hot_droop = env.perturbed(60.0, -0.3);
+        assert_eq!(hot_droop.temp_celsius(), 85.0);
+        assert!((hot_droop.vdd() - 0.9).abs() < 1e-12);
+        // The original is untouched.
+        assert_eq!(env.vdd(), 1.20);
+    }
+
+    #[test]
+    fn perturbed_clamps_instead_of_panicking() {
+        let env = Environment::new(25.0, 1.20);
+        let violent = env.perturbed(-1000.0, -10.0);
+        assert_eq!(violent.temp_celsius(), -273.0);
+        assert_eq!(violent.vdd(), Environment::MIN_FAULT_VDD);
+    }
+
+    #[test]
+    fn zero_perturbation_is_identity() {
+        let env = Environment::new(45.0, 1.08);
+        assert_eq!(env.perturbed(0.0, 0.0), env);
     }
 
     #[test]

@@ -46,6 +46,41 @@ impl HelperData {
         &self.offsets
     }
 
+    /// Per-block offset lengths — the coordinate space of
+    /// [`Self::with_flipped_bits`] (fault injection addresses stored
+    /// helper bits as `(block, bit)`).
+    #[must_use]
+    pub fn block_lens(&self) -> Vec<usize> {
+        self.offsets.iter().map(BitString::len).collect()
+    }
+
+    /// Returns a copy of this helper data with the listed `(block, bit)`
+    /// offset positions flipped — the fault-injection hook for NVM bit
+    /// erasures/upsets in the stored helper data.
+    ///
+    /// Note the asymmetry with response noise: a flipped *response* bit is
+    /// absorbed by the code, but a flipped *offset* bit survives decoding
+    /// (the decoder corrects `w' ⊕ h` back to the same codeword, then
+    /// re-applies the corrupted offset), so it corrupts the recovered
+    /// enrollment response directly and the derived key changes. Helper
+    /// storage therefore needs its own integrity protection — exactly what
+    /// this hook lets experiments demonstrate.
+    ///
+    /// # Panics
+    /// Panics if any `(block, bit)` position is out of range.
+    #[must_use]
+    pub fn with_flipped_bits(&self, positions: &[(usize, usize)]) -> Self {
+        let mut offsets = self.offsets.clone();
+        for &(block, bit) in positions {
+            assert!(block < offsets.len(), "block {block} out of range");
+            offsets[block].flip(bit);
+        }
+        Self {
+            offsets,
+            salt: self.salt,
+        }
+    }
+
     /// Re-derives the key from a recovered enrollment response — the
     /// exact key-derivation step of [`FuzzyExtractor::reproduce`], shared
     /// with the soft-decision path so both recover identical keys.
@@ -262,6 +297,39 @@ mod tests {
         noisy.flip(45 + 4);
         noisy.flip(45 + 10);
         assert_eq!(fe.reproduce(&noisy, &helper), Some(key));
+    }
+
+    #[test]
+    fn flipped_helper_bit_survives_decoding_and_changes_the_key() {
+        // One offset flip is inside the code's correction capability, yet
+        // the recovered key must differ: the decoder corrects the shifted
+        // block back to the same codeword, then re-applies the *corrupted*
+        // offset, so the recovered enrollment response is wrong by exactly
+        // that bit.
+        let fe = FuzzyExtractor::new(BchCode::new(5, 3), 2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = random_bits(fe.response_bits(), &mut rng);
+        let (key, helper) = fe.generate(&w, &mut rng);
+        let corrupted = helper.with_flipped_bits(&[(1, 7)]);
+        match fe.reproduce(&w, &corrupted) {
+            None => {}
+            Some(other) => assert_ne!(other, key, "corrupted helper must not yield the true key"),
+        }
+        // The flip is exact and self-inverse: flipping back restores the
+        // original helper data and with it clean reconstruction.
+        let restored = corrupted.with_flipped_bits(&[(1, 7)]);
+        assert_eq!(restored, helper);
+        assert_eq!(fe.reproduce(&w, &restored), Some(key));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flipping_out_of_range_block_panics() {
+        let fe = FuzzyExtractor::new(BchCode::new(4, 1), 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = random_bits(fe.response_bits(), &mut rng);
+        let (_, helper) = fe.generate(&w, &mut rng);
+        let _ = helper.with_flipped_bits(&[(5, 0)]);
     }
 
     #[test]

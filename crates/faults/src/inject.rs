@@ -1,0 +1,351 @@
+//! The fault injector: turns a [`FaultPlan`] plus a master seed into
+//! concrete, replayable fault events.
+//!
+//! # Determinism contract
+//!
+//! Every query is a pure function of `(plan, master_seed, coordinates)`,
+//! where the coordinates name the opportunity being asked about — a chip
+//! id, a measurement event index, a ring slot. No call consumes state from
+//! any other call, so:
+//!
+//! * asking in any order, from any thread, yields the same schedule;
+//! * a parallel sweep partitioned across any `--threads N` is byte-
+//!   identical to the serial run (the same guarantee `aro-par` gives the
+//!   fault-free path);
+//! * the injector derives its streams from its **own** seed domain
+//!   (`child("faults")` of the master), so installing it never perturbs
+//!   the existing mismatch/noise streams — seed stability holds, and the
+//!   zero-intensity plan reproduces the fault-free bytes exactly.
+//!
+//! Every fault that actually fires is recorded through `aro-obs` counters
+//! (`faults.*`), so chaos runs leave an auditable injection tally in the
+//! metrics dump and telemetry.
+
+use aro_circuit::ring::RoHealth;
+use aro_device::environment::Environment;
+use aro_device::rng::SeedDomain;
+use rand::Rng;
+
+use crate::plan::FaultPlan;
+
+/// Deterministic fault-event source for one simulation run.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    master_seed: u64,
+    env: SeedDomain,
+    noise: SeedDomain,
+    hard: SeedDomain,
+    glitch: SeedDomain,
+    helper: SeedDomain,
+}
+
+/// Folds a two-coordinate opportunity into one stream index. The odd
+/// multiplier spreads chip ids across the index space so `(chip, event)`
+/// pairs cannot collide for any realistic event count.
+fn slot(chip_id: u64, event: u64) -> u64 {
+    chip_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ event
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`, deriving all randomness from the
+    /// `"faults"` child domain of `master_seed`.
+    #[must_use]
+    pub fn new(plan: FaultPlan, master_seed: u64) -> Self {
+        let root = SeedDomain::new(master_seed).child("faults");
+        Self {
+            plan,
+            master_seed,
+            env: root.child("env"),
+            noise: root.child("noise"),
+            hard: root.child("hard"),
+            glitch: root.child("glitch"),
+            helper: root.child("helper"),
+        }
+    }
+
+    /// The plan this injector executes.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether this injector can never fire ([`FaultPlan::is_off`]).
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        self.plan.is_off()
+    }
+
+    /// A stable digest of `(plan, master_seed)`, for keying run-scoped
+    /// caches: cached populations/timelines may only be shared between
+    /// runs whose injectors fingerprint identically.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.plan.fingerprint() ^ self.master_seed.rotate_left(17)
+    }
+
+    /// The persistent hard faults of chip `chip_id`: `(ring index, fault)`
+    /// assignments, in ascending ring order. Stuck rings latch a frequency
+    /// in the 0.2–2 GHz band, the plausible range of a floating readout
+    /// mux input.
+    #[must_use]
+    pub fn hard_faults(&self, chip_id: u64, n_ros: usize) -> Vec<(usize, RoHealth)> {
+        let dead = self.plan.dead_ro_rate;
+        let stuck = self.plan.stuck_ro_rate;
+        if dead == 0.0 && stuck == 0.0 {
+            return Vec::new();
+        }
+        let mut rng = self.hard.rng(chip_id);
+        let mut faults = Vec::new();
+        for index in 0..n_ros {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let freq_u: f64 = rng.gen_range(0.0..1.0);
+            if u < dead {
+                faults.push((index, RoHealth::Dead));
+            } else if u < dead + stuck {
+                faults.push((index, RoHealth::Stuck(0.2e9 + 1.8e9 * freq_u)));
+            }
+        }
+        let n_dead = faults
+            .iter()
+            .filter(|(_, h)| matches!(h, RoHealth::Dead))
+            .count() as u64;
+        if n_dead > 0 {
+            aro_obs::counter("faults.dead_ros", n_dead);
+        }
+        let n_stuck = faults.len() as u64 - n_dead;
+        if n_stuck > 0 {
+            aro_obs::counter("faults.stuck_ros", n_stuck);
+        }
+        faults
+    }
+
+    /// The operating point measurement event `event` of chip `chip_id`
+    /// actually sees: either `nominal` untouched, or `nominal` under a
+    /// transient droop-and-spike excursion. Droop depth and spike height
+    /// are each drawn uniformly up to the plan's magnitude.
+    #[must_use]
+    pub fn measurement_env(&self, chip_id: u64, event: u64, nominal: &Environment) -> Environment {
+        if self.plan.env_excursion_prob == 0.0 {
+            return *nominal;
+        }
+        let mut rng = self.env.rng(slot(chip_id, event));
+        if rng.gen_range(0.0..1.0) >= self.plan.env_excursion_prob {
+            return *nominal;
+        }
+        let d_temp = self.plan.temp_spike_c * rng.gen_range(0.0..1.0);
+        let d_vdd = -self.plan.vdd_droop_v * rng.gen_range(0.0..1.0);
+        aro_obs::counter("faults.env_excursions", 1);
+        nominal.perturbed(d_temp, d_vdd)
+    }
+
+    /// The RTN noise amplification measurement event `event` of chip
+    /// `chip_id` suffers: `None` when no burst fires, otherwise a factor
+    /// in `(1, noise_burst_factor]` to feed
+    /// [`aro_circuit::readout::ReadoutConfig::with_noise_burst`].
+    #[must_use]
+    pub fn noise_burst(&self, chip_id: u64, event: u64) -> Option<f64> {
+        if self.plan.noise_burst_prob == 0.0 {
+            return None;
+        }
+        let mut rng = self.noise.rng(slot(chip_id, event));
+        if rng.gen_range(0.0..1.0) >= self.plan.noise_burst_prob {
+            return None;
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        aro_obs::counter("faults.noise_bursts", 1);
+        Some(1.0 + (self.plan.noise_burst_factor - 1.0) * u.max(f64::EPSILON))
+    }
+
+    /// The response-bit positions corrupted by counter glitches during
+    /// measurement event `event` of chip `chip_id`, in ascending order.
+    /// Each of the `n_bits` pair comparisons flips independently with the
+    /// plan's glitch probability.
+    #[must_use]
+    pub fn response_glitches(&self, chip_id: u64, event: u64, n_bits: usize) -> Vec<usize> {
+        if self.plan.glitch_prob == 0.0 {
+            return Vec::new();
+        }
+        let mut rng = self.glitch.rng(slot(chip_id, event));
+        let flips: Vec<usize> = (0..n_bits)
+            .filter(|_| rng.gen_range(0.0..1.0) < self.plan.glitch_prob)
+            .collect();
+        if !flips.is_empty() {
+            aro_obs::counter("faults.response_glitches", flips.len() as u64);
+        }
+        flips
+    }
+
+    /// The `(block, bit)` helper-data positions erased in chip `chip_id`'s
+    /// stored helper data, given the per-block offset lengths. Each stored
+    /// bit flips independently with the plan's erasure rate. Feed the
+    /// result to `aro_ecc::fuzzy::HelperData::with_flipped_bits`.
+    #[must_use]
+    pub fn helper_erasures(&self, chip_id: u64, block_bits: &[usize]) -> Vec<(usize, usize)> {
+        if self.plan.helper_erasure_rate == 0.0 {
+            return Vec::new();
+        }
+        let mut rng = self.helper.rng(chip_id);
+        let mut erased = Vec::new();
+        for (block, &bits) in block_bits.iter().enumerate() {
+            for bit in 0..bits {
+                if rng.gen_range(0.0..1.0) < self.plan.helper_erasure_rate {
+                    erased.push((block, bit));
+                }
+            }
+        }
+        if !erased.is_empty() {
+            aro_obs::counter("faults.helper_erasures", erased.len() as u64);
+        }
+        erased
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aro_device::params::TechParams;
+
+    fn storm() -> FaultInjector {
+        FaultInjector::new(FaultPlan::storm(), 2014)
+    }
+
+    #[test]
+    fn every_query_is_a_pure_function_of_its_coordinates() {
+        let a = storm();
+        let b = storm();
+        let env = Environment::new(25.0, 1.2);
+        // Ask b in a scrambled order relative to a: answers must not
+        // depend on call history.
+        let b_glitch = b.response_glitches(3, 7, 64);
+        let b_hard = b.hard_faults(5, 256);
+        let b_env = b.measurement_env(1, 2, &env);
+        assert_eq!(a.measurement_env(1, 2, &env), b_env);
+        assert_eq!(a.hard_faults(5, 256), b_hard);
+        assert_eq!(a.response_glitches(3, 7, 64), b_glitch);
+        assert_eq!(a.noise_burst(9, 0), b.noise_burst(9, 0));
+        assert_eq!(
+            a.helper_erasures(4, &[127, 127]),
+            b.helper_erasures(4, &[127, 127])
+        );
+    }
+
+    #[test]
+    fn coordinates_separate_streams() {
+        let inj = storm();
+        let env = Environment::new(25.0, 1.2);
+        // Across many events some excursions must differ chip-to-chip.
+        let a: Vec<_> = (0..64).map(|e| inj.measurement_env(0, e, &env)).collect();
+        let b: Vec<_> = (0..64).map(|e| inj.measurement_env(1, e, &env)).collect();
+        assert_ne!(a, b);
+        assert_ne!(inj.hard_faults(0, 256), inj.hard_faults(1, 256));
+    }
+
+    #[test]
+    fn off_injector_never_fires_and_draws_nothing() {
+        let inj = FaultInjector::new(FaultPlan::off(), 2014);
+        let env = Environment::new(25.0, 1.2);
+        assert!(inj.is_off());
+        for event in 0..32 {
+            assert_eq!(inj.measurement_env(0, event, &env), env);
+            assert_eq!(inj.noise_burst(0, event), None);
+            assert!(inj.response_glitches(0, event, 128).is_empty());
+        }
+        assert!(inj.hard_faults(0, 4096).is_empty());
+        assert!(inj.helper_erasures(0, &[1024]).is_empty());
+    }
+
+    #[test]
+    fn storm_rates_are_roughly_honoured() {
+        let inj = storm();
+        let plan = FaultPlan::storm();
+        let env = Environment::new(25.0, 1.2);
+        let n = 4000u64;
+        let excursions = (0..n)
+            .filter(|&e| inj.measurement_env(0, e, &env) != env)
+            .count() as f64;
+        let rate = excursions / n as f64;
+        assert!(
+            (rate - plan.env_excursion_prob).abs() < 0.05,
+            "excursion rate {rate} vs plan {}",
+            plan.env_excursion_prob
+        );
+        let hard = inj.hard_faults(0, 4096).len() as f64 / 4096.0;
+        let expected = plan.dead_ro_rate + plan.stuck_ro_rate;
+        assert!((hard - expected).abs() < 0.02, "hard rate {hard}");
+    }
+
+    #[test]
+    fn excursions_droop_and_heat_within_plan_magnitudes() {
+        let inj = storm();
+        let plan = FaultPlan::storm();
+        let tech = TechParams::default();
+        let nominal = Environment::nominal(&tech);
+        let mut seen = 0;
+        for event in 0..256 {
+            let e = inj.measurement_env(2, event, &nominal);
+            if e == nominal {
+                continue;
+            }
+            seen += 1;
+            assert!(e.vdd() <= nominal.vdd() && e.vdd() >= nominal.vdd() - plan.vdd_droop_v);
+            assert!(
+                e.temp_celsius() >= nominal.temp_celsius()
+                    && e.temp_celsius() <= nominal.temp_celsius() + plan.temp_spike_c
+            );
+        }
+        assert!(seen > 10, "storm must actually fire ({seen})");
+    }
+
+    #[test]
+    fn noise_bursts_amplify_within_bounds() {
+        let inj = storm();
+        let plan = FaultPlan::storm();
+        let factors: Vec<f64> = (0..512).filter_map(|e| inj.noise_burst(0, e)).collect();
+        assert!(!factors.is_empty());
+        assert!(factors
+            .iter()
+            .all(|&f| f > 1.0 && f <= plan.noise_burst_factor));
+    }
+
+    #[test]
+    fn stuck_frequencies_are_in_the_plausible_band() {
+        let inj = storm();
+        let stuck: Vec<f64> = (0..64)
+            .flat_map(|chip| inj.hard_faults(chip, 256))
+            .filter_map(|(_, h)| match h {
+                RoHealth::Stuck(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        assert!(!stuck.is_empty());
+        assert!(stuck.iter().all(|&f| (0.2e9..=2.0e9).contains(&f)));
+    }
+
+    #[test]
+    fn helper_erasures_stay_in_range_and_scale_with_rate() {
+        let inj = storm();
+        let blocks = [127usize, 127, 63];
+        let erased = inj.helper_erasures(1, &blocks);
+        for &(block, bit) in &erased {
+            assert!(block < blocks.len());
+            assert!(bit < blocks[block]);
+        }
+        let total: usize = (0..128)
+            .map(|chip| inj.helper_erasures(chip, &blocks).len())
+            .sum();
+        let expected = 128.0 * 317.0 * FaultPlan::storm().helper_erasure_rate;
+        assert!(
+            (total as f64) > 0.3 * expected && (total as f64) < 3.0 * expected,
+            "erasures {total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_plan_and_seed() {
+        let a = FaultInjector::new(FaultPlan::smoke(), 1).fingerprint();
+        assert_eq!(a, FaultInjector::new(FaultPlan::smoke(), 1).fingerprint());
+        assert_ne!(a, FaultInjector::new(FaultPlan::smoke(), 2).fingerprint());
+        assert_ne!(a, FaultInjector::new(FaultPlan::storm(), 1).fingerprint());
+    }
+}

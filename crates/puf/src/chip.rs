@@ -96,6 +96,24 @@ impl Chip {
         self.age_s += seconds;
     }
 
+    /// Sets the hard-fault state of ring `index` — the fault-injection
+    /// entry point for stuck-at and dead-ring faults (see
+    /// [`aro_circuit::ring::RoHealth`]). Restoring
+    /// [`RoHealth::Healthy`](aro_circuit::ring::RoHealth::Healthy) reverts
+    /// to the physical model.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn set_ro_health(&mut self, index: usize, health: aro_circuit::ring::RoHealth) {
+        self.ros[index].set_health(health);
+    }
+
+    /// Number of rings whose hard-fault state is not `Healthy`.
+    #[must_use]
+    pub fn faulted_ro_count(&self) -> usize {
+        self.ros.iter().filter(|ro| !ro.health().is_healthy()).count()
+    }
+
     /// The *true* (noiseless) frequency of ring `index` under `env`.
     ///
     /// # Panics
@@ -446,6 +464,28 @@ mod tests {
             .ros()
             .iter()
             .all(|ro| ro.correlated_dvth() == 0.0));
+    }
+
+    #[test]
+    fn dead_ring_loses_its_pair_bits_and_repair_restores_them() {
+        use aro_circuit::ring::RoHealth;
+        let design = small_design(RoStyle::Conventional);
+        let env = Environment::nominal(design.tech());
+        let mut chip = Chip::fabricate(&design, 1);
+        let pairs: Vec<(usize, usize)> = (0..8).map(|i| (2 * i, 2 * i + 1)).collect();
+        let golden = chip.golden_response(&design, &env, &pairs);
+        assert_eq!(chip.faulted_ro_count(), 0);
+        chip.set_ro_health(0, RoHealth::Dead);
+        assert_eq!(chip.faulted_ro_count(), 1);
+        // Pair 0 compares (dead ring 0) against ring 1: the bit is forced
+        // to 0 regardless of what the silicon said.
+        let faulted = chip.golden_response(&design, &env, &pairs);
+        assert!(!faulted.get(0));
+        assert_eq!(chip.frequency(&design, &env, 0), 0.0);
+        // A measurement of the dead ring counts zero instead of panicking.
+        assert_eq!(chip.measure_ro(&design, &env, 0).count(), 0);
+        chip.set_ro_health(0, RoHealth::Healthy);
+        assert_eq!(chip.golden_response(&design, &env, &pairs), golden);
     }
 
     #[test]

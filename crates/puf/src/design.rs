@@ -112,6 +112,19 @@ impl PufDesign {
     pub fn response_bits(&self) -> usize {
         self.n_ros / 2
     }
+
+    /// Returns a copy of this design with a different readout
+    /// configuration and everything else — seeds, bias, technology —
+    /// untouched. The fault layer uses this to measure a chip through a
+    /// transiently noisier readout (RTN burst) without re-deriving any
+    /// randomness.
+    #[must_use]
+    pub fn with_readout(&self, readout: ReadoutConfig) -> Self {
+        Self {
+            readout,
+            ..self.clone()
+        }
+    }
 }
 
 /// Builder for [`PufDesign`].
@@ -256,6 +269,16 @@ mod tests {
         assert_eq!(d.n_ros(), 64);
         assert_eq!(d.n_stages(), 7);
         assert_eq!(d.response_bits(), 32);
+    }
+
+    #[test]
+    fn with_readout_swaps_only_the_readout() {
+        let base = PufDesign::standard(RoStyle::Conventional, 4);
+        let noisy = base.with_readout(base.readout().with_noise_burst(5.0));
+        assert_ne!(noisy.readout(), base.readout());
+        assert_eq!(noisy.seed_domain(), base.seed_domain());
+        assert_eq!(noisy.position_bias(), base.position_bias());
+        assert_eq!(noisy.with_readout(base.readout().clone()), base);
     }
 
     #[test]

@@ -1,5 +1,43 @@
 //! Simulation configuration shared by every experiment.
 
+/// A [`SimConfig`] that cannot drive a meaningful run, with the field
+/// that broke it. Returned by [`SimConfig::validate`]; the `repro` CLI and
+/// the experiment harness reject such configs up front instead of letting
+/// a zero-sized population panic deep inside an experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `n_chips` is zero — no population to measure.
+    NoChips,
+    /// `n_ros` is below 4 or odd — the array cannot form neighbour pairs.
+    BadRingCount(usize),
+    /// `key_bits` is zero — nothing to provision an ECC for.
+    NoKeyBits,
+    /// `key_fail_target` is not in `(0, 1)` — no ECC search can meet it.
+    BadFailTarget(f64),
+    /// A checkpoint list is empty — a timeline needs at least one stop.
+    EmptyCheckpoints,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoChips => write!(f, "config needs at least one chip"),
+            ConfigError::BadRingCount(n) => {
+                write!(f, "config needs an even ring count >= 4, got {n}")
+            }
+            ConfigError::NoKeyBits => write!(f, "config needs a non-zero key width"),
+            ConfigError::BadFailTarget(t) => {
+                write!(f, "key failure target must be in (0, 1), got {t}")
+            }
+            ConfigError::EmptyCheckpoints => {
+                write!(f, "timeline needs at least one checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Population sizes, seeds, and scale knobs for an experiment run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -54,6 +92,27 @@ impl SimConfig {
     pub fn response_bits(&self) -> usize {
         self.n_ros / 2
     }
+
+    /// Checks that this configuration can drive a run: a non-empty
+    /// population, a pairable array, and a satisfiable key spec.
+    ///
+    /// # Errors
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_chips == 0 {
+            return Err(ConfigError::NoChips);
+        }
+        if self.n_ros < 4 || !self.n_ros.is_multiple_of(2) {
+            return Err(ConfigError::BadRingCount(self.n_ros));
+        }
+        if self.key_bits == 0 {
+            return Err(ConfigError::NoKeyBits);
+        }
+        if !(self.key_fail_target > 0.0 && self.key_fail_target < 1.0) {
+            return Err(ConfigError::BadFailTarget(self.key_fail_target));
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimConfig {
@@ -88,5 +147,41 @@ mod tests {
         let cfg = SimConfig::paper().with_seed(7);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.n_chips, 100);
+    }
+
+    #[test]
+    fn stock_configs_validate() {
+        assert_eq!(SimConfig::paper().validate(), Ok(()));
+        assert_eq!(SimConfig::quick().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_names_the_broken_field() {
+        let mut cfg = SimConfig::quick();
+        cfg.n_chips = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoChips));
+
+        let mut cfg = SimConfig::quick();
+        cfg.n_ros = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadRingCount(0)));
+        cfg.n_ros = 7;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadRingCount(7)));
+
+        let mut cfg = SimConfig::quick();
+        cfg.key_bits = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoKeyBits));
+
+        let mut cfg = SimConfig::quick();
+        cfg.key_fail_target = 0.0;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadFailTarget(0.0)));
+        cfg.key_fail_target = 1.5;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadFailTarget(1.5)));
+    }
+
+    #[test]
+    fn config_errors_render_for_cli_use() {
+        assert!(ConfigError::NoChips.to_string().contains("chip"));
+        assert!(ConfigError::BadRingCount(7).to_string().contains('7'));
+        assert!(ConfigError::EmptyCheckpoints.to_string().contains("checkpoint"));
     }
 }

@@ -40,7 +40,9 @@ pub struct Headline {
 #[must_use]
 pub fn headline(cfg: &SimConfig, style: RoStyle, seed: u64) -> Headline {
     let cfg = cfg.clone().with_seed(seed);
-    let flips_10y = crate::popcache::standard_flip_timeline(&cfg, style).final_mean();
+    let flips_10y = crate::popcache::standard_flip_timeline(&cfg, style)
+        .final_mean()
+        .expect("standard checkpoints are non-empty");
     let population = build_population(&cfg, style);
     let env = Environment::nominal(population.design().tech());
     let inter_hd =

@@ -1,0 +1,285 @@
+//! EXP-15 — key recovery under injected faults (chaos sweep).
+//!
+//! The robustness capstone: take exp8's end-to-end key-generation flow
+//! and sweep it across fault intensities. Each intensity point scales the
+//! `storm` plan's *rates* (how often physics misbehaves) while keeping
+//! magnitudes fixed, then replays the full product flow — enroll at the
+//! healthy factory, deploy for ten years while rings die, helper-data NVM
+//! bits erode, and every field measurement risks a supply droop, an RTN
+//! burst, or a counter glitch — and counts how many reconstruction
+//! attempts still recover the enrolled key.
+//!
+//! Zero intensity is the anchor: the plan is off, the injector never
+//! fires, and the trial is byte-identical to the fault-free flow. The
+//! sweep then shows *which* PUF budget buys robustness: the ARO design's
+//! ECC margin absorbs early intensities, while the conventional control —
+//! already failing through the same undersized code — has no margin left
+//! to spend.
+//!
+//! Note the fault-class split documented in `docs/ROBUSTNESS.md`: the
+//! flip-timeline experiments see environment excursions, noise bursts,
+//! and hard RO faults (faults expressible as a measurement's physics);
+//! counter glitches and helper-data erasures act on *responses* and
+//! *stored bits*, so this experiment is where they bite.
+
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_device::units::YEAR;
+use aro_ecc::keygen::KeyGenerator;
+use aro_faults::{FaultInjector, FaultPlan};
+use aro_puf::{Chip, MissionProfile, PairingStrategy, PufDesign};
+
+use crate::config::SimConfig;
+use crate::experiments::exp2;
+use crate::report::Report;
+use crate::runner::{pct, puf_area_params};
+use crate::table::Table;
+
+/// The swept intensity points (fractions of the full `storm` plan).
+pub const INTENSITIES: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
+
+/// Outcome of the faulted end-to-end flow for one (style, intensity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedKeyTrial {
+    /// Cell style of the chips.
+    pub style: RoStyle,
+    /// Fraction of the full storm plan applied.
+    pub intensity: f64,
+    /// Chips enrolled.
+    pub chips: usize,
+    /// Reconstruction attempts per chip.
+    pub attempts_per_chip: usize,
+    /// Attempts that reproduced the enrolled key.
+    pub recovered: usize,
+    /// Rings killed or stuck across the population (hard faults).
+    pub hard_faulted_ros: usize,
+    /// Helper-data bits erased across the population.
+    pub helper_bits_erased: usize,
+}
+
+impl FaultedKeyTrial {
+    /// Measured key-recovery rate.
+    #[must_use]
+    pub fn recovery_rate(&self) -> f64 {
+        self.recovered as f64 / (self.chips * self.attempts_per_chip) as f64
+    }
+}
+
+/// Runs the faulted end-to-end flow for one style at one intensity.
+/// Deterministic in `(cfg, style, generator, intensity)`: the injector is
+/// coordinate-addressed, so the schedule does not depend on thread count
+/// or call order. Uses exp8's design seed, so a zero-intensity trial
+/// walks exactly the fault-free flow.
+#[must_use]
+pub fn run_trial(
+    cfg: &SimConfig,
+    style: RoStyle,
+    generator: &KeyGenerator,
+    intensity: f64,
+    chips: usize,
+    attempts_per_chip: usize,
+) -> FaultedKeyTrial {
+    let plan = FaultPlan::storm().scaled(intensity);
+    let inj = FaultInjector::new(plan, cfg.seed);
+
+    let n_ros = 2 * generator.response_bits();
+    let design = PufDesign::builder(style)
+        .n_ros(n_ros)
+        .seed(cfg.seed ^ 0xe2e)
+        .build();
+    let env = Environment::nominal(design.tech());
+    let profile = MissionProfile::typical(design.tech());
+    let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+
+    let mut recovered = 0;
+    let mut hard_faulted_ros = 0;
+    let mut helper_bits_erased = 0;
+    for id in 0..chips as u64 {
+        // Factory: healthy silicon, nominal conditions, pristine NVM.
+        let mut chip = Chip::fabricate(&design, id);
+        let mut enroll_rng = design.seed_domain().child("keygen").rng(id);
+        let enrollment_response = chip.golden_response(&design, &env, &pairs);
+        let (key, helper) = generator.enroll(&enrollment_response, &mut enroll_rng);
+
+        // Field: rings die behind the factory's back, stored helper bits
+        // erode once (NVM damage persists across attempts).
+        for (slot, health) in inj.hard_faults(id, n_ros) {
+            chip.set_ro_health(slot, health);
+        }
+        hard_faulted_ros += chip.faulted_ro_count();
+        let erasures = inj.helper_erasures(id, &helper.block_lens());
+        helper_bits_erased += erasures.len();
+        let helper = helper.with_flipped_bits(&erasures);
+
+        profile.age_chip(&mut chip, &design, 10.0 * YEAR);
+
+        for attempt in 0..attempts_per_chip as u64 {
+            // Each attempt is one measurement event: it may run under a
+            // transient droop/spike, through a noisier readout, and its
+            // counters may glitch.
+            let meas_env = inj.measurement_env(id, attempt, &env);
+            let burst_design = inj
+                .noise_burst(id, attempt)
+                .map(|factor| design.with_readout(design.readout().with_noise_burst(factor)));
+            let meas_design = burst_design.as_ref().unwrap_or(&design);
+            let mut noisy = chip.response(meas_design, &meas_env, &pairs);
+            for bit in inj.response_glitches(id, attempt, noisy.len()) {
+                noisy.flip(bit);
+            }
+            if generator.reconstruct(&noisy, &helper) == Some(key.clone()) {
+                recovered += 1;
+            }
+        }
+    }
+    FaultedKeyTrial {
+        style,
+        intensity,
+        chips,
+        attempts_per_chip,
+        recovered,
+        hard_faulted_ros,
+        helper_bits_erased,
+    }
+}
+
+/// Runs EXP-15.
+#[must_use]
+pub fn run(cfg: &SimConfig) -> Report {
+    let mut report = Report::new("EXP-15", "Key recovery under injected faults (chaos sweep)");
+
+    // Same provisioning as exp8: the ECC sized for the ARO design's
+    // measured worst-case ten-year BER — the sweep then measures how much
+    // *fault* margin that aging margin left behind.
+    let timeline = exp2::flip_timeline(cfg, RoStyle::AgingResistant);
+    let ber = timeline.final_quantile(0.99);
+    let params = puf_area_params(RoStyle::AgingResistant, 5);
+    let Some(generator) =
+        crate::popcache::provisioned_generator(ber, cfg.key_bits, cfg.key_fail_target, &params)
+    else {
+        report.push_note("no feasible ARO design point — increase the code search space");
+        return report;
+    };
+    report.push_note(format!(
+        "fault model: `storm` plan scaled by intensity (rates scale, magnitudes fixed); \
+         ECC provisioned for fault-free BER {}",
+        pct(ber)
+    ));
+
+    let chips = cfg.n_chips.clamp(4, 8);
+    let attempts = 2;
+    let mut table = Table::new(
+        "Ten-year key recovery vs. injected fault intensity (same ECC for both styles)",
+        &[
+            "intensity",
+            "design",
+            "attempts",
+            "recovered",
+            "recovery rate",
+            "hard-faulted ROs",
+            "helper bits erased",
+        ],
+    );
+    let mut anchors = Vec::new();
+    for style in [RoStyle::AgingResistant, RoStyle::Conventional] {
+        for intensity in INTENSITIES {
+            let trial = run_trial(cfg, style, &generator, intensity, chips, attempts);
+            if intensity == 0.0 {
+                anchors.push(trial.clone());
+            }
+            table.push_row(vec![
+                format!("{intensity:.2}"),
+                match style {
+                    RoStyle::AgingResistant => "ARO-PUF".to_string(),
+                    RoStyle::Conventional => "RO-PUF (control)".to_string(),
+                },
+                (trial.chips * trial.attempts_per_chip).to_string(),
+                trial.recovered.to_string(),
+                pct(trial.recovery_rate()),
+                trial.hard_faulted_ros.to_string(),
+                trial.helper_bits_erased.to_string(),
+            ]);
+        }
+    }
+    report.push_table(table);
+
+    report.push_note(format!(
+        "zero-intensity anchor (must match the fault-free flow): ARO-PUF recovers {}, \
+         RO-PUF control {}",
+        pct(anchors[0].recovery_rate()),
+        pct(anchors[1].recovery_rate())
+    ));
+    report.push_note(
+        "glitches and helper-data erasures act on responses and stored bits, so they appear \
+         here and not in the flip-timeline experiments; a single surviving helper-bit flip \
+         defeats the key even inside the code's correction radius (see docs/ROBUSTNESS.md)",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SimConfig {
+        let mut cfg = SimConfig::quick();
+        cfg.key_bits = 32;
+        cfg
+    }
+
+    fn tiny_generator(cfg: &SimConfig) -> KeyGenerator {
+        let timeline = exp2::flip_timeline(cfg, RoStyle::AgingResistant);
+        let ber = timeline.final_quantile(0.99);
+        let params = puf_area_params(RoStyle::AgingResistant, 5);
+        KeyGenerator::for_bit_error_rate(ber, cfg.key_bits, cfg.key_fail_target, &params)
+            .expect("feasible")
+    }
+
+    #[test]
+    fn zero_intensity_matches_the_fault_free_flow() {
+        let cfg = tiny_cfg();
+        let generator = tiny_generator(&cfg);
+        let clean = run_trial(&cfg, RoStyle::AgingResistant, &generator, 0.0, 4, 2);
+        assert_eq!(clean.recovered, 8, "fault-free ARO keys all survive");
+        assert_eq!(clean.hard_faulted_ros, 0);
+        assert_eq!(clean.helper_bits_erased, 0);
+        // Same flow as exp8's trial, bit for bit (same design seed, same
+        // enrollment streams): failures there = attempts - recovered here.
+        let exp8 =
+            crate::experiments::exp8::run_trial(&cfg, RoStyle::AgingResistant, &generator, 4, 2);
+        assert_eq!(exp8.failures, 8 - clean.recovered);
+    }
+
+    #[test]
+    fn full_storm_costs_keys_and_is_replayable() {
+        let cfg = tiny_cfg();
+        let generator = tiny_generator(&cfg);
+        let clean = run_trial(&cfg, RoStyle::AgingResistant, &generator, 0.0, 4, 2);
+        let storm = run_trial(&cfg, RoStyle::AgingResistant, &generator, 1.0, 4, 2);
+        assert!(
+            storm.hard_faulted_ros + storm.helper_bits_erased > 0,
+            "full storm must actually fault something"
+        );
+        assert!(
+            storm.recovered < clean.recovered,
+            "full storm must cost keys: {} vs {}",
+            storm.recovered,
+            clean.recovered
+        );
+        assert_eq!(
+            storm,
+            run_trial(&cfg, RoStyle::AgingResistant, &generator, 1.0, 4, 2),
+            "the chaos sweep must be replayable"
+        );
+    }
+
+    #[test]
+    fn report_sweeps_both_styles_across_all_intensities() {
+        let report = run(&tiny_cfg());
+        let table = &report.tables()[0];
+        assert_eq!(table.n_rows(), 2 * INTENSITIES.len());
+        assert!(report.notes().len() >= 3);
+        // The zero-intensity ARO row anchors at full recovery.
+        assert_eq!(table.cell(0, 0), "0.00");
+        assert_eq!(table.cell(0, 4), "100.00 %");
+    }
+}

@@ -7,6 +7,7 @@ pub mod exp11;
 pub mod exp12;
 pub mod exp13;
 pub mod exp14;
+pub mod exp15;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
@@ -20,9 +21,9 @@ use crate::config::SimConfig;
 use crate::report::Report;
 
 /// Every experiment id, in paper order.
-pub const ALL_IDS: [&str; 14] = [
+pub const ALL_IDS: [&str; 15] = [
     "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "exp9", "exp10", "exp11",
-    "exp12", "exp13", "exp14",
+    "exp12", "exp13", "exp14", "exp15",
 ];
 
 /// Wraps one experiment run in its phase span and progress counter, so
@@ -49,7 +50,7 @@ pub fn run_all(cfg: &SimConfig) -> Vec<Report> {
     })
 }
 
-/// Runs one experiment by id (`"exp1"`…`"exp14"`), or `None` for an
+/// Runs one experiment by id (`"exp1"`…`"exp15"`), or `None` for an
 /// unknown id. Opens a population-cache scope of its own (a no-op when
 /// the caller — e.g. [`run_all`] — already holds one).
 #[must_use]
@@ -69,6 +70,7 @@ pub fn run_by_id(id: &str, cfg: &SimConfig) -> Option<Report> {
         "exp12" => exp12::run,
         "exp13" => exp13::run,
         "exp14" => exp14::run,
+        "exp15" => exp15::run,
         _ => return None,
     };
     Some(crate::popcache::scoped(|| traced(id, cfg, run)))

@@ -1,0 +1,99 @@
+//! Run-scoped fault-injection context.
+//!
+//! The experiment engine threads an optional [`FaultInjector`] through a
+//! run the same way `popcache` threads its cache: a thread-local scope
+//! installed at the run entry point (`repro --faults`, the harness, or a
+//! test). Experiments and the shared runner read it with [`current`] —
+//! code that never asks sees no difference, which is how the zero-
+//! intensity contract stays byte-exact.
+//!
+//! The context is thread-local on purpose: `aro-par` worker threads never
+//! see it. Code that fans work out (e.g.
+//! [`crate::runner::measure_flip_timeline`]) must read the injector **once
+//! on the spawning thread** and capture it by reference into the parallel
+//! closure — the injector itself is coordinate-addressed and side-effect
+//! free, so sharing one reference across workers is deterministic at any
+//! thread count.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use aro_faults::FaultInjector;
+
+thread_local! {
+    static CTX: RefCell<Option<Arc<FaultInjector>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `injector` installed as the active fault context,
+/// restoring the previous context afterwards (panic-safe). Passing `None`
+/// runs `f` with faults explicitly disabled, shadowing any outer scope.
+pub fn scoped<R>(injector: Option<Arc<FaultInjector>>, f: impl FnOnce() -> R) -> R {
+    let previous = CTX.with(|ctx| ctx.replace(injector));
+    struct Restore(Option<Arc<FaultInjector>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CTX.with(|ctx| *ctx.borrow_mut() = previous);
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The active fault injector, if one is installed *and can ever fire*.
+/// An off-plan injector is reported as `None` so downstream code takes the
+/// exact fault-free path (the determinism contract's anchor case).
+#[must_use]
+pub fn current() -> Option<Arc<FaultInjector>> {
+    CTX.with(|ctx| {
+        ctx.borrow()
+            .as_ref()
+            .filter(|inj| !inj.is_off())
+            .map(Arc::clone)
+    })
+}
+
+/// Whether a live (non-off) fault context is installed on this thread.
+#[must_use]
+pub fn is_active() -> bool {
+    current().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aro_faults::FaultPlan;
+
+    #[test]
+    fn scoped_installs_and_restores() {
+        assert!(!is_active());
+        let inj = Arc::new(FaultInjector::new(FaultPlan::smoke(), 1));
+        scoped(Some(Arc::clone(&inj)), || {
+            assert!(is_active());
+            let seen = current().unwrap();
+            assert_eq!(seen.fingerprint(), inj.fingerprint());
+            // An inner None scope shadows the outer injector.
+            scoped(None, || assert!(!is_active()));
+            assert!(is_active());
+        });
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn off_injector_reads_as_no_context() {
+        let off = Arc::new(FaultInjector::new(FaultPlan::off(), 1));
+        scoped(Some(off), || {
+            assert!(current().is_none(), "off plan must take the fault-free path");
+        });
+    }
+
+    #[test]
+    fn context_survives_a_panic_inside_the_scope() {
+        let inj = Arc::new(FaultInjector::new(FaultPlan::smoke(), 2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scoped(Some(inj), || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert!(!is_active(), "the restore guard must run during unwind");
+    }
+}

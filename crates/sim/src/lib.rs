@@ -19,6 +19,7 @@
 //! | [`experiments::exp12`] | authentication FAR/FRR after ten years |
 //! | [`experiments::exp13`] | seed robustness of the headline claims |
 //! | [`experiments::exp14`] | soft-decision decoding gain |
+//! | [`experiments::exp15`] | key recovery under injected faults (chaos sweep) |
 //!
 //! Every experiment consumes a [`config::SimConfig`] (use
 //! [`config::SimConfig::paper`] for paper-scale populations,
@@ -28,6 +29,8 @@
 
 pub mod config;
 pub mod experiments;
+pub mod faultctx;
+pub mod harness;
 pub mod parallel;
 pub mod popcache;
 pub mod report;

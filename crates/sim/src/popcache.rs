@@ -70,10 +70,12 @@ struct Scope {
     entries: Vec<Entry>,
     /// Keys requested exactly once, FIFO-ordered, awaiting promotion.
     seen_once: Vec<(PufDesign, usize)>,
-    /// Memoized standard flip timelines, keyed by (config, style). A
+    /// Memoized standard flip timelines, keyed by (config, style, fault
+    /// fingerprint) — the fingerprint is 0 when no live fault context is
+    /// installed, so zero-intensity runs share the fault-free entries. A
     /// timeline is a few hundred bytes, so these are kept unconditionally
     /// (no lazy promotion, no eviction) for the scope's lifetime.
-    timelines: Vec<((SimConfig, RoStyle), FlipTimeline)>,
+    timelines: Vec<((SimConfig, RoStyle, u64), FlipTimeline)>,
     /// Memoized ECC design-space searches (exp5 sweeps four points; exp8
     /// and exp14 re-derive exp5's worst-case ARO point).
     specs: Vec<(ProvisionKey, Option<KeyGenSpec>)>,
@@ -168,6 +170,22 @@ pub fn fabricate(design: &PufDesign, n_chips: usize) -> Population {
     })
 }
 
+/// Empties the active scope without tearing it down: retained baselines,
+/// seen-once keys, memoized timelines, and provisioning results are all
+/// dropped; later requests rebuild from scratch. The experiment harness
+/// calls this after catching a panic — an experiment that died mid-build
+/// may have left the cache holding entries whose construction it never
+/// finished observing, and a cold cache is always correct (every entry is
+/// a pure function of its key). No-op outside a scope.
+pub fn reset() {
+    CACHE.with(|cache| {
+        if let Some(scope) = cache.borrow_mut().as_mut() {
+            *scope = Scope::default();
+            aro_obs::counter("sim.popcache_resets", 1);
+        }
+    });
+}
+
 /// Number of retained baselines in the active scope (0 without a scope).
 /// Exposed for cache-behavior tests.
 #[must_use]
@@ -184,12 +202,16 @@ pub fn retained_baselines() -> usize {
 /// measurement runs once per key and later callers get a memoized copy.
 #[must_use]
 pub fn standard_flip_timeline(cfg: &SimConfig, style: RoStyle) -> FlipTimeline {
+    // Fault schedules change the measurement, so a live fault context gets
+    // its own cache entries (fingerprint 0 = fault-free, shared with
+    // zero-intensity plans, which `faultctx::current` reports as `None`).
+    let fault_fp = crate::faultctx::current().map_or(0, |inj| inj.fingerprint());
     let cached = CACHE.with(|cache| {
         cache.borrow().as_ref().and_then(|scope| {
             scope
                 .timelines
                 .iter()
-                .find(|(key, _)| key.1 == style && key.0 == *cfg)
+                .find(|(key, _)| key.1 == style && key.2 == fault_fp && key.0 == *cfg)
                 .map(|(_, timeline)| timeline.clone())
         })
     });
@@ -209,7 +231,7 @@ pub fn standard_flip_timeline(cfg: &SimConfig, style: RoStyle) -> FlipTimeline {
             aro_obs::counter("sim.popcache_timeline_misses", 1);
             scope
                 .timelines
-                .push(((cfg.clone(), style), timeline.clone()));
+                .push(((cfg.clone(), style, fault_fp), timeline.clone()));
         }
     });
     timeline
@@ -390,6 +412,26 @@ mod tests {
             // The outer scope survives the nested region.
             assert!(is_active());
         });
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn reset_empties_the_scope_but_keeps_it_usable() {
+        let d = design(RoStyle::Conventional, 9);
+        scoped(|| {
+            let before = fabricate(&d, 2);
+            let _ = fabricate(&d, 2);
+            assert_eq!(retained_baselines(), 1);
+            reset();
+            assert_eq!(retained_baselines(), 0);
+            assert!(is_active(), "reset must not tear the scope down");
+            // The cache refills and still produces identical silicon.
+            let _ = fabricate(&d, 2);
+            let after = fabricate(&d, 2);
+            assert_eq!(retained_baselines(), 1);
+            assert_eq!(before, after);
+        });
+        reset(); // no-op outside a scope
         assert!(!is_active());
     }
 

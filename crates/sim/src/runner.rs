@@ -45,14 +45,27 @@ pub struct FlipTimeline {
     pub final_rates: Vec<f64>,
 }
 
+/// Error of [`FlipTimeline::final_mean`]: the timeline was measured over
+/// zero checkpoints, so there is no final flip rate to report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyTimeline;
+
+impl std::fmt::Display for EmptyTimeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("flip timeline has no checkpoints")
+    }
+}
+
+impl std::error::Error for EmptyTimeline {}
+
 impl FlipTimeline {
     /// Mean flip rate at the final checkpoint.
     ///
-    /// # Panics
-    /// Panics if the timeline is empty.
-    #[must_use]
-    pub fn final_mean(&self) -> f64 {
-        *self.mean.last().expect("empty timeline")
+    /// # Errors
+    /// Returns [`EmptyTimeline`] if the timeline holds no checkpoints
+    /// (e.g. it was measured over an empty checkpoint list).
+    pub fn final_mean(&self) -> Result<f64, EmptyTimeline> {
+        self.mean.last().copied().ok_or(EmptyTimeline)
     }
 
     /// The `q`-quantile of the per-chip final flip rates — the worst-case
@@ -66,6 +79,15 @@ impl FlipTimeline {
 /// Enrolls a population at nominal conditions, plays the mission through
 /// each checkpoint, and measures the flip rate against enrollment at every
 /// stop.
+///
+/// When a fault context is installed ([`crate::faultctx`]), the re-reads
+/// run under injected physics: hard RO faults strike each chip after
+/// factory enrollment (a fielded chip loses rings the factory never saw
+/// fail), and every per-checkpoint measurement may see a transient
+/// environment excursion and/or an RTN noise burst. The injector is read
+/// **once** on this thread and shared by reference into the parallel
+/// workers; every fault event is addressed by `(chip id, checkpoint)`, so
+/// the schedule is byte-identical at any `--threads N`.
 #[must_use]
 pub fn measure_flip_timeline(
     population: &mut Population,
@@ -82,11 +104,26 @@ pub fn measure_flip_timeline(
         enrollments
     };
 
+    // Fault context: captured here, on the spawning thread (the context is
+    // thread-local and invisible to `par_map_mut` workers).
+    let injector = crate::faultctx::current();
+    let inj = injector.as_deref();
+    if let Some(inj) = inj {
+        // Hard faults land after enrollment: the factory enrolled healthy
+        // silicon, the field kills rings behind its back.
+        let n_ros = design.n_ros();
+        for chip in population.chips_mut() {
+            for (slot, health) in inj.hard_faults(chip.id(), n_ros) {
+                chip.set_ro_health(slot, health);
+            }
+        }
+    }
+
     let mut mean = Vec::with_capacity(checkpoints.len());
     let mut std = Vec::with_capacity(checkpoints.len());
     let mut final_rates = Vec::new();
     let mut age = 0.0;
-    for &checkpoint in checkpoints {
+    for (ck_event, &checkpoint) in checkpoints.iter().enumerate() {
         assert!(checkpoint >= age, "checkpoints must be non-decreasing");
         let step = checkpoint - age;
         age = checkpoint;
@@ -96,7 +133,18 @@ pub fn measure_flip_timeline(
         // index, keeping the run bit-identical to sequential.
         let rates: Vec<f64> = crate::parallel::par_map_mut(population.chips_mut(), |i, chip| {
             profile.age_chip(chip, &design, step);
-            let rate = enrollments[i].flip_rate_now(chip, &design, &env);
+            // Transient faults for THIS chip's re-read at THIS checkpoint.
+            let (burst_design, meas_env) = match inj {
+                None => (None, env),
+                Some(inj) => (
+                    inj.noise_burst(chip.id(), ck_event as u64).map(|factor| {
+                        design.with_readout(design.readout().with_noise_burst(factor))
+                    }),
+                    inj.measurement_env(chip.id(), ck_event as u64, &env),
+                ),
+            };
+            let meas_design = burst_design.as_ref().unwrap_or(&design);
+            let rate = enrollments[i].flip_rate_now(chip, meas_design, &meas_env);
             let bits = enrollments[i].bits() as u64;
             aro_obs::counter("sim.chips_simulated", 1);
             aro_obs::counter("sim.bits_evaluated", bits);
@@ -180,11 +228,58 @@ mod tests {
         // Flip rates grow with age (up to measurement-noise wiggle).
         assert!(conv.mean[2] > conv.mean[0]);
         assert!(
-            conv.final_mean() > 2.0 * aro.final_mean(),
+            conv.final_mean().unwrap() > 2.0 * aro.final_mean().unwrap(),
             "ARO must flip far less"
         );
         assert_eq!(conv.final_rates.len(), cfg.n_chips);
         assert!(conv.final_quantile(0.99) >= conv.final_quantile(0.5));
+    }
+
+    #[test]
+    fn final_mean_errors_on_an_empty_timeline() {
+        let empty = FlipTimeline {
+            checkpoints: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+            final_rates: Vec::new(),
+        };
+        assert_eq!(empty.final_mean(), Err(EmptyTimeline));
+        assert_eq!(
+            EmptyTimeline.to_string(),
+            "flip timeline has no checkpoints"
+        );
+        let mut population = build_population(&SimConfig::quick(), RoStyle::Conventional);
+        let profile = MissionProfile::typical(population.design().tech());
+        let measured = measure_flip_timeline(&mut population, &profile, &[]);
+        assert_eq!(measured.final_mean(), Err(EmptyTimeline));
+    }
+
+    #[test]
+    fn fault_context_degrades_the_timeline_deterministically() {
+        use aro_faults::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+        let cfg = SimConfig::quick();
+        let checkpoints = [YEAR, 10.0 * YEAR];
+        let run = |injector: Option<Arc<FaultInjector>>| {
+            crate::faultctx::scoped(injector, || {
+                let mut population = build_population(&cfg, RoStyle::Conventional);
+                let profile = MissionProfile::typical(population.design().tech());
+                measure_flip_timeline(&mut population, &profile, &checkpoints)
+            })
+        };
+        let clean = run(None);
+        let off = run(Some(Arc::new(FaultInjector::new(FaultPlan::off(), cfg.seed))));
+        assert_eq!(clean, off, "zero-intensity must be byte-identical");
+        let storm = Arc::new(FaultInjector::new(FaultPlan::storm(), cfg.seed));
+        let faulted = run(Some(Arc::clone(&storm)));
+        let faulted_again = run(Some(storm));
+        assert_eq!(faulted, faulted_again, "chaos must be replayable");
+        assert!(
+            faulted.final_mean().unwrap() > clean.final_mean().unwrap(),
+            "storm faults must raise the flip rate: {} vs {}",
+            faulted.final_mean().unwrap(),
+            clean.final_mean().unwrap()
+        );
     }
 
     #[test]

@@ -45,6 +45,26 @@ if [[ -z "$baseline_total" || -z "$best" ]]; then
     exit 0
 fi
 
+# Fault-run timing: one smoke-plan run, recorded for the trend log. The
+# fault layer must stay cheap — injection is coordinate-addressed RNG
+# draws, so a smoke run should cost within a few percent of a clean run.
+echo "==> timing repro --quick --faults smoke (one run)"
+fault_json="$(mktemp /tmp/BENCH_faults.XXXXXX.json)"
+trap 'rm -f "$fresh" "$fault_json"' EXIT
+set +e
+./target/release/repro --quick --quiet --faults smoke --bench-json "$fault_json"
+fault_status=$?
+set -e
+fault_total="$(sed -n 's/.*"total_wall_ns": \([0-9]*\).*/\1/p' "$fault_json")"
+if [[ ("$fault_status" -eq 0 || "$fault_status" -eq 3) && -n "$fault_total" ]]; then
+    awk -v clean="$best" -v fault="$fault_total" 'BEGIN {
+        printf "fault-run total: %10.1f ms  (%.2fx the clean run)\n",
+            fault / 1e6, fault / clean
+    }'
+else
+    echo "bench_check: fault run exited $fault_status; no timing recorded" >&2
+fi
+
 awk -v base="$baseline_total" -v now="$best" -v min="$MIN_SPEEDUP" 'BEGIN {
     speedup = base / now
     printf "baseline total : %10.1f ms  (%s ns)\n", base / 1e6, base

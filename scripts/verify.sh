@@ -26,4 +26,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> bench smoke (one iteration per microbenchmark)"
 cargo test -q -p aro-bench --benches
 
+# Chaos smoke: the quick reproduction must survive an injected-fault run.
+# Exit 0 (all experiments completed under faults) and exit 3 (degraded
+# mode: survivors reported plus a failure table) are both acceptable;
+# anything else — a panic escaping the harness, a total failure — fails
+# verification. See docs/ROBUSTNESS.md.
+echo "==> chaos smoke (repro --quick --faults smoke)"
+set +e
+./target/release/repro --quick --quiet --faults smoke
+chaos=$?
+set -e
+if [[ "$chaos" -ne 0 && "$chaos" -ne 3 ]]; then
+    echo "verify: chaos smoke exited $chaos (expected 0 or 3)" >&2
+    exit 1
+fi
+echo "chaos smoke exit: $chaos"
+
 echo "==> verify OK"

@@ -10,13 +10,16 @@
 //! * [`ecc`] — BCH / repetition codes, fuzzy extractor, area
 //!   models.
 //! * [`metrics`] — PUF quality metrics and randomness tests.
-//! * [`sim`] — the EXP-1..EXP-14 paper experiments.
+//! * [`faults`] — deterministic fault injection (see
+//!   `docs/ROBUSTNESS.md`).
+//! * [`sim`] — the EXP-1..EXP-15 paper experiments.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 pub use aro_circuit as circuit;
 pub use aro_device as device;
 pub use aro_ecc as ecc;
+pub use aro_faults as faults;
 pub use aro_metrics as metrics;
 pub use aro_puf as puf;
 pub use aro_sim as sim;
