@@ -16,6 +16,13 @@
 //! repro --watchdog 600           # abandon any experiment past 600 s
 //! repro --fail exp3              # force exp3 to panic (chaos testing)
 //! repro --quiet                  # suppress report output (for timing runs)
+//! repro --ledger run.ledger      # journal every experiment outcome
+//! repro --resume run.ledger      # resume: replay completed experiments
+//!                                # from the journal, run only the rest
+//! repro report profile run.jsonl # span-tree profile of a telemetry file
+//! repro report diff OLD NEW      # wall-time/metric deltas, exit 5 on
+//!                                # regression past --threshold
+//! repro report trajectory DIR    # fold BENCH_*.json into a time series
 //! repro --list                   # what is available
 //! ```
 //!
@@ -27,9 +34,10 @@
 //! 4 total failure (no experiment completed), 141 closed output pipe.
 
 use aro_faults::{FaultInjector, FaultPlan};
+use aro_ledger::Ledger;
 use aro_sim::experiments::ALL_IDS;
 use aro_sim::harness::{self, HarnessOptions};
-use aro_sim::{Report, SimConfig};
+use aro_sim::SimConfig;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -138,9 +146,21 @@ fn usage() -> String {
          \x20                      still running after SECS seconds\n\
          \x20 --fail ID            force experiment ID to panic (repeatable;\n\
          \x20                      exercises degraded mode end to end)\n\
+         \x20 --ledger PATH        start a fresh run ledger at PATH: every\n\
+         \x20                      experiment outcome is journalled (JSONL,\n\
+         \x20                      flushed per experiment, crash-safe)\n\
+         \x20 --resume PATH        resume from the ledger at PATH: completed\n\
+         \x20                      experiments whose config+faults+seed\n\
+         \x20                      fingerprint matches are replayed byte-\n\
+         \x20                      identically, the rest run and extend it\n\
          \x20 --quiet              suppress report output\n\
          \x20 --list               list every experiment with its title\n\
          \x20 --help               this message\n\
+         \n\
+         analysis (see `repro report --help`):\n\
+         \x20 report profile PATH [--top K]     span-tree telemetry profile\n\
+         \x20 report diff OLD NEW [--threshold F]  wall-time/metric deltas\n\
+         \x20 report trajectory DIR             BENCH_*.json time series\n\
          \n\
          exit codes:\n\
          \x20 0  every requested experiment completed\n\
@@ -149,6 +169,7 @@ fn usage() -> String {
          \x20 3  partial failure: some experiments failed, the rest were\n\
          \x20    reported together with a failure table (degraded mode)\n\
          \x20 4  total failure: no requested experiment completed\n\
+         \x20 5  `report diff` found a wall-time regression\n\
          \x20 141 output pipe closed by the consumer"
     )
 }
@@ -166,6 +187,8 @@ struct Options {
     max_retries: usize,
     watchdog: Option<Duration>,
     forced_panics: Vec<String>,
+    ledger: Option<PathBuf>,
+    resume: Option<PathBuf>,
     metrics: bool,
     quiet: bool,
     quick: bool,
@@ -190,6 +213,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
         max_retries: 0,
         watchdog: None,
         forced_panics: Vec::new(),
+        ledger: None,
+        resume: None,
         metrics: false,
         quiet: false,
         quick: false,
@@ -279,6 +304,18 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
                 }
                 opts.forced_panics.push(id);
             }
+            "--ledger" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--ledger expects a path".into()))?;
+                opts.ledger = Some(PathBuf::from(path));
+            }
+            "--resume" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--resume expects a path".into()))?;
+                opts.resume = Some(PathBuf::from(path));
+            }
             "--metrics" => opts.metrics = true,
             "--quiet" => opts.quiet = true,
             "--list" => return Ok(Parsed::List),
@@ -292,6 +329,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
             flag => return Err(CliError::Usage(format!("unknown option `{flag}`"))),
         }
     }
+    if opts.ledger.is_some() && opts.resume.is_some() {
+        return Err(CliError::Usage(
+            "--ledger and --resume are mutually exclusive (--resume appends to an existing ledger)"
+                .into(),
+        ));
+    }
     if opts.quick {
         opts.cfg = SimConfig::quick();
     }
@@ -301,15 +344,31 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
     Ok(Parsed::Run(Box::new(opts)))
 }
 
-/// Writes every table of a report as `DIR/<exp>_<index>.csv`.
-fn dump_csv(report: &Report, dir: &Path) -> Result<(), CliError> {
+/// Writes a report's CSV table dumps as `DIR/<exp>_<index>.csv`. Takes
+/// the rendered CSV strings rather than the report so replayed
+/// experiments (which carry no live `Report`) dump the same files a
+/// fresh run would — `id` is the harness id (`"exp1"`), which matches
+/// the lowercased, dash-stripped report id the old naming used.
+fn dump_csv(id: &str, tables: &[String], dir: &Path) -> Result<(), CliError> {
     std::fs::create_dir_all(dir).map_err(CliError::io("create directory", dir))?;
-    for (i, table) in report.tables().iter().enumerate() {
-        let name = format!("{}_{i}.csv", report.id().to_lowercase().replace('-', ""));
-        let path = dir.join(name);
-        std::fs::write(&path, table.to_csv()).map_err(CliError::io("write", &path))?;
+    for (i, table) in tables.iter().enumerate() {
+        let path = dir.join(format!("{id}_{i}.csv"));
+        std::fs::write(&path, table).map_err(CliError::io("write", &path))?;
     }
     Ok(())
+}
+
+/// The `ledger_open` header event: enough context to identify which run a
+/// journal belongs to when it is read post-mortem.
+fn ledger_header(cfg: &SimConfig, quick: bool, fault_spec: Option<&str>) -> String {
+    format!(
+        "{{\"event\":\"ledger_open\",\"schema\":\"aro-ledger-v1\",\"chips\":{},\"ros\":{},\"seed\":{},\"quick\":{},\"faults\":{}}}",
+        cfg.n_chips,
+        cfg.n_ros,
+        cfg.seed,
+        quick,
+        aro_obs::json::escape(fault_spec.unwrap_or("off"))
+    )
 }
 
 /// The `BENCH_*.json` perf-trajectory dump: schema tag, configuration, and
@@ -350,13 +409,39 @@ fn run(opts: &Options) -> Result<i32, CliError> {
     if let Some(threads) = opts.threads {
         aro_sim::parallel::set_thread_override(threads);
     }
-    let instrumented = opts.telemetry.is_some() || opts.bench_json.is_some() || opts.metrics;
+    // A ledger needs obs enabled so records carry the per-experiment
+    // counter deltas (incl. the faults.* tallies); stdout is unchanged —
+    // the run summary still only prints under --metrics/--telemetry.
+    let mut ledger = match (&opts.ledger, &opts.resume) {
+        (Some(path), None) => Some(Ledger::create(path).map_err(CliError::io("create ledger", path))?),
+        (None, Some(path)) => Some(Ledger::open(path).map_err(CliError::io("open ledger", path))?),
+        _ => None,
+    };
+    let instrumented = opts.telemetry.is_some()
+        || opts.bench_json.is_some()
+        || opts.metrics
+        || ledger.is_some();
     if instrumented {
         aro_obs::set_enabled(true);
         aro_obs::reset();
     }
     if let Some(path) = &opts.telemetry {
         aro_obs::sink::install_file(path).map_err(CliError::io("open telemetry file", path))?;
+    }
+    if let Some(ledger) = &mut ledger {
+        if ledger.skipped_lines() > 0 {
+            eprintln!(
+                "repro: ledger {}: tolerating {} corrupt/truncated line(s) from a previous crash",
+                ledger.path().display(),
+                ledger.skipped_lines()
+            );
+        }
+        let fault_spec = opts.fault_spec.as_deref();
+        let header = ledger_header(&opts.cfg, opts.quick, fault_spec);
+        let path = ledger.path().to_path_buf();
+        ledger
+            .append_raw_event(&header)
+            .map_err(CliError::io("write ledger header", &path))?;
     }
 
     if !opts.quiet {
@@ -396,9 +481,29 @@ fn run(opts: &Options) -> Result<i32, CliError> {
     let outcome = aro_sim::popcache::scoped(|| {
         let _run_span = aro_obs::span("run");
         aro_sim::faultctx::scoped(injector, || {
-            harness::run_experiments(&opts.cfg, &ids, &harness_opts)
+            harness::run_experiments_ledgered(&opts.cfg, &ids, &harness_opts, ledger.as_mut())
         })
     });
+
+    if let Some(ledger) = &mut ledger {
+        let replayed = outcome
+            .successes
+            .iter()
+            .filter(|s| s.report.is_replayed())
+            .count();
+        let summary = format!(
+            "{{\"event\":\"run_summary\",\"requested\":{},\"succeeded\":{},\"replayed\":{replayed},\"failed\":{}}}",
+            ids.len(),
+            outcome.successes.len(),
+            outcome.failures.len()
+        );
+        if let Err(e) = ledger.append_raw_event(&summary) {
+            eprintln!("repro: ledger {}: {e}", ledger.path().display());
+        }
+    }
+    for error in &outcome.ledger_errors {
+        eprintln!("repro: ledger append failed (run unaffected): {error}");
+    }
 
     let mut wall: Vec<(String, u128)> = Vec::with_capacity(outcome.successes.len());
     for success in &outcome.successes {
@@ -407,7 +512,7 @@ fn run(opts: &Options) -> Result<i32, CliError> {
             emit(&success.report);
         }
         if let Some(dir) = &opts.csv_dir {
-            dump_csv(&success.report, dir)?;
+            dump_csv(&success.id, &success.report.csv_tables(), dir)?;
         }
     }
     for failure in &outcome.failures {
@@ -452,7 +557,13 @@ fn run(opts: &Options) -> Result<i32, CliError> {
 }
 
 fn main() {
-    match parse_args(std::env::args().skip(1)) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `repro report …` is a separate, run-free mode: offline analysis
+    // over ledgers, telemetry captures, and bench dumps.
+    if args.first().map(String::as_str) == Some("report") {
+        std::process::exit(aro_bench::report_cli::run(&args[1..]));
+    }
+    match parse_args(args.into_iter()) {
         Ok(Parsed::List) => {
             for (id, title) in EXPERIMENTS {
                 emit(format_args!("{id}  {title}"));

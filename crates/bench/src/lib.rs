@@ -7,6 +7,8 @@
 //! kernel at a reduced scale — one bench target per paper table/figure,
 //! plus microbenches of the hot kernels.
 
+pub mod report_cli;
+
 use aro_sim::SimConfig;
 
 /// The configuration benches run at: quick scale, so `cargo bench`

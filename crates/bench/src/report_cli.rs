@@ -1,0 +1,181 @@
+//! `repro report` — offline analysis over the artefacts a run leaves
+//! behind: telemetry JSONL captures, run ledgers, and `BENCH_*.json`
+//! wall-time dumps.
+//!
+//! ```text
+//! repro report profile run.jsonl [--top K]
+//! repro report diff OLD NEW [--threshold F]
+//! repro report trajectory DIR
+//! ```
+//!
+//! `diff` is the regression gate: it exits 5 when any experiment's wall
+//! time regressed past the threshold (default +20 %), which is what
+//! `scripts/bench_check.sh` keys on. Either side may be a bench JSON or a
+//! ledger; ledger sides additionally contribute per-experiment metric
+//! drift to the output.
+
+use std::path::{Path, PathBuf};
+
+use aro_ledger::{diff, profile, trajectory};
+
+/// Exit code `repro report diff` uses for "regression past threshold".
+pub const EXIT_REGRESSION: i32 = 5;
+
+fn usage() -> String {
+    "usage: repro report <SUBCOMMAND>\n\
+     \n\
+     subcommands:\n\
+     \x20 profile PATH [--top K]        span-tree profile of a telemetry\n\
+     \x20                               JSONL capture: per-phase wall time,\n\
+     \x20                               self vs child time, top-K hot spans\n\
+     \x20                               (default K = 10)\n\
+     \x20 diff OLD NEW [--threshold F]  per-experiment wall-time and metric\n\
+     \x20                               deltas between two runs; OLD/NEW are\n\
+     \x20                               BENCH_*.json dumps or run ledgers.\n\
+     \x20                               Exits 5 when any experiment's wall\n\
+     \x20                               time exceeds OLD * (1 + F)\n\
+     \x20                               (default F = 0.2)\n\
+     \x20 trajectory DIR                fold the BENCH_*.json captures in\n\
+     \x20                               DIR into a perf time-series table\n\
+     \n\
+     exit codes:\n\
+     \x20 0  analysis completed (no regression, for diff)\n\
+     \x20 1  unreadable or unparseable input\n\
+     \x20 2  usage error\n\
+     \x20 5  diff found a wall-time regression past the threshold\n\
+     \x20 141 output pipe closed by the consumer"
+        .to_string()
+}
+
+/// Prints one line to stdout, exiting with the conventional SIGPIPE
+/// status when the consumer closed the pipe (mirrors the run-mode `emit`).
+fn emit(text: impl std::fmt::Display) {
+    use std::io::Write as _;
+    if writeln!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(141);
+    }
+}
+
+fn fail_usage(msg: &str) -> i32 {
+    eprintln!("repro report: {msg}\n\n{}", usage());
+    2
+}
+
+/// Runs `repro report <args>`; returns the process exit code.
+#[must_use]
+pub fn run(args: &[String]) -> i32 {
+    let Some(sub) = args.first() else {
+        return fail_usage("missing subcommand");
+    };
+    match sub.as_str() {
+        "profile" => run_profile(&args[1..]),
+        "diff" => run_diff(&args[1..]),
+        "trajectory" => run_trajectory(&args[1..]),
+        "--help" | "-h" => {
+            emit(usage());
+            0
+        }
+        other => fail_usage(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn run_profile(args: &[String]) -> i32 {
+    let mut path: Option<PathBuf> = None;
+    let mut top = 10usize;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => {
+                let Some(value) = args.next() else {
+                    return fail_usage("--top expects a count");
+                };
+                match value.parse() {
+                    Ok(k) if k > 0 => top = k,
+                    _ => return fail_usage(&format!("--top expects a positive integer, got `{value}`")),
+                }
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            other => return fail_usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(path) = path else {
+        return fail_usage("profile expects a telemetry JSONL path");
+    };
+    match profile::profile_file(&path) {
+        Ok(profile) => {
+            emit(profile.to_markdown(top));
+            0
+        }
+        Err(e) => {
+            eprintln!("repro report: {e}");
+            1
+        }
+    }
+}
+
+fn run_diff(args: &[String]) -> i32 {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut threshold = 0.2f64;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(value) = args.next() else {
+                    return fail_usage("--threshold expects a fraction");
+                };
+                match value.parse::<f64>() {
+                    Ok(f) if f.is_finite() && f >= 0.0 => threshold = f,
+                    _ => {
+                        return fail_usage(&format!(
+                            "--threshold expects a non-negative fraction, got `{value}`"
+                        ))
+                    }
+                }
+            }
+            other if !other.starts_with('-') && paths.len() < 2 => {
+                paths.push(PathBuf::from(other));
+            }
+            other => return fail_usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let [old, new] = paths.as_slice() else {
+        return fail_usage("diff expects exactly two inputs: OLD NEW");
+    };
+    match diff::diff_files(old, new, threshold) {
+        Ok(report) => {
+            emit(report.to_markdown());
+            if report.has_regression() {
+                eprintln!(
+                    "repro report: wall-time regression past +{:.0} % in: {}",
+                    threshold * 100.0,
+                    report.regressed_ids().join(", ")
+                );
+                EXIT_REGRESSION
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("repro report: {e}");
+            1
+        }
+    }
+}
+
+fn run_trajectory(args: &[String]) -> i32 {
+    let [dir] = args else {
+        return fail_usage("trajectory expects exactly one directory");
+    };
+    match trajectory::scan_dir(Path::new(dir)) {
+        Ok(trajectory) => {
+            emit(trajectory.to_markdown());
+            0
+        }
+        Err(e) => {
+            eprintln!("repro report: {e}");
+            1
+        }
+    }
+}

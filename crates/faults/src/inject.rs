@@ -18,8 +18,12 @@
 //!   zero-intensity plan reproduces the fault-free bytes exactly.
 //!
 //! Every fault that actually fires is recorded through `aro-obs` counters
-//! (`faults.*`), so chaos runs leave an auditable injection tally in the
-//! metrics dump and telemetry.
+//! (`faults.*`) **and** emitted as a structured `fault` telemetry event
+//! ([`aro_obs::fault_event`]) naming the chip, the kind, and the
+//! magnitudes drawn — so chaos runs leave both an aggregate tally in the
+//! metrics dump and an exact injection trail in the telemetry capture.
+//! Zero-intensity plans take the early-return path before any fire site,
+//! so they emit nothing (the golden-fixture guarantee).
 
 use aro_circuit::ring::RoHealth;
 use aro_device::environment::Environment;
@@ -112,10 +116,12 @@ impl FaultInjector {
             .count() as u64;
         if n_dead > 0 {
             aro_obs::counter("faults.dead_ros", n_dead);
+            aro_obs::fault_event("dead_ro", chip_id, n_dead, &[]);
         }
         let n_stuck = faults.len() as u64 - n_dead;
         if n_stuck > 0 {
             aro_obs::counter("faults.stuck_ros", n_stuck);
+            aro_obs::fault_event("stuck_ro", chip_id, n_stuck, &[]);
         }
         faults
     }
@@ -136,6 +142,12 @@ impl FaultInjector {
         let d_temp = self.plan.temp_spike_c * rng.gen_range(0.0..1.0);
         let d_vdd = -self.plan.vdd_droop_v * rng.gen_range(0.0..1.0);
         aro_obs::counter("faults.env_excursions", 1);
+        aro_obs::fault_event(
+            "env_excursion",
+            chip_id,
+            1,
+            &[("d_temp_c", d_temp), ("d_vdd_v", d_vdd)],
+        );
         nominal.perturbed(d_temp, d_vdd)
     }
 
@@ -153,8 +165,10 @@ impl FaultInjector {
             return None;
         }
         let u: f64 = rng.gen_range(0.0..1.0);
+        let factor = 1.0 + (self.plan.noise_burst_factor - 1.0) * u.max(f64::EPSILON);
         aro_obs::counter("faults.noise_bursts", 1);
-        Some(1.0 + (self.plan.noise_burst_factor - 1.0) * u.max(f64::EPSILON))
+        aro_obs::fault_event("noise_burst", chip_id, 1, &[("factor", factor)]);
+        Some(factor)
     }
 
     /// The response-bit positions corrupted by counter glitches during
@@ -172,6 +186,7 @@ impl FaultInjector {
             .collect();
         if !flips.is_empty() {
             aro_obs::counter("faults.response_glitches", flips.len() as u64);
+            aro_obs::fault_event("counter_glitch", chip_id, flips.len() as u64, &[]);
         }
         flips
     }
@@ -196,6 +211,7 @@ impl FaultInjector {
         }
         if !erased.is_empty() {
             aro_obs::counter("faults.helper_erasures", erased.len() as u64);
+            aro_obs::fault_event("helper_erasure", chip_id, erased.len() as u64, &[]);
         }
         erased
     }
@@ -338,6 +354,69 @@ mod tests {
         assert!(
             (total as f64) > 0.3 * expected && (total as f64) < 3.0 * expected,
             "erasures {total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn fire_sites_emit_fault_events_and_off_plans_stay_silent() {
+        use aro_obs::json::{self, Value};
+        // The sink is process-global and other tests in this binary also
+        // drive injectors concurrently; sentinel chip ids keep the
+        // assertions scoped to this test's own queries.
+        const STORM_CHIP: u64 = 999_999;
+        const OFF_CHIP: u64 = 888_888;
+        let buf = aro_obs::sink::install_memory();
+        aro_obs::set_enabled(true);
+        let inj = storm();
+        let env = Environment::new(25.0, 1.2);
+        let _ = inj.hard_faults(STORM_CHIP, 1024);
+        for event in 0..512 {
+            let _ = inj.measurement_env(STORM_CHIP, event, &env);
+            let _ = inj.noise_burst(STORM_CHIP, event);
+            let _ = inj.response_glitches(STORM_CHIP, event, 64);
+        }
+        let _ = inj.helper_erasures(STORM_CHIP, &[127, 127, 127]);
+        let off = FaultInjector::new(FaultPlan::off(), 2014);
+        let _ = off.hard_faults(OFF_CHIP, 1024);
+        for event in 0..512 {
+            let _ = off.measurement_env(OFF_CHIP, event, &env);
+            let _ = off.noise_burst(OFF_CHIP, event);
+            let _ = off.response_glitches(OFF_CHIP, event, 64);
+        }
+        let _ = off.helper_erasures(OFF_CHIP, &[127, 127, 127]);
+        aro_obs::set_enabled(false);
+        aro_obs::sink::close();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let mine: Vec<Value> = text
+            .lines()
+            .filter_map(|line| json::parse(line).ok())
+            .filter(|v| v.get("event").and_then(Value::as_str) == Some("fault"))
+            .filter(|v| v.get("chip").and_then(Value::as_u64) == Some(STORM_CHIP))
+            .collect();
+        let kinds: std::collections::BTreeSet<&str> = mine
+            .iter()
+            .filter_map(|v| v.get("kind").and_then(Value::as_str))
+            .collect();
+        for kind in [
+            "dead_ro",
+            "stuck_ro",
+            "env_excursion",
+            "noise_burst",
+            "counter_glitch",
+            "helper_erasure",
+        ] {
+            assert!(kinds.contains(kind), "missing fault kind {kind}: {kinds:?}");
+        }
+        // Excursion events carry the drawn magnitudes.
+        assert!(mine.iter().any(|v| {
+            v.get("kind").and_then(Value::as_str) == Some("env_excursion")
+                && v.get("d_temp_c").and_then(Value::as_f64).is_some()
+                && v.get("d_vdd_v").and_then(Value::as_f64).is_some()
+        }));
+        // The zero-intensity plan reached no fire site: not one event.
+        assert!(
+            !text.contains(&format!("\"chip\":{OFF_CHIP}")),
+            "off plan emitted fault events"
         );
     }
 

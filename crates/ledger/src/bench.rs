@@ -1,0 +1,112 @@
+//! Parser for the `BENCH_*.json` perf-trajectory captures emitted by
+//! `repro --bench-json` (schema `aro-bench-v1`).
+
+use aro_obs::json::{self, Value};
+
+/// One parsed `BENCH_*.json` capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchFile {
+    /// Chips per population.
+    pub chips: u64,
+    /// Rings per chip.
+    pub ros: u64,
+    /// Monte Carlo seed.
+    pub seed: u64,
+    /// Whether the capture ran at quick scale.
+    pub quick: bool,
+    /// Per-experiment wall times, in capture order.
+    pub experiments: Vec<(String, u64)>,
+    /// Total wall time across the run.
+    pub total_wall_ns: u64,
+}
+
+/// Parses a `BENCH_*.json` document.
+///
+/// # Errors
+/// Returns a description of the first schema violation.
+pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
+    let value = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if value.get("schema").and_then(Value::as_str) != Some("aro-bench-v1") {
+        return Err("missing or unknown \"schema\" (expected aro-bench-v1)".to_string());
+    }
+    let config = value.get("config").ok_or("missing \"config\"")?;
+    let field = |name: &str| -> Result<u64, String> {
+        config
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("config.{name} missing or not an integer"))
+    };
+    let quick = matches!(config.get("quick"), Some(Value::Bool(true)));
+    let Some(Value::Array(entries)) = value.get("experiments") else {
+        return Err("missing \"experiments\" array".to_string());
+    };
+    let mut experiments = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let id = entry
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("experiment entry missing \"id\"")?;
+        let wall_ns = entry
+            .get("wall_ns")
+            .and_then(Value::as_u64)
+            .ok_or("experiment entry missing \"wall_ns\"")?;
+        experiments.push((id.to_string(), wall_ns));
+    }
+    let total_wall_ns = value
+        .get("total_wall_ns")
+        .and_then(Value::as_u64)
+        .ok_or("missing \"total_wall_ns\"")?;
+    Ok(BenchFile {
+        chips: field("chips")?,
+        ros: field("ros")?,
+        seed: field("seed")?,
+        quick,
+        experiments,
+        total_wall_ns,
+    })
+}
+
+#[cfg(test)]
+pub(crate) fn sample(ids_ns: &[(&str, u64)]) -> String {
+    let mut out = String::from(
+        "{\n  \"schema\": \"aro-bench-v1\",\n  \"config\": {\"chips\": 10, \"ros\": 64, \"seed\": 2014, \"quick\": true},\n  \"experiments\": [\n",
+    );
+    for (i, (id, ns)) in ids_ns.iter().enumerate() {
+        let comma = if i + 1 == ids_ns.len() { "" } else { "," };
+        out.push_str(&format!("    {{\"id\": \"{id}\", \"wall_ns\": {ns}}}{comma}\n"));
+    }
+    let total: u64 = ids_ns.iter().map(|(_, ns)| ns).sum();
+    out.push_str(&format!("  ],\n  \"total_wall_ns\": {total}\n}}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_emitted_shape() {
+        let text = sample(&[("exp1", 100), ("exp2", 250)]);
+        let bench = parse_bench(&text).unwrap();
+        assert_eq!(bench.chips, 10);
+        assert_eq!(bench.ros, 64);
+        assert_eq!(bench.seed, 2014);
+        assert!(bench.quick);
+        assert_eq!(
+            bench.experiments,
+            vec![("exp1".to_string(), 100), ("exp2".to_string(), 250)]
+        );
+        assert_eq!(bench.total_wall_ns, 350);
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(parse_bench("{}").is_err());
+        assert!(parse_bench("not json").is_err());
+        assert!(parse_bench(r#"{"schema":"aro-bench-v1"}"#).is_err());
+        assert!(parse_bench(
+            r#"{"schema":"aro-bench-v2","config":{},"experiments":[],"total_wall_ns":0}"#
+        )
+        .is_err());
+    }
+}

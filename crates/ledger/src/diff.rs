@@ -1,0 +1,415 @@
+//! `repro report diff` — per-experiment wall-time and metric deltas
+//! between two runs, with a configurable regression threshold.
+//!
+//! Either side may be a `BENCH_*.json` capture (wall times only) or a run
+//! ledger JSONL (wall times **and** per-experiment metric aggregates).
+//! Wall-time comparisons drive the regression verdict; metric deltas are
+//! reported so run-to-run drift in *work done* (counter changes) is
+//! machine-visible even when timing noise hides it.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::bench::parse_bench;
+use crate::journal::parse_records;
+use crate::md::{ms, pct_delta, MdTable};
+use crate::record::RecordStatus;
+
+/// One side of a diff: per-experiment wall times (order preserved) and,
+/// for ledgers, per-experiment metric aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WallSet {
+    /// Display label (the file name).
+    pub label: String,
+    /// `(experiment id, wall_ns)` in source order.
+    pub experiments: Vec<(String, u64)>,
+    /// Per-experiment counter aggregates (ledger sources only).
+    pub metrics: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl WallSet {
+    fn wall_of(&self, id: &str) -> Option<u64> {
+        self.experiments
+            .iter()
+            .find(|(eid, _)| eid == id)
+            .map(|(_, ns)| *ns)
+    }
+
+    /// Total wall time across experiments.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.experiments.iter().map(|(_, ns)| ns).sum()
+    }
+}
+
+/// Loads one diff side, sniffing the format: a single JSON document with
+/// `"schema": "aro-bench-v1"` is a bench capture; anything else is read
+/// as a ledger JSONL (tolerating crash debris, like resume does).
+///
+/// # Errors
+/// Returns a description when the file is unreadable or matches neither
+/// format.
+pub fn load_wall_set(path: &Path) -> Result<WallSet, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let label = path
+        .file_name()
+        .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+    if let Ok(bench) = parse_bench(&text) {
+        return Ok(WallSet {
+            label,
+            experiments: bench.experiments,
+            metrics: BTreeMap::new(),
+        });
+    }
+    let (records, _skipped) = parse_records(&text);
+    if records.is_empty() {
+        return Err(format!(
+            "{}: neither a BENCH_*.json capture nor a ledger with experiment records",
+            path.display()
+        ));
+    }
+    let mut set = WallSet {
+        label,
+        ..WallSet::default()
+    };
+    for record in records {
+        if record.status != RecordStatus::Success {
+            continue; // failures have no comparable wall-time semantics
+        }
+        // Latest record wins, keeping first-seen order (a resumed run may
+        // append a re-run of an experiment recorded earlier).
+        if let Some(slot) = set
+            .experiments
+            .iter_mut()
+            .find(|(id, _)| *id == record.id)
+        {
+            slot.1 = record.wall_ns;
+        } else {
+            set.experiments.push((record.id.clone(), record.wall_ns));
+        }
+        set.metrics.insert(record.id.clone(), record.metrics);
+    }
+    Ok(set)
+}
+
+/// The wall-time verdict for one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the threshold either way.
+    Ok,
+    /// Faster than the threshold allows for noise — report it, celebrate.
+    Improved,
+    /// Slower than `old * (1 + threshold)` — the regression gate trips.
+    Regressed,
+    /// Present only in the new run.
+    Added,
+    /// Present only in the old run.
+    Removed,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Added => "added",
+            Verdict::Removed => "removed",
+        }
+    }
+}
+
+/// One row of the wall-time delta table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Experiment id.
+    pub id: String,
+    /// Old wall time (absent for [`Verdict::Added`]).
+    pub old_ns: Option<u64>,
+    /// New wall time (absent for [`Verdict::Removed`]).
+    pub new_ns: Option<u64>,
+    /// The verdict under the diff's threshold.
+    pub verdict: Verdict,
+}
+
+/// One per-experiment counter that changed between two ledgers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricDelta {
+    /// Experiment id.
+    pub id: String,
+    /// Counter name.
+    pub name: String,
+    /// Old value (0 when the counter is new).
+    pub old: u64,
+    /// New value (0 when the counter disappeared).
+    pub new: u64,
+}
+
+/// The full diff of two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Labels of the two sides.
+    pub old_label: String,
+    /// Label of the new side.
+    pub new_label: String,
+    /// Fractional regression threshold (0.2 = +20 % wall time trips).
+    pub threshold: f64,
+    /// Per-experiment wall-time rows, old-side order then added ids.
+    pub rows: Vec<DiffRow>,
+    /// Counters whose aggregates drifted (both sides ledgers only).
+    pub metric_deltas: Vec<MetricDelta>,
+}
+
+impl DiffReport {
+    /// Whether any experiment regressed past the threshold — the
+    /// non-zero-exit condition of `repro report diff`.
+    #[must_use]
+    pub fn has_regression(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|row| row.verdict == Verdict::Regressed)
+    }
+
+    /// Ids that regressed, for error messages.
+    #[must_use]
+    pub fn regressed_ids(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|row| row.verdict == Verdict::Regressed)
+            .map(|row| row.id.as_str())
+            .collect()
+    }
+
+    /// Renders the machine-readable delta table(s) as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut table = MdTable::new(
+            format!(
+                "Wall-time delta — {} → {} (threshold +{:.0} %)",
+                self.old_label,
+                self.new_label,
+                self.threshold * 100.0
+            ),
+            &["experiment", "old ms", "new ms", "delta", "verdict"],
+        );
+        let fmt = |ns: Option<u64>| ns.map_or_else(|| "-".to_string(), |ns| ms(u128::from(ns)));
+        let mut old_total = 0u64;
+        let mut new_total = 0u64;
+        for row in &self.rows {
+            old_total += row.old_ns.unwrap_or(0);
+            new_total += row.new_ns.unwrap_or(0);
+            #[allow(clippy::cast_precision_loss)]
+            let delta = match (row.old_ns, row.new_ns) {
+                (Some(old), Some(new)) => pct_delta(old as f64, new as f64),
+                _ => "-".to_string(),
+            };
+            table.push_row(vec![
+                row.id.clone(),
+                fmt(row.old_ns),
+                fmt(row.new_ns),
+                delta,
+                row.verdict.label().to_string(),
+            ]);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        table.push_row(vec![
+            "total".to_string(),
+            ms(u128::from(old_total)),
+            ms(u128::from(new_total)),
+            pct_delta(old_total as f64, new_total as f64),
+            if self.has_regression() {
+                "REGRESSED".to_string()
+            } else {
+                "ok".to_string()
+            },
+        ]);
+        let mut out = table.to_markdown();
+        if !self.metric_deltas.is_empty() {
+            let mut drift = MdTable::new(
+                "Metric drift — counters whose aggregates changed",
+                &["experiment", "counter", "old", "new"],
+            );
+            for delta in &self.metric_deltas {
+                drift.push_row(vec![
+                    delta.id.clone(),
+                    delta.name.clone(),
+                    delta.old.to_string(),
+                    delta.new.to_string(),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&drift.to_markdown());
+        }
+        out
+    }
+}
+
+/// Diffs two wall sets under a fractional threshold.
+#[must_use]
+pub fn diff(old: &WallSet, new: &WallSet, threshold: f64) -> DiffReport {
+    let mut rows = Vec::new();
+    for (id, old_ns) in &old.experiments {
+        match new.wall_of(id) {
+            Some(new_ns) => {
+                #[allow(clippy::cast_precision_loss)]
+                let verdict = if new_ns as f64 > *old_ns as f64 * (1.0 + threshold) {
+                    Verdict::Regressed
+                } else if (new_ns as f64) < *old_ns as f64 * (1.0 - threshold) {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                rows.push(DiffRow {
+                    id: id.clone(),
+                    old_ns: Some(*old_ns),
+                    new_ns: Some(new_ns),
+                    verdict,
+                });
+            }
+            None => rows.push(DiffRow {
+                id: id.clone(),
+                old_ns: Some(*old_ns),
+                new_ns: None,
+                verdict: Verdict::Removed,
+            }),
+        }
+    }
+    for (id, new_ns) in &new.experiments {
+        if old.wall_of(id).is_none() {
+            rows.push(DiffRow {
+                id: id.clone(),
+                old_ns: None,
+                new_ns: Some(*new_ns),
+                verdict: Verdict::Added,
+            });
+        }
+    }
+    let mut metric_deltas = Vec::new();
+    for (id, old_metrics) in &old.metrics {
+        let Some(new_metrics) = new.metrics.get(id) else {
+            continue;
+        };
+        let names: std::collections::BTreeSet<&String> =
+            old_metrics.keys().chain(new_metrics.keys()).collect();
+        for name in names {
+            let old_v = old_metrics.get(name).copied().unwrap_or(0);
+            let new_v = new_metrics.get(name).copied().unwrap_or(0);
+            if old_v != new_v {
+                metric_deltas.push(MetricDelta {
+                    id: id.clone(),
+                    name: name.clone(),
+                    old: old_v,
+                    new: new_v,
+                });
+            }
+        }
+    }
+    DiffReport {
+        old_label: old.label.clone(),
+        new_label: new.label.clone(),
+        threshold,
+        rows,
+        metric_deltas,
+    }
+}
+
+/// Loads both sides and diffs them.
+///
+/// # Errors
+/// Propagates [`load_wall_set`] errors.
+pub fn diff_files(old: &Path, new: &Path, threshold: f64) -> Result<DiffReport, String> {
+    Ok(diff(&load_wall_set(old)?, &load_wall_set(new)?, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(label: &str, ids_ns: &[(&str, u64)]) -> WallSet {
+        WallSet {
+            label: label.to_string(),
+            experiments: ids_ns
+                .iter()
+                .map(|(id, ns)| ((*id).to_string(), *ns))
+                .collect(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn verdicts_respect_the_threshold() {
+        let old = set("old", &[("exp1", 1000), ("exp2", 1000), ("exp3", 1000)]);
+        let new = set("new", &[("exp1", 1100), ("exp2", 1300), ("exp3", 600)]);
+        let report = diff(&old, &new, 0.2);
+        assert_eq!(report.rows[0].verdict, Verdict::Ok, "+10 % is within +20 %");
+        assert_eq!(report.rows[1].verdict, Verdict::Regressed, "+30 % trips");
+        assert_eq!(report.rows[2].verdict, Verdict::Improved, "-40 % improves");
+        assert!(report.has_regression());
+        assert_eq!(report.regressed_ids(), vec!["exp2"]);
+        // A looser threshold forgives the same delta.
+        assert!(!diff(&old, &new, 0.5).has_regression());
+    }
+
+    #[test]
+    fn added_and_removed_experiments_never_trip_the_gate() {
+        let old = set("old", &[("exp1", 1000), ("exp_gone", 5)]);
+        let new = set("new", &[("exp1", 1000), ("exp15", 700)]);
+        let report = diff(&old, &new, 0.2);
+        assert!(!report.has_regression());
+        let verdicts: Vec<Verdict> = report.rows.iter().map(|r| r.verdict).collect();
+        assert_eq!(verdicts, vec![Verdict::Ok, Verdict::Removed, Verdict::Added]);
+        let md = report.to_markdown();
+        assert!(md.contains("added"));
+        assert!(md.contains("removed"));
+        assert!(md.contains("| total"));
+    }
+
+    #[test]
+    fn metric_drift_is_reported_for_ledger_sides() {
+        let mut old = set("old", &[("exp1", 1000)]);
+        let mut new = set("new", &[("exp1", 1000)]);
+        old.metrics.insert(
+            "exp1".to_string(),
+            BTreeMap::from([("sim.chips_simulated".to_string(), 100)]),
+        );
+        new.metrics.insert(
+            "exp1".to_string(),
+            BTreeMap::from([
+                ("sim.chips_simulated".to_string(), 120),
+                ("faults.env_excursions".to_string(), 3),
+            ]),
+        );
+        let report = diff(&old, &new, 0.2);
+        assert_eq!(report.metric_deltas.len(), 2);
+        assert!(report.to_markdown().contains("Metric drift"));
+        assert!(!report.has_regression(), "metric drift is not a wall regression");
+    }
+
+    #[test]
+    fn loads_bench_and_ledger_files() {
+        use crate::record::LedgerRecord;
+        let dir = std::env::temp_dir();
+        let bench_path = dir.join(format!("aro-diff-bench-{}.json", std::process::id()));
+        let ledger_path = dir.join(format!("aro-diff-ledger-{}.jsonl", std::process::id()));
+        std::fs::write(&bench_path, crate::bench::sample(&[("exp1", 100)])).unwrap();
+        let record = LedgerRecord::success(
+            1,
+            "exp1",
+            150,
+            1,
+            "## EXP-1\n".to_string(),
+            vec![],
+            BTreeMap::from([("sim.chips_simulated".to_string(), 10)]),
+        );
+        std::fs::write(&ledger_path, format!("{}\n", record.to_jsonl())).unwrap();
+        let report = diff_files(&bench_path, &ledger_path, 0.2).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed, "+50 % wall");
+        // An empty / garbage file is neither format.
+        std::fs::write(&bench_path, "garbage").unwrap();
+        assert!(diff_files(&bench_path, &ledger_path, 0.2).is_err());
+        std::fs::remove_file(&bench_path).unwrap();
+        std::fs::remove_file(&ledger_path).unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! `aro-ledger` — the read side of observability: a durable run ledger
+//! and the analyses that consume it.
+//!
+//! PR 1 made the engine *emit* telemetry (spans, metrics, JSONL); this
+//! crate makes runs *durable and analyzable*:
+//!
+//! - **Journal** ([`journal::Ledger`]): an append-only, crash-safe JSONL
+//!   file holding one [`record::LedgerRecord`] per completed experiment,
+//!   keyed by a config+faults+seed fingerprint. The experiment harness
+//!   (`aro-sim::harness`) writes records as experiments finish and flushes
+//!   after every append, so a killed paper-scale run loses at most the
+//!   experiment in flight. `repro --resume <ledger>` replays cached
+//!   reports byte-identically instead of re-running matching experiments.
+//! - **Profile** ([`profile`]): span-tree aggregation over a telemetry
+//!   JSONL stream — per-phase wall time, self-time vs child-time, top-k
+//!   hot spans.
+//! - **Diff** ([`diff`]): two ledgers or `BENCH_*.json` captures compared
+//!   per experiment, with configurable wall-time regression thresholds
+//!   and machine-checked metric drift.
+//! - **Trajectory** ([`trajectory`]): a directory of `BENCH_*.json`
+//!   captures folded into a time-series table.
+//!
+//! Schemas and examples live in `docs/OBSERVABILITY.md` ("Run ledger &
+//! resume" and "Analysis (`repro report`)").
+
+pub mod bench;
+pub mod diff;
+pub mod journal;
+pub mod md;
+pub mod profile;
+pub mod record;
+pub mod trajectory;
+
+pub use journal::Ledger;
+pub use record::{LedgerRecord, RecordStatus};

@@ -1,0 +1,155 @@
+//! `repro report trajectory` — fold a directory of `BENCH_*.json`
+//! captures into a perf time-series table, one row per capture.
+//!
+//! Captures are ordered by file name, which sorts the committed
+//! `BENCH_baseline.json`, `BENCH_pr2.json`, … sequence chronologically;
+//! each row shows total wall time, speedup relative to the first capture,
+//! and the delta against the previous one.
+
+use std::path::{Path, PathBuf};
+
+use crate::bench::{parse_bench, BenchFile};
+use crate::md::{ms, pct_delta, MdTable};
+
+/// One capture in the series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryPoint {
+    /// File name (not full path) of the capture.
+    pub file: String,
+    /// The parsed capture.
+    pub bench: BenchFile,
+}
+
+/// The folded series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trajectory {
+    /// Captures in file-name order.
+    pub points: Vec<TrajectoryPoint>,
+    /// `BENCH_*.json` files that failed to parse, with the reason.
+    pub skipped: Vec<(String, String)>,
+}
+
+impl Trajectory {
+    /// Renders the time-series table plus a note per skipped file.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut table = MdTable::new(
+            "Perf trajectory — total wall time per capture",
+            &["capture", "experiments", "total ms", "vs first", "vs previous"],
+        );
+        let first_ns = self.points.first().map(|p| p.bench.total_wall_ns);
+        let mut prev_ns: Option<u64> = None;
+        for (index, point) in self.points.iter().enumerate() {
+            let total = point.bench.total_wall_ns;
+            #[allow(clippy::cast_precision_loss)]
+            let vs_first = match first_ns {
+                Some(first) if index > 0 => pct_delta(first as f64, total as f64),
+                _ => "baseline".to_string(),
+            };
+            #[allow(clippy::cast_precision_loss)]
+            let vs_prev = match prev_ns {
+                Some(prev) => pct_delta(prev as f64, total as f64),
+                None => "-".to_string(),
+            };
+            table.push_row(vec![
+                point.file.clone(),
+                point.bench.experiments.len().to_string(),
+                ms(u128::from(total)),
+                vs_first,
+                vs_prev,
+            ]);
+            prev_ns = Some(total);
+        }
+        let mut out = table.to_markdown();
+        for (file, reason) in &self.skipped {
+            out.push_str(&format!("\nskipped {file}: {reason}\n"));
+        }
+        out
+    }
+}
+
+/// Scans `dir` for `BENCH_*.json` files and folds them into a series.
+///
+/// # Errors
+/// Returns a description when the directory is unreadable or holds no
+/// parseable capture at all.
+pub fn scan_dir(dir: &Path) -> Result<Trajectory, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    let mut points = Vec::new();
+    let mut skipped = Vec::new();
+    for path in paths {
+        let file = path
+            .file_name()
+            .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse_bench(&text))
+        {
+            Ok(bench) => points.push(TrajectoryPoint { file, bench }),
+            Err(reason) => skipped.push((file, reason)),
+        }
+    }
+    if points.is_empty() {
+        return Err(format!(
+            "no parseable BENCH_*.json capture in {}",
+            dir.display()
+        ));
+    }
+    Ok(Trajectory { points, skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "aro-trajectory-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn folds_captures_in_name_order_and_skips_garbage() {
+        let dir = temp_dir("fold");
+        std::fs::write(dir.join("BENCH_baseline.json"), crate::bench::sample(&[("exp1", 1000)]))
+            .unwrap();
+        std::fs::write(dir.join("BENCH_pr4.json"), crate::bench::sample(&[("exp1", 500)]))
+            .unwrap();
+        std::fs::write(dir.join("BENCH_broken.json"), "nope").unwrap();
+        std::fs::write(dir.join("unrelated.json"), "{}").unwrap();
+        let trajectory = scan_dir(&dir).unwrap();
+        assert_eq!(trajectory.points.len(), 2);
+        assert_eq!(trajectory.points[0].file, "BENCH_baseline.json");
+        assert_eq!(trajectory.points[1].file, "BENCH_pr4.json");
+        assert_eq!(trajectory.skipped.len(), 1);
+        let md = trajectory.to_markdown();
+        assert!(md.contains("baseline"));
+        assert!(md.contains("-50.0 %"), "{md}");
+        assert!(md.contains("skipped BENCH_broken.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let dir = temp_dir("empty");
+        assert!(scan_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -123,6 +123,33 @@ pub fn observe(name: &str, value: f64) {
     }
 }
 
+/// Emits one structured fault-injection event to the telemetry sink:
+/// `{"event":"fault","kind":…,"chip":…,"count":…,<fields…>,"ts_ns":…}`.
+///
+/// The `aro-faults` injectors call this at every fire site alongside their
+/// `faults.*` counters, so a telemetry capture carries the exact injection
+/// trail (which chip, how hard) and not just the aggregate tallies.
+/// Inert unless both instrumentation and a sink are live; injectors whose
+/// plan rolls zero events never reach a fire site, so a zero-intensity run
+/// emits nothing.
+pub fn fault_event(kind: &str, chip_id: u64, count: u64, fields: &[(&str, f64)]) {
+    if !enabled() || !sink::installed() {
+        return;
+    }
+    use std::fmt::Write as _;
+    let mut line = String::from("{\"event\":\"fault\",\"kind\":");
+    json::escape_into(&mut line, kind);
+    let _ = write!(line, ",\"chip\":{chip_id},\"count\":{count}");
+    for (name, value) in fields {
+        line.push(',');
+        json::escape_into(&mut line, name);
+        line.push(':');
+        json::number_into(&mut line, *value);
+    }
+    let _ = write!(line, ",\"ts_ns\":{}}}", span::now_ns());
+    sink::write_line(&line);
+}
+
 /// Takes this thread's scratch registry, leaving it empty.
 ///
 /// Worker threads call this after finishing their chunk and hand the

@@ -26,6 +26,12 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Nanoseconds since the process telemetry epoch — the `ts_ns` clock all
+/// emitted events share.
+pub(crate) fn now_ns() -> u128 {
+    epoch().elapsed().as_nanos()
+}
+
 /// Small dense thread ids for telemetry (`std::thread::ThreadId` is opaque).
 fn thread_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(0);
@@ -163,4 +169,168 @@ impl Drop for Span {
 #[must_use]
 pub fn current_depth() -> usize {
     SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// Self-time-aware statistics for one span name, built by [`SpanAgg`]
+/// from a `span_open`/`span_close` event stream.
+///
+/// Unlike [`SpanStats`] (live in-process totals), these separate the time
+/// a span spent in its *children* from the time spent in its own body, so
+/// a profile can rank phases by where the cycles actually went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total (inclusive) nanoseconds across all completions.
+    pub total_ns: u128,
+    /// Nanoseconds spent inside child spans.
+    pub child_ns: u128,
+    /// Longest single (inclusive) completion.
+    pub max_ns: u128,
+}
+
+impl ProfileStats {
+    /// Exclusive time: total minus child time (saturating — clock jitter
+    /// between open/close pairs can make children appear marginally
+    /// longer than their parent).
+    #[must_use]
+    pub fn self_ns(&self) -> u128 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+
+    /// Mean inclusive duration (0 when no spans completed).
+    #[must_use]
+    pub fn mean_ns(&self) -> u128 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / u128::from(self.count)
+        }
+    }
+}
+
+struct AggFrame {
+    name: String,
+    child_ns: u128,
+}
+
+/// Replays a `span_open`/`span_close` event stream into per-name
+/// [`ProfileStats`], reconstructing each thread's bracket structure so
+/// child time can be attributed to parents.
+///
+/// Tolerant of truncated streams (a killed run): opens that never close
+/// simply contribute nothing, and a close whose open was lost before the
+/// capture started is folded in as a root-level span.
+#[derive(Debug, Default)]
+pub struct SpanAgg {
+    stacks: BTreeMap<u64, Vec<AggFrame>>,
+    stats: BTreeMap<String, ProfileStats>,
+    root_ns: u128,
+}
+
+impl std::fmt::Debug for AggFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggFrame").field("name", &self.name).finish()
+    }
+}
+
+impl SpanAgg {
+    /// An empty aggregation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one `span_open` event.
+    pub fn open(&mut self, thread: u64, name: &str) {
+        self.stacks.entry(thread).or_default().push(AggFrame {
+            name: name.to_string(),
+            child_ns: 0,
+        });
+    }
+
+    /// Feeds one `span_close` event.
+    pub fn close(&mut self, thread: u64, name: &str, dur_ns: u128) {
+        let stack = self.stacks.entry(thread).or_default();
+        let child_ns = match stack.iter().rposition(|f| f.name == name) {
+            Some(pos) => {
+                // Frames above `pos` are opens whose closes were lost
+                // (truncated capture) — discard them with the pop.
+                stack.truncate(pos + 1);
+                stack.pop().expect("pos is in range").child_ns
+            }
+            None => 0, // close without a captured open: root-level span
+        };
+        let stats = self.stats.entry(name.to_string()).or_default();
+        stats.count += 1;
+        stats.total_ns += dur_ns;
+        stats.child_ns += child_ns;
+        stats.max_ns = stats.max_ns.max(dur_ns);
+        match stack.last_mut() {
+            Some(parent) => parent.child_ns += dur_ns,
+            None => self.root_ns += dur_ns,
+        }
+    }
+
+    /// Per-name statistics, sorted by name.
+    #[must_use]
+    pub fn stats(&self) -> &BTreeMap<String, ProfileStats> {
+        &self.stats
+    }
+
+    /// Total nanoseconds covered by root-level (depth-1) spans — the
+    /// traced wall time of the capture.
+    #[must_use]
+    pub fn root_total_ns(&self) -> u128 {
+        self.root_ns
+    }
+}
+
+#[cfg(test)]
+mod agg_tests {
+    use super::*;
+
+    #[test]
+    fn child_time_is_attributed_to_the_parent() {
+        let mut agg = SpanAgg::new();
+        agg.open(0, "run");
+        agg.open(0, "aging");
+        agg.close(0, "aging", 300);
+        agg.open(0, "aging");
+        agg.close(0, "aging", 200);
+        agg.close(0, "run", 1000);
+        let run = agg.stats()["run"];
+        assert_eq!(run.total_ns, 1000);
+        assert_eq!(run.child_ns, 500);
+        assert_eq!(run.self_ns(), 500);
+        let aging = agg.stats()["aging"];
+        assert_eq!(aging.count, 2);
+        assert_eq!(aging.total_ns, 500);
+        assert_eq!(aging.self_ns(), 500);
+        assert_eq!(aging.mean_ns(), 250);
+        assert_eq!(agg.root_total_ns(), 1000);
+    }
+
+    #[test]
+    fn threads_keep_independent_stacks() {
+        let mut agg = SpanAgg::new();
+        agg.open(0, "a");
+        agg.open(1, "b");
+        agg.close(1, "b", 10);
+        agg.close(0, "a", 20);
+        assert_eq!(agg.stats()["a"].child_ns, 0, "b ran on another thread");
+        assert_eq!(agg.root_total_ns(), 30);
+    }
+
+    #[test]
+    fn truncated_captures_do_not_wedge_the_stack() {
+        let mut agg = SpanAgg::new();
+        agg.open(0, "lost-open"); // close was never captured
+        agg.open(0, "outer");
+        agg.close(0, "outer", 50);
+        agg.close(0, "orphan-close", 5); // open was never captured
+        assert_eq!(agg.stats()["outer"].total_ns, 50);
+        assert_eq!(agg.stats()["orphan-close"].total_ns, 5);
+        assert!(!agg.stats().contains_key("lost-open"));
+    }
 }

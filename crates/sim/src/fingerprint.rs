@@ -1,0 +1,92 @@
+//! Experiment fingerprints: the replay-eligibility key of the run ledger.
+//!
+//! A ledger record may stand in for a live run only when *everything*
+//! that determines the run's bytes matches: the simulation config, the
+//! fault plan and its seed, and the experiment itself. This module digests
+//! exactly those inputs into one `u64`. Wall-clock, thread count, and
+//! observability settings are deliberately excluded — they never change
+//! report bytes (the determinism contract every perf PR re-proves against
+//! the golden fixture).
+
+use crate::config::SimConfig;
+
+/// The splitmix64 finalizer — the same full-avalanche mix the fault-plan
+/// fingerprint uses, re-implemented locally to keep the digest stable
+/// even if `aro-faults` internals move.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Digests `(config, faults, experiment)` into the ledger key.
+///
+/// `fault_fingerprint` is `FaultInjector::fingerprint()` for a live
+/// injector and `0` when no faults are installed; `faultctx` maps
+/// zero-intensity plans to "not installed", so a `--faults off@0` run
+/// shares fingerprints with a fault-free run — matching the byte-identity
+/// the injector guarantees for such plans.
+#[must_use]
+pub fn experiment_fingerprint(cfg: &SimConfig, fault_fingerprint: u64, id: &str) -> u64 {
+    let mut h = 0xa0b9_c2d4_e6f8_1357_u64;
+    for field in [
+        cfg.n_chips as u64,
+        cfg.n_ros as u64,
+        cfg.seed,
+        cfg.key_bits as u64,
+        cfg.key_fail_target.to_bits(),
+        fault_fingerprint,
+    ] {
+        h = mix64(h ^ field);
+    }
+    for byte in id.bytes() {
+        h = mix64(h ^ u64::from(byte));
+    }
+    h
+}
+
+/// The fault fingerprint of the calling scope: the installed injector's
+/// digest, or `0` outside any (effective) fault scope.
+#[must_use]
+pub fn current_fault_fingerprint() -> u64 {
+    crate::faultctx::current().map_or(0, |injector| injector.fingerprint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_input_perturbs_the_digest() {
+        let cfg = SimConfig::quick();
+        let base = experiment_fingerprint(&cfg, 0, "exp1");
+        assert_eq!(base, experiment_fingerprint(&cfg, 0, "exp1"), "stable");
+        assert_ne!(base, experiment_fingerprint(&cfg, 0, "exp2"));
+        assert_ne!(base, experiment_fingerprint(&cfg, 1, "exp1"));
+        let reseeded = cfg.clone().with_seed(cfg.seed + 1);
+        assert_ne!(base, experiment_fingerprint(&reseeded, 0, "exp1"));
+        let mut retargeted = cfg.clone();
+        retargeted.key_fail_target *= 0.5;
+        assert_ne!(base, experiment_fingerprint(&retargeted, 0, "exp1"));
+        let mut resized = cfg;
+        resized.n_chips += 1;
+        assert_ne!(base, experiment_fingerprint(&resized, 0, "exp1"));
+    }
+
+    #[test]
+    fn no_fault_scope_reads_as_zero() {
+        assert_eq!(current_fault_fingerprint(), 0);
+    }
+
+    #[test]
+    fn ids_do_not_collide_by_concatenation() {
+        // "exp1" + "1" vs "exp11": per-byte mixing must separate them.
+        let cfg = SimConfig::quick();
+        assert_ne!(
+            experiment_fingerprint(&cfg, 0, "exp11"),
+            experiment_fingerprint(&cfg, 0, "exp1")
+        );
+    }
+}

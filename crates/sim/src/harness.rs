@@ -25,13 +25,16 @@
 //! transparent the reports stay byte-identical — the price is cache reuse
 //! *across* experiments, not correctness.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use aro_device::rng::SeedDomain;
+use aro_ledger::{Ledger, LedgerRecord};
 
 use crate::config::SimConfig;
+use crate::fingerprint;
 use crate::report::Report;
 use crate::table::Table;
 
@@ -66,16 +69,75 @@ impl HarnessOptions {
     }
 }
 
+/// What a completed experiment hands the caller: a freshly computed
+/// [`Report`], or the exact bytes a previous run recorded in the ledger.
+///
+/// Both render identically through [`std::fmt::Display`] — a replayed
+/// record stores the `to_string()` of the original report verbatim, so
+/// `repro --resume` output is byte-identical to an uninterrupted run.
+#[derive(Debug, Clone)]
+pub enum ExperimentOutput {
+    /// Computed in this process.
+    Fresh(Report),
+    /// Replayed from a matching ledger record.
+    Replayed {
+        /// The original report's exact rendered markdown.
+        report_md: String,
+        /// The original report's CSV table dumps, in table order.
+        csv: Vec<String>,
+    },
+}
+
+impl ExperimentOutput {
+    /// The live report, when this run actually computed one.
+    #[must_use]
+    pub fn as_report(&self) -> Option<&Report> {
+        match self {
+            ExperimentOutput::Fresh(report) => Some(report),
+            ExperimentOutput::Replayed { .. } => None,
+        }
+    }
+
+    /// Whether this output was replayed from a ledger.
+    #[must_use]
+    pub fn is_replayed(&self) -> bool {
+        matches!(self, ExperimentOutput::Replayed { .. })
+    }
+
+    /// CSV dumps of the report tables, in table order.
+    #[must_use]
+    pub fn csv_tables(&self) -> Vec<String> {
+        match self {
+            ExperimentOutput::Fresh(report) => {
+                report.tables().iter().map(Table::to_csv).collect()
+            }
+            ExperimentOutput::Replayed { csv, .. } => csv.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentOutput::Fresh(report) => report.fmt(f),
+            ExperimentOutput::Replayed { report_md, .. } => f.write_str(report_md),
+        }
+    }
+}
+
 /// One experiment that completed, with its wall-clock time.
 #[derive(Debug, Clone)]
 pub struct ExperimentSuccess {
     /// Experiment id (`"exp1"`…).
     pub id: String,
-    /// The report it produced.
-    pub report: Report,
+    /// The report it produced (fresh or replayed).
+    pub report: ExperimentOutput,
     /// Wall-clock time of the successful attempt, including any failed
-    /// attempts before it.
+    /// attempts before it. For a replayed experiment this is the
+    /// *original* run's wall time, as recorded in the ledger.
     pub wall: Duration,
+    /// Attempts consumed (1 + retries that preceded the success).
+    pub attempts: usize,
 }
 
 /// One experiment that did not complete within its attempt budget.
@@ -97,6 +159,9 @@ pub struct RunOutcome {
     pub successes: Vec<ExperimentSuccess>,
     /// Failed experiments, in request order.
     pub failures: Vec<ExperimentFailure>,
+    /// Ledger appends that failed (I/O). Ledger trouble never fails the
+    /// run — the science completed; only the checkpoint is degraded.
+    pub ledger_errors: Vec<String>,
 }
 
 impl RunOutcome {
@@ -142,24 +207,130 @@ impl RunOutcome {
 /// bare call behaves like `run_all` with a safety net.
 #[must_use]
 pub fn run_experiments(cfg: &SimConfig, ids: &[&str], opts: &HarnessOptions) -> RunOutcome {
+    run_experiments_ledgered(cfg, ids, opts, None)
+}
+
+/// [`run_experiments`] with an optional run ledger attached.
+///
+/// With a ledger, each experiment is fingerprinted
+/// ([`fingerprint::experiment_fingerprint`]) before it runs:
+///
+/// * a matching success record in the ledger is **replayed** — the stored
+///   report bytes are returned without recomputation and nothing new is
+///   journalled;
+/// * otherwise the experiment runs normally and its outcome (success
+///   *or* failure, with wall time, attempt count, and the experiment's
+///   obs-counter deltas — including the `faults.*` injection tallies) is
+///   appended and flushed before the next experiment starts, so a killed
+///   run loses at most the experiment in flight.
+///
+/// Ledger I/O failures are collected into [`RunOutcome::ledger_errors`]
+/// and never abort the run.
+#[must_use]
+pub fn run_experiments_ledgered(
+    cfg: &SimConfig,
+    ids: &[&str],
+    opts: &HarnessOptions,
+    mut ledger: Option<&mut Ledger>,
+) -> RunOutcome {
     crate::popcache::scoped(|| {
+        let fault_fp = fingerprint::current_fault_fingerprint();
         let mut outcome = RunOutcome::default();
         for &id in ids {
+            let fp = fingerprint::experiment_fingerprint(cfg, fault_fp, id);
+            if let Some(record) = ledger.as_deref().and_then(|l| l.cached_success(fp)) {
+                aro_obs::counter("sim.experiments_replayed", 1);
+                outcome.successes.push(ExperimentSuccess {
+                    id: id.to_string(),
+                    report: ExperimentOutput::Replayed {
+                        report_md: record
+                            .report_md
+                            .clone()
+                            .expect("success records always carry their report"),
+                        csv: record.csv.clone(),
+                    },
+                    wall: Duration::from_nanos(record.wall_ns),
+                    attempts: record.attempts,
+                });
+                continue;
+            }
+            let counters_before = if ledger.is_some() {
+                counter_baseline()
+            } else {
+                BTreeMap::new()
+            };
             let started = Instant::now();
             match run_with_retries(cfg, id, opts) {
-                Ok(report) => outcome.successes.push(ExperimentSuccess {
-                    id: id.to_string(),
-                    report,
-                    wall: started.elapsed(),
-                }),
+                Ok((report, attempts)) => {
+                    let wall = started.elapsed();
+                    if let Some(ledger) = ledger.as_deref_mut() {
+                        let record = LedgerRecord::success(
+                            fp,
+                            id,
+                            duration_ns(wall),
+                            attempts,
+                            report.to_string(),
+                            report.tables().iter().map(Table::to_csv).collect(),
+                            counter_delta(&counters_before),
+                        );
+                        if let Err(e) = ledger.append(&record) {
+                            outcome.ledger_errors.push(format!("{id}: {e}"));
+                        }
+                    }
+                    outcome.successes.push(ExperimentSuccess {
+                        id: id.to_string(),
+                        report: ExperimentOutput::Fresh(report),
+                        wall,
+                        attempts,
+                    });
+                }
                 Err(failure) => {
                     aro_obs::counter("sim.experiments_failed", 1);
+                    if let Some(ledger) = ledger.as_deref_mut() {
+                        let record = LedgerRecord::failure(
+                            fp,
+                            id,
+                            duration_ns(started.elapsed()),
+                            failure.attempts,
+                            failure.error.clone(),
+                            counter_delta(&counters_before),
+                        );
+                        if let Err(e) = ledger.append(&record) {
+                            outcome.ledger_errors.push(format!("{id}: {e}"));
+                        }
+                    }
                     outcome.failures.push(failure);
                 }
             }
         }
         outcome
     })
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// This thread's current counter totals — the "before" side of a
+/// per-experiment delta. Empty while obs is disabled, which makes the
+/// recorded delta empty too (the record simply carries no metrics).
+fn counter_baseline() -> BTreeMap<String, u64> {
+    aro_obs::snapshot()
+        .counters()
+        .map(|(name, v)| (name.to_string(), v))
+        .collect()
+}
+
+/// Counters accumulated since `before` on this thread: the experiment's
+/// own contribution, including its `faults.*` injection tallies.
+fn counter_delta(before: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    aro_obs::snapshot()
+        .counters()
+        .filter_map(|(name, v)| {
+            let delta = v - before.get(name).copied().unwrap_or(0);
+            (delta > 0).then(|| (name.to_string(), delta))
+        })
+        .collect()
 }
 
 /// The config an attempt runs under: attempt 0 (and every attempt of a
@@ -175,11 +346,14 @@ pub fn attempt_config(cfg: &SimConfig, id: &str, attempt: usize) -> SimConfig {
     }
 }
 
+/// Runs `id` through its attempt budget; a success reports the attempts
+/// it took (1 + preceding failures) so the ledger can reconstruct how
+/// hard-won a degraded-mode run was.
 fn run_with_retries(
     cfg: &SimConfig,
     id: &str,
     opts: &HarnessOptions,
-) -> Result<Report, ExperimentFailure> {
+) -> Result<(Report, usize), ExperimentFailure> {
     let attempts = 1 + opts.max_retries;
     let mut last_error = String::new();
     for attempt in 0..attempts {
@@ -188,7 +362,7 @@ fn run_with_retries(
             aro_obs::counter("sim.experiment_retries", 1);
         }
         match run_once(&run_cfg, id, opts) {
-            Ok(Some(report)) => return Ok(report),
+            Ok(Some(report)) => return Ok((report, attempt + 1)),
             Ok(None) => {
                 return Err(ExperimentFailure {
                     id: id.to_string(),

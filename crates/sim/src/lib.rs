@@ -30,6 +30,7 @@
 pub mod config;
 pub mod experiments;
 pub mod faultctx;
+pub mod fingerprint;
 pub mod harness;
 pub mod parallel;
 pub mod popcache;

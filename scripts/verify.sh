@@ -42,4 +42,30 @@ if [[ "$chaos" -ne 0 && "$chaos" -ne 3 ]]; then
 fi
 echo "chaos smoke exit: $chaos"
 
+# Ledger smoke: the checkpoint/resume contract, end to end on the real
+# binary. Run two experiments with a fresh ledger but "interrupt" after
+# the first (by only asking for it), resume the same ledger for both, and
+# require the concatenated stdout to be byte-identical to one
+# uninterrupted run. See docs/OBSERVABILITY.md ("Run ledger & resume").
+echo "==> ledger smoke (interrupt, resume, byte-compare)"
+ledger_dir="$(mktemp -d /tmp/aro-verify-ledger.XXXXXX)"
+trap 'rm -rf "$ledger_dir"' EXIT
+./target/release/repro --quick exp1 exp3 > "$ledger_dir/fresh.md"
+./target/release/repro --quick exp1 --ledger "$ledger_dir/run.ledger" > /dev/null
+./target/release/repro --quick exp1 exp3 --resume "$ledger_dir/run.ledger" \
+    > "$ledger_dir/resumed.md"
+if ! cmp -s "$ledger_dir/fresh.md" "$ledger_dir/resumed.md"; then
+    echo "verify: resumed stdout differs from an uninterrupted run" >&2
+    diff "$ledger_dir/fresh.md" "$ledger_dir/resumed.md" | head -20 >&2
+    exit 1
+fi
+grep -c '"event":"experiment"' "$ledger_dir/run.ledger" | {
+    read -r n
+    if [[ "$n" -ne 2 ]]; then
+        echo "verify: expected 2 experiment records (exp1 + fresh exp3), got $n" >&2
+        exit 1
+    fi
+}
+echo "ledger smoke: resumed run byte-identical to fresh run"
+
 echo "==> verify OK"

@@ -13,6 +13,9 @@
 //! * [`faults`] — deterministic fault injection (see
 //!   `docs/ROBUSTNESS.md`).
 //! * [`sim`] — the EXP-1..EXP-15 paper experiments.
+//! * [`ledger`] — the crash-safe run journal behind `repro --ledger` /
+//!   `--resume` and the `repro report` analyses (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -20,6 +23,7 @@ pub use aro_circuit as circuit;
 pub use aro_device as device;
 pub use aro_ecc as ecc;
 pub use aro_faults as faults;
+pub use aro_ledger as ledger;
 pub use aro_metrics as metrics;
 pub use aro_puf as puf;
 pub use aro_sim as sim;

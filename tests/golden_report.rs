@@ -11,7 +11,9 @@
 //!     > tests/fixtures/golden_quick.md
 //! ```
 
+use aro_puf_repro::ledger::Ledger;
 use aro_puf_repro::sim::experiments::{run_by_id, ALL_IDS};
+use aro_puf_repro::sim::harness::{run_experiments_ledgered, HarnessOptions};
 use aro_puf_repro::sim::{popcache, SimConfig};
 use std::fmt::Write;
 
@@ -61,4 +63,56 @@ fn golden_rendering_is_deterministic_across_repeated_runs() {
     // The popcache scope is per-run; two runs must not leak state into
     // each other's bytes.
     assert_eq!(render_quick_run(), render_quick_run());
+}
+
+/// Renders a hardened (harness) run exactly as `repro` prints it, with an
+/// optional ledger attached.
+fn render_harness_run(ids: &[&str], ledger: Option<&mut Ledger>) -> String {
+    let cfg = SimConfig::quick();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# ARO-PUF (DATE 2014) reproduction — {} chips x {} ROs, seed {}\n",
+        cfg.n_chips, cfg.n_ros, cfg.seed
+    )
+    .expect("writing to a String cannot fail");
+    let outcome = run_experiments_ledgered(&cfg, ids, &HarnessOptions::default(), ledger);
+    assert!(outcome.failures.is_empty(), "quick run never fails");
+    assert!(outcome.ledger_errors.is_empty(), "ledger appends succeed");
+    for success in &outcome.successes {
+        writeln!(out, "{}", success.report).expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// The tentpole guarantee of the run ledger: a run killed after k
+/// experiments and then resumed produces byte-identical stdout to an
+/// uninterrupted run — replayed reports are the *exact* bytes the first
+/// process rendered, fresh ones recompute deterministically.
+#[test]
+fn interrupted_then_resumed_run_matches_the_fixture_byte_for_byte() {
+    let path = std::env::temp_dir().join(format!(
+        "aro-golden-resume-{}.ledger",
+        std::process::id()
+    ));
+    // First process: completes only the first 5 experiments, then dies.
+    // Dropping the ledger is an honest kill simulation — every append
+    // was already flushed when the experiment finished.
+    {
+        let mut ledger = Ledger::create(&path).expect("create ledger");
+        let _ = render_harness_run(&ALL_IDS[..5], Some(&mut ledger));
+    }
+    // Second process: asked for everything, resumes from the journal.
+    let mut resumed_ledger = Ledger::open(&path).expect("reopen ledger");
+    assert_eq!(resumed_ledger.records().len(), 5);
+    let resumed = render_harness_run(&ALL_IDS, Some(&mut resumed_ledger));
+    // 5 replayed + 10 fresh appends = 15 records: had replay silently
+    // failed, the re-runs would have appended 15 more (total 20).
+    assert_eq!(resumed_ledger.records().len(), 15);
+    drop(resumed_ledger);
+    std::fs::remove_file(&path).expect("cleanup");
+    assert_eq!(
+        resumed, FIXTURE,
+        "resumed run must be byte-identical to the uninterrupted fixture"
+    );
 }

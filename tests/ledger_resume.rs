@@ -1,0 +1,147 @@
+//! Integration tests for the run ledger and `--resume` semantics beyond
+//! the byte-identity proof in `golden_report.rs`: fingerprint mismatches
+//! must force re-runs, crash debris must be tolerated, and failure
+//! records must reconstruct a degraded run post-mortem.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aro_puf_repro::ledger::journal::parse_records;
+use aro_puf_repro::ledger::{Ledger, RecordStatus};
+use aro_puf_repro::sim::harness::{run_experiments_ledgered, HarnessOptions};
+use aro_puf_repro::sim::SimConfig;
+
+fn temp_ledger(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "aro-resume-test-{}-{tag}-{n}.ledger",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn replayed_and_fresh_runs_render_identical_bytes() {
+    let path = temp_ledger("replay");
+    let cfg = SimConfig::quick();
+    let opts = HarnessOptions::default();
+    let fresh = {
+        let mut ledger = Ledger::create(&path).unwrap();
+        run_experiments_ledgered(&cfg, &["exp1"], &opts, Some(&mut ledger))
+    };
+    let mut reopened = Ledger::open(&path).unwrap();
+    let replayed = run_experiments_ledgered(&cfg, &["exp1"], &opts, Some(&mut reopened));
+    drop(reopened);
+    std::fs::remove_file(&path).unwrap();
+
+    assert!(!fresh.successes[0].report.is_replayed());
+    assert!(replayed.successes[0].report.is_replayed());
+    assert_eq!(
+        fresh.successes[0].report.to_string(),
+        replayed.successes[0].report.to_string(),
+        "replayed bytes must equal the original render"
+    );
+    assert_eq!(
+        fresh.successes[0].report.csv_tables(),
+        replayed.successes[0].report.csv_tables(),
+        "replayed CSV dumps must equal the original tables"
+    );
+    // The replayed run's wall time is the original's, straight from the
+    // record (replay itself costs microseconds).
+    assert_eq!(fresh.successes[0].wall, replayed.successes[0].wall);
+}
+
+#[test]
+fn a_different_seed_changes_the_fingerprint_and_forces_a_rerun() {
+    let path = temp_ledger("mismatch");
+    let opts = HarnessOptions::default();
+    let cfg = SimConfig::quick();
+    {
+        let mut ledger = Ledger::create(&path).unwrap();
+        let _ = run_experiments_ledgered(&cfg, &["exp1"], &opts, Some(&mut ledger));
+    }
+    let reseeded = cfg.clone().with_seed(cfg.seed + 1);
+    let mut reopened = Ledger::open(&path).unwrap();
+    let outcome = run_experiments_ledgered(&reseeded, &["exp1"], &opts, Some(&mut reopened));
+    assert!(
+        !outcome.successes[0].report.is_replayed(),
+        "a seed change must invalidate the cached record"
+    );
+    assert_eq!(
+        reopened.records().len(),
+        2,
+        "the re-run appends its own record alongside the stale one"
+    );
+    assert_ne!(
+        reopened.records()[0].fingerprint,
+        reopened.records()[1].fingerprint
+    );
+    drop(reopened);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn a_crash_truncated_trailing_line_does_not_poison_resume() {
+    let path = temp_ledger("truncated");
+    let cfg = SimConfig::quick();
+    let opts = HarnessOptions::default();
+    {
+        let mut ledger = Ledger::create(&path).unwrap();
+        let _ = run_experiments_ledgered(&cfg, &["exp1"], &opts, Some(&mut ledger));
+    }
+    // Simulate a kill mid-append: an unterminated half-record.
+    {
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(br#"{"event":"experiment","fingerprint":"dead"#)
+            .unwrap();
+    }
+    let mut reopened = Ledger::open(&path).unwrap();
+    assert_eq!(reopened.skipped_lines(), 1, "debris is counted, not fatal");
+    let outcome =
+        run_experiments_ledgered(&cfg, &["exp1", "exp3"], &opts, Some(&mut reopened));
+    assert!(outcome.successes[0].report.is_replayed(), "exp1 survives");
+    assert!(!outcome.successes[1].report.is_replayed(), "exp3 is fresh");
+    drop(reopened);
+    // The sealed journal parses cleanly end to end: 2 records, 1 skip.
+    let (records, skipped) = parse_records(&std::fs::read_to_string(&path).unwrap());
+    assert_eq!(records.len(), 2);
+    assert_eq!(skipped, 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn failure_records_reconstruct_a_degraded_run() {
+    // Expected panics would spam the test log; silence the hook.
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let path = temp_ledger("failure");
+    let cfg = SimConfig::quick();
+    let opts = HarnessOptions {
+        max_retries: 2,
+        forced_panics: vec!["exp3".to_string()],
+        ..HarnessOptions::default()
+    };
+    let outcome = {
+        let mut ledger = Ledger::create(&path).unwrap();
+        run_experiments_ledgered(&cfg, &["exp1", "exp3"], &opts, Some(&mut ledger))
+    };
+    let _ = std::panic::take_hook();
+    assert!(outcome.is_degraded());
+
+    let reopened = Ledger::open(&path).unwrap();
+    let records = reopened.records();
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].status, RecordStatus::Success);
+    assert_eq!(records[0].attempts, 1);
+    let failure = &records[1];
+    assert_eq!(failure.id, "exp3");
+    assert_eq!(failure.status, RecordStatus::Failure);
+    assert_eq!(failure.attempts, 3, "1 try + 2 retries, journalled");
+    assert!(failure.error.as_deref().unwrap().contains("forced panic"));
+    // Failures are never replay candidates: a resumed run re-attempts.
+    assert!(reopened.cached_success(failure.fingerprint).is_none());
+    drop(reopened);
+    std::fs::remove_file(&path).unwrap();
+}

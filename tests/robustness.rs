@@ -62,8 +62,10 @@ proptest! {
 }
 
 /// Renders a report exactly as `repro` prints it (one trailing newline
-/// per `emit`), for substring checks against the fixture.
-fn rendered(report: &aro_puf_repro::sim::Report) -> String {
+/// per `emit`), for substring checks against the fixture. Generic over
+/// `Display` so it accepts both live `Report`s and the harness's
+/// fresh-or-replayed `ExperimentOutput`.
+fn rendered(report: &impl std::fmt::Display) -> String {
     let mut out = String::new();
     writeln!(out, "{report}").expect("writing to a String cannot fail");
     out
