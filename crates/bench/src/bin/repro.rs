@@ -43,7 +43,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-const EXPERIMENTS: [(&str, &str); 15] = [
+const EXPERIMENTS: [(&str, &str); 17] = [
     ("exp1", "RO frequency degradation vs. time"),
     (
         "exp2",
@@ -71,6 +71,8 @@ const EXPERIMENTS: [(&str, &str); 15] = [
     ("exp13", "Seed robustness of the headline claims"),
     ("exp14", "Soft-decision decoding gain"),
     ("exp15", "Key recovery under injected faults (chaos sweep)"),
+    ("exp16", "Self-healing helper-data refresh (interval sweep)"),
+    ("exp17", "Fault-aware provisioning envelope"),
 ];
 
 /// Everything that can go wrong, with the exit code it maps to.

@@ -24,7 +24,7 @@ fn unknown_option_exits_2_with_usage() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown option `--bogus`"), "{err}");
     assert!(err.contains("usage: repro"), "{err}");
-    assert!(err.contains("exp15"), "usage must list exp1..exp15: {err}");
+    assert!(err.contains("exp17"), "usage must list exp1..exp17: {err}");
 }
 
 #[test]
@@ -64,7 +64,7 @@ fn list_names_every_experiment() {
     let out = repro(&["--list"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for i in 1..=14 {
+    for i in 1..=17 {
         assert!(
             stdout.lines().any(|l| l.starts_with(&format!("exp{i} "))),
             "missing exp{i} in --list output"

@@ -135,6 +135,23 @@ impl KeyGenSpec {
     }
 }
 
+/// Composes two independent per-bit error sources into the effective
+/// channel error rate: a bit is wrong when exactly one source flips it,
+/// `p(1−q) + q(1−p)`. Fault-aware provisioning (EXP-17) uses this to
+/// fold a fault-class rate (e.g. counter glitches) into the measured
+/// aging BER before sizing the code.
+///
+/// # Panics
+/// Panics if either rate is outside `[0, 1]`.
+#[must_use]
+pub fn compose_error_rates(p: f64, q: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&q),
+        "probability out of range"
+    );
+    p * (1.0 - q) + q * (1.0 - p)
+}
+
 /// Cache of true BCH dimensions, since `k` requires building the
 /// generator.
 fn true_k(
@@ -285,6 +302,25 @@ mod tests {
             readout_per_ro_ge: 3.0,
             ros_per_bit: 2.0,
         }
+    }
+
+    #[test]
+    fn composed_error_rates_behave_like_a_binary_symmetric_cascade() {
+        assert_eq!(compose_error_rates(0.0, 0.0), 0.0);
+        assert_eq!(compose_error_rates(0.08, 0.0), 0.08);
+        assert_eq!(compose_error_rates(0.0, 0.02), 0.02);
+        // Symmetric, and always at least the larger input for p,q ≤ 0.5.
+        let composed = compose_error_rates(0.08, 0.02);
+        assert_eq!(composed, compose_error_rates(0.02, 0.08));
+        assert!(composed > 0.08 && composed < 0.10);
+        // Composing with a fair coin is a fair coin.
+        assert!((compose_error_rates(0.3, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn composed_error_rates_reject_bad_probabilities() {
+        let _ = compose_error_rates(1.2, 0.1);
     }
 
     #[test]

@@ -151,6 +151,35 @@ impl KeyGenerator {
         key
     }
 
+    /// Erasure-aware soft reconstruction: like [`Self::reconstruct_soft`],
+    /// but positions the caller knows to be unreliable (NVM-flagged helper
+    /// bits, BIST-flagged rings) decode as zero-confidence erasures — see
+    /// [`crate::soft::SoftConcatDecoder::reproduce_soft_erasure_aware`].
+    /// With empty `erasures` this is exactly [`Self::reconstruct_soft`].
+    #[must_use]
+    pub fn reconstruct_soft_erasure_aware(
+        &self,
+        response: &[crate::soft::SoftBit],
+        helper: &HelperData,
+        erasures: &crate::soft::Erasures,
+    ) -> Option<BitString> {
+        let decoder = crate::soft::SoftConcatDecoder::new(
+            BchCode::new(self.spec.bch_m, self.spec.bch_t),
+            RepetitionCode::new(self.spec.rep_r),
+        );
+        aro_obs::counter("ecc.key_reconstructions_soft", 1);
+        if !erasures.is_empty() {
+            aro_obs::counter("ecc.erasure_aware_reconstructions", 1);
+        }
+        let key = decoder
+            .reproduce_soft_erasure_aware(response, helper, erasures)
+            .map(|key: Key| key.truncated(self.key_bits));
+        if key.is_none() {
+            aro_obs::counter("ecc.key_failures", 1);
+        }
+        key
+    }
+
     /// Helper-data security accounting for a source with `min_entropy_per_bit`
     /// bits of min-entropy per response bit (from
     /// `aro_metrics::entropy::min_entropy_from_aliasing`).

@@ -24,9 +24,12 @@
 //!   derivation.
 //! * [`area`] — gate-equivalent area models for the decoders and the PUF
 //!   array, plus the design-space search behind the paper's area table.
-//! * [`keygen`] — end-to-end key generation plus helper-data security
-//!   accounting.
-//! * [`keygen`] — end-to-end 128-bit key enrollment and reconstruction.
+//! * [`keygen`] — end-to-end 128-bit key enrollment and reconstruction,
+//!   plus helper-data security accounting.
+//! * [`soft`] — soft-decision decoding (confidence-weighted inner
+//!   majority) and erasure-aware key reconstruction.
+//! * [`refresh`] — the self-healing key lifecycle: periodic helper-data
+//!   refresh enrollment against the aged response.
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@ pub mod golay;
 pub mod hash;
 pub mod keygen;
 pub mod poly;
+pub mod refresh;
 pub mod repetition;
 pub mod shortened;
 pub mod soft;
@@ -67,4 +71,5 @@ pub use fuzzy::FuzzyExtractor;
 pub use golay::GolayCode;
 pub use repetition::RepetitionCode;
 pub use shortened::ShortenedCode;
-pub use soft::{SoftBit, SoftConcatDecoder};
+pub use refresh::{refresh_enrollment, RefreshSchedule};
+pub use soft::{Erasures, SoftBit, SoftConcatDecoder};

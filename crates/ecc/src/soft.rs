@@ -40,6 +40,24 @@ impl SoftBit {
         Self { value, weight }
     }
 
+    /// A zero-confidence **erasure**: a position known to be unreliable
+    /// (an NVM integrity flag on a stored helper bit, a BIST-flagged dead
+    /// ring behind a response bit). Its `value` is the best available hard
+    /// guess, but with weight 0 it can never outvote any
+    /// positive-confidence bit in [`soft_majority`], and a group of
+    /// nothing but erasures ties — resolving to 0 like the hard
+    /// comparator.
+    #[must_use]
+    pub fn erasure(value: bool) -> Self {
+        Self { value, weight: 0.0 }
+    }
+
+    /// Whether this bit carries no confidence at all.
+    #[must_use]
+    pub fn is_erasure(&self) -> bool {
+        self.weight == 0.0
+    }
+
     /// The bit as a signed weight (+w for 1, −w for 0).
     #[must_use]
     pub fn signed(&self) -> f64 {
@@ -78,6 +96,47 @@ pub fn soft_majority(group: &[SoftBit]) -> bool {
     group.iter().map(SoftBit::signed).sum::<f64>() > 0.0
 }
 
+/// Known-unreliable positions for erasure-aware reconstruction — the
+/// knowledge a fielded key generator actually has about its own damage:
+/// NVM integrity checks flag corrupted stored helper bits, and ring BIST
+/// flags dead/stuck oscillators behind response bits. Feeding these to
+/// [`SoftConcatDecoder::reproduce_soft_erasure_aware`] turns a guaranteed
+/// key loss (a surviving offset flip) into an ordinary correctable error.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Erasures {
+    /// `(block, bit)` stored helper-data positions flagged as unreliable
+    /// (the coordinate space of
+    /// [`crate::fuzzy::HelperData::with_flipped_bits`]).
+    pub helper: Vec<(usize, usize)>,
+    /// Flat response positions flagged as unreliable (bit index into the
+    /// raw response, i.e. `block · n + i`).
+    pub response: Vec<usize>,
+}
+
+impl Erasures {
+    /// No known-unreliable positions (erasure-aware decoding degenerates
+    /// to plain soft decoding).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Erasures from stored helper positions only.
+    #[must_use]
+    pub fn from_helper(helper: Vec<(usize, usize)>) -> Self {
+        Self {
+            helper,
+            response: Vec::new(),
+        }
+    }
+
+    /// Whether no position is flagged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.helper.is_empty() && self.response.is_empty()
+    }
+}
+
 /// Soft-decision decoder for the concatenated (repetition ⊗ BCH) code:
 /// weighted inner majority, then hard outer BCH.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,18 +160,16 @@ impl SoftConcatDecoder {
     }
 
     /// Decodes `n` soft bits into the corrected concatenated codeword, or
-    /// `None` beyond the outer code's capability.
-    ///
-    /// # Panics
-    /// Panics if `received` is not exactly `n` soft bits.
+    /// `None` beyond the outer code's capability — or when `received` is
+    /// not exactly `n` soft bits (a malformed word fails closed, matching
+    /// the fuzzy-extractor convention that decoding never panics on bad
+    /// channel data).
     #[must_use]
     pub fn decode_soft(&self, received: &[SoftBit]) -> Option<BitString> {
         use crate::code::Code;
-        assert_eq!(
-            received.len(),
-            self.code.n(),
-            "received word must be n soft bits"
-        );
+        if received.len() != self.code.n() {
+            return None;
+        }
         let r = self.code.inner().r();
         let outer_received: BitString = received.chunks(r).map(soft_majority).collect();
         let outer_corrected = self.code.outer().decode(&outer_received)?;
@@ -120,6 +177,75 @@ impl SoftConcatDecoder {
             self.code
                 .encode(&self.code.outer().extract_message(&outer_corrected)),
         )
+    }
+
+    /// Erasure-aware soft reconstruction: like [`Self::reproduce_soft`],
+    /// but positions the caller *knows* to be unreliable are decoded as
+    /// zero-confidence erasures instead of poisoning the weighted vote.
+    ///
+    /// Two erasure kinds, matching where the knowledge comes from:
+    ///
+    /// * **Helper erasures** `(block, bit)` — stored offset bits flagged
+    ///   by NVM integrity checks. The corrupted offset makes the shifted
+    ///   soft bit's *value* meaningless, so it votes with weight 0; and
+    ///   because the stored bit cannot be trusted when re-applying the
+    ///   offset, the recovered enrollment bit falls back to the measured
+    ///   response bit (correct unless the response itself flipped there —
+    ///   a per-bit risk instead of a guaranteed key loss).
+    /// * **Response erasures** (flat response positions) — bits whose
+    ///   pair involves a BIST-flagged dead/stuck ring. They vote with
+    ///   weight 0; the stored offset there is fine, so the decoded
+    ///   codeword recovers the enrollment bit as usual.
+    ///
+    /// Returns `None` when a block still decodes beyond the outer code's
+    /// capability, or when the response is shorter than `blocks · n`
+    /// (fails closed, like [`Self::decode_soft`]).
+    #[must_use]
+    pub fn reproduce_soft_erasure_aware(
+        &self,
+        response: &[SoftBit],
+        helper: &HelperData,
+        erasures: &Erasures,
+    ) -> Option<Key> {
+        use crate::code::Code;
+        let n = self.code.n();
+        if response.len() < helper.blocks() * n {
+            return None;
+        }
+        let helper_erased: std::collections::HashSet<(usize, usize)> =
+            erasures.helper.iter().copied().collect();
+        let response_erased: std::collections::HashSet<usize> =
+            erasures.response.iter().copied().collect();
+        let mut w = BitString::zeros(0);
+        for (block_index, offset) in helper.offsets().iter().enumerate() {
+            let base = block_index * n;
+            let shifted: Vec<SoftBit> = response[base..base + n]
+                .iter()
+                .enumerate()
+                .map(|(i, soft)| {
+                    let s = if offset.get(i) { soft.flipped() } else { *soft };
+                    if helper_erased.contains(&(block_index, i))
+                        || response_erased.contains(&(base + i))
+                    {
+                        SoftBit::erasure(s.value)
+                    } else {
+                        s
+                    }
+                })
+                .collect();
+            let codeword = self.decode_soft(&shifted)?;
+            let recovered: BitString = (0..n)
+                .map(|i| {
+                    if helper_erased.contains(&(block_index, i)) {
+                        response[base + i].value
+                    } else {
+                        codeword.get(i) ^ offset.get(i)
+                    }
+                })
+                .collect();
+            w = w.concat(&recovered);
+        }
+        Some(helper.derive_key_for(&w))
     }
 
     /// Soft-decision key reconstruction through a code-offset helper: the
@@ -256,5 +382,132 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_weight_panics() {
         let _ = SoftBit::new(true, -1.0);
+    }
+
+    #[test]
+    fn erasure_carries_no_confidence() {
+        let e = SoftBit::erasure(true);
+        assert!(e.is_erasure());
+        assert_eq!(e.signed(), 0.0);
+        assert!(e.flipped().is_erasure());
+        assert!(!SoftBit::new(true, 0.1).is_erasure());
+    }
+
+    #[test]
+    fn erasures_never_outvote_a_positive_confidence_bit() {
+        // Many confident-looking erasure values against one faint real
+        // read: the real read wins.
+        let mut group = vec![SoftBit::erasure(true); 9];
+        group.push(SoftBit::new(false, 1e-9));
+        assert!(!soft_majority(&group));
+    }
+
+    #[test]
+    fn all_erasure_group_ties_to_zero() {
+        let group = vec![SoftBit::erasure(true); 5];
+        assert!(!soft_majority(&group), "tie resolves to 0, like the comparator");
+    }
+
+    #[test]
+    fn wrong_length_soft_word_fails_closed() {
+        let decoder = SoftConcatDecoder::new(BchCode::new(4, 2), RepetitionCode::new(3));
+        let short = vec![SoftBit::new(true, 1.0); decoder.code().n() - 1];
+        let long = vec![SoftBit::new(true, 1.0); decoder.code().n() + 1];
+        assert_eq!(decoder.decode_soft(&short), None);
+        assert_eq!(decoder.decode_soft(&long), None);
+    }
+
+    #[test]
+    fn empty_erasures_match_plain_soft_reproduction() {
+        let decoder = SoftConcatDecoder::new(BchCode::new(5, 2), RepetitionCode::new(3));
+        let fe = FuzzyExtractor::new(decoder.code().clone(), 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let w: BitString = (0..fe.response_bits()).map(|_| rng.gen::<bool>()).collect();
+        let (key, helper) = fe.generate(&w, &mut rng);
+        let reading: Vec<SoftBit> = w.iter().map(|bit| SoftBit::new(bit, 1.0)).collect();
+        assert_eq!(
+            decoder.reproduce_soft_erasure_aware(&reading, &helper, &Erasures::none()),
+            Some(key)
+        );
+        assert_eq!(decoder.reproduce_soft(&reading, &helper), Some(key));
+    }
+
+    #[test]
+    fn erasure_awareness_recovers_a_key_blind_decoding_loses() {
+        // A flipped *offset* bit survives blind decoding: the decoder
+        // corrects the shifted word back to the same codeword, then
+        // re-applies the corrupted offset — guaranteed wrong w, lost key.
+        // Flagging the position as a helper erasure substitutes the
+        // measured response bit there, recovering the key.
+        let decoder = SoftConcatDecoder::new(BchCode::new(5, 2), RepetitionCode::new(3));
+        let fe = FuzzyExtractor::new(decoder.code().clone(), 2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let w: BitString = (0..fe.response_bits()).map(|_| rng.gen::<bool>()).collect();
+        let (key, helper) = fe.generate(&w, &mut rng);
+
+        let eroded_positions = vec![(0, 4), (1, 9)];
+        let eroded = helper.with_flipped_bits(&eroded_positions);
+        let reading: Vec<SoftBit> = w.iter().map(|bit| SoftBit::new(bit, 1.0)).collect();
+
+        assert_ne!(
+            decoder.reproduce_soft(&reading, &eroded),
+            Some(key),
+            "a surviving offset flip must defeat blind decoding"
+        );
+        assert_eq!(
+            decoder.reproduce_soft_erasure_aware(
+                &reading,
+                &eroded,
+                &Erasures::from_helper(eroded_positions),
+            ),
+            Some(key)
+        );
+    }
+
+    #[test]
+    fn response_erasures_silence_dead_ring_bits() {
+        // A dead ring reads garbage with misleading confidence. Blindly it
+        // can push a repetition group the wrong way; flagged as a response
+        // erasure it votes with weight 0 and the offset stays trusted.
+        let decoder = SoftConcatDecoder::new(BchCode::new(5, 2), RepetitionCode::new(3));
+        let fe = FuzzyExtractor::new(decoder.code().clone(), 2);
+        let mut rng = StdRng::seed_from_u64(13);
+        let w: BitString = (0..fe.response_bits()).map(|_| rng.gen::<bool>()).collect();
+        let (key, helper) = fe.generate(&w, &mut rng);
+
+        // Kill the first repetition group: 2 of 3 reads wrong and loud.
+        let reading: Vec<SoftBit> = w
+            .iter()
+            .enumerate()
+            .map(|(i, bit)| {
+                if i < 2 {
+                    SoftBit::new(!bit, 10.0)
+                } else {
+                    SoftBit::new(bit, 1.0)
+                }
+            })
+            .collect();
+        let erasures = Erasures {
+            helper: Vec::new(),
+            response: vec![0, 1],
+        };
+        assert_eq!(
+            decoder.reproduce_soft_erasure_aware(&reading, &helper, &erasures),
+            Some(key)
+        );
+    }
+
+    #[test]
+    fn short_response_fails_closed_in_erasure_aware_path() {
+        let decoder = SoftConcatDecoder::new(BchCode::new(4, 2), RepetitionCode::new(3));
+        let fe = FuzzyExtractor::new(decoder.code().clone(), 2);
+        let mut rng = StdRng::seed_from_u64(17);
+        let w: BitString = (0..fe.response_bits()).map(|_| rng.gen::<bool>()).collect();
+        let (_, helper) = fe.generate(&w, &mut rng);
+        let short = vec![SoftBit::new(true, 1.0); fe.response_bits() - 1];
+        assert_eq!(
+            decoder.reproduce_soft_erasure_aware(&short, &helper, &Erasures::none()),
+            None
+        );
     }
 }

@@ -9,6 +9,7 @@ use aro_ecc::fuzzy::FuzzyExtractor;
 use aro_ecc::gf::Gf;
 use aro_ecc::hash::sha256;
 use aro_ecc::repetition::{binomial_pmf, binomial_tail_gt, RepetitionCode};
+use aro_ecc::soft::{soft_majority, SoftBit};
 use aro_metrics::bits::BitString;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -163,6 +164,29 @@ proptest! {
         if a != b {
             prop_assert_ne!(sha256(&a), sha256(&b));
         }
+    }
+
+    /// Erasures never outvote positive confidence: any number of
+    /// erasures of any values, plus one bit with any strictly positive
+    /// weight, resolves to that bit's value.
+    #[test]
+    fn erasures_never_outvote_positive_confidence(
+        erasure_values in prop::collection::vec(any::<bool>(), 0..32),
+        value in any::<bool>(),
+        weight in 1e-12..10.0f64,
+        position in any::<usize>(),
+    ) {
+        let mut group: Vec<SoftBit> = erasure_values.iter().map(|&v| SoftBit::erasure(v)).collect();
+        group.insert(position % (group.len() + 1), SoftBit::new(value, weight));
+        prop_assert_eq!(soft_majority(&group), value);
+    }
+
+    /// A group of nothing but erasures ties — and ties resolve to 0,
+    /// matching the hard comparator's convention.
+    #[test]
+    fn all_erasure_groups_tie_to_zero(erasure_values in prop::collection::vec(any::<bool>(), 1..32)) {
+        let group: Vec<SoftBit> = erasure_values.iter().map(|&v| SoftBit::erasure(v)).collect();
+        prop_assert!(!soft_majority(&group));
     }
 
     /// Area models are monotone.

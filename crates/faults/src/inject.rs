@@ -42,6 +42,7 @@ pub struct FaultInjector {
     hard: SeedDomain,
     glitch: SeedDomain,
     helper: SeedDomain,
+    helper_window: SeedDomain,
 }
 
 /// Folds a two-coordinate opportunity into one stream index. The odd
@@ -65,6 +66,7 @@ impl FaultInjector {
             hard: root.child("hard"),
             glitch: root.child("glitch"),
             helper: root.child("helper"),
+            helper_window: root.child("helper-window"),
         }
     }
 
@@ -215,6 +217,55 @@ impl FaultInjector {
         }
         erased
     }
+
+    /// Helper erasures accumulated during one maintenance *window* of a
+    /// refreshed key lifecycle: window `window` of chip `chip_id`, spanning
+    /// `fraction` of the plan's reference exposure (the ten-year mission
+    /// the flat rate models). NVM erosion accrues with storage time, so a
+    /// schedule that refreshes every `T/k` sees each window erode at
+    /// `rate · 1/k` — scrubbing more often leaves less accumulated damage
+    /// at every reconstruction. Windows draw from their own `(chip,
+    /// window)` stream, so the schedule stays a pure function of
+    /// coordinates (different intervals just ask about different windows).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is not in `[0, 1]` or not finite.
+    #[must_use]
+    pub fn helper_erasures_during(
+        &self,
+        chip_id: u64,
+        window: u64,
+        fraction: f64,
+        block_bits: &[usize],
+    ) -> Vec<(usize, usize)> {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "window fraction must be in [0, 1]"
+        );
+        let rate = (self.plan.helper_erasure_rate * fraction).clamp(0.0, 1.0);
+        if rate == 0.0 {
+            return Vec::new();
+        }
+        let mut rng = self.helper_window.rng(slot(chip_id, window));
+        let mut erased = Vec::new();
+        for (block, &bits) in block_bits.iter().enumerate() {
+            for bit in 0..bits {
+                if rng.gen_range(0.0..1.0) < rate {
+                    erased.push((block, bit));
+                }
+            }
+        }
+        if !erased.is_empty() {
+            aro_obs::counter("faults.helper_erasures", erased.len() as u64);
+            aro_obs::fault_event(
+                "helper_erasure",
+                chip_id,
+                erased.len() as u64,
+                &[("window", window as f64)],
+            );
+        }
+        erased
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +320,7 @@ mod tests {
         }
         assert!(inj.hard_faults(0, 4096).is_empty());
         assert!(inj.helper_erasures(0, &[1024]).is_empty());
+        assert!(inj.helper_erasures_during(0, 0, 1.0, &[1024]).is_empty());
     }
 
     #[test]
@@ -355,6 +407,68 @@ mod tests {
             (total as f64) > 0.3 * expected && (total as f64) < 3.0 * expected,
             "erasures {total} vs expected {expected}"
         );
+    }
+
+    #[test]
+    fn windowed_erasures_are_pure_in_their_coordinates() {
+        let a = storm();
+        let b = storm();
+        let blocks = [127usize, 127];
+        // Scrambled query order on b: pure functions don't care.
+        let b_w3 = b.helper_erasures_during(4, 3, 0.25, &blocks);
+        let b_w0 = b.helper_erasures_during(4, 0, 0.25, &blocks);
+        assert_eq!(a.helper_erasures_during(4, 0, 0.25, &blocks), b_w0);
+        assert_eq!(a.helper_erasures_during(4, 3, 0.25, &blocks), b_w3);
+    }
+
+    #[test]
+    fn windowed_erasures_scale_with_the_window_fraction() {
+        let inj = storm();
+        let blocks = [255usize; 8];
+        let full: usize = (0..256)
+            .map(|chip| inj.helper_erasures_during(chip, 0, 1.0, &blocks).len())
+            .sum();
+        let quarter: usize = (0..256)
+            .map(|chip| inj.helper_erasures_during(chip, 0, 0.25, &blocks).len())
+            .sum();
+        let zero: usize = (0..256)
+            .map(|chip| inj.helper_erasures_during(chip, 0, 0.0, &blocks).len())
+            .sum();
+        assert_eq!(zero, 0, "zero exposure never erodes");
+        assert!(full > 0, "full exposure must fire under storm");
+        assert!(
+            (quarter as f64) < 0.6 * full as f64,
+            "quarter window {quarter} should erode well below full {full}"
+        );
+    }
+
+    #[test]
+    fn windowed_erasures_stay_in_range_and_match_the_flat_query_budget() {
+        let inj = storm();
+        let blocks = [127usize, 127, 63];
+        for &(block, bit) in &inj.helper_erasures_during(1, 2, 1.0, &blocks) {
+            assert!(block < blocks.len());
+            assert!(bit < blocks[block]);
+        }
+        // A full-exposure window models the same erosion budget as the
+        // flat ten-year query — same rate, different stream.
+        let flat: usize = (0..512)
+            .map(|chip| inj.helper_erasures(chip, &blocks).len())
+            .sum();
+        let windowed: usize = (0..512)
+            .map(|chip| inj.helper_erasures_during(chip, 0, 1.0, &blocks).len())
+            .sum();
+        let ratio = windowed as f64 / flat.max(1) as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "windowed {windowed} vs flat {flat}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window fraction")]
+    fn windowed_erasures_reject_bad_fractions() {
+        let _ = storm().helper_erasures_during(0, 0, 1.5, &[64]);
     }
 
     #[test]

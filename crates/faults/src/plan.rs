@@ -267,6 +267,25 @@ mod tests {
     }
 
     #[test]
+    fn erasure_only_plan_is_live_and_fingerprints_apart_from_off() {
+        // Helper erasures alone are a real threat model (EXP-15's killer
+        // fault) — a plan carrying nothing else must not collapse into
+        // the fault-free path or alias its cache key.
+        let erasure_only = FaultPlan {
+            helper_erasure_rate: 0.002,
+            ..FaultPlan::off()
+        };
+        assert!(!erasure_only.is_off());
+        assert_ne!(erasure_only.fingerprint(), FaultPlan::off().fingerprint());
+        // Different erasure rates are different schedules.
+        let other = FaultPlan {
+            helper_erasure_rate: 0.004,
+            ..FaultPlan::off()
+        };
+        assert_ne!(erasure_only.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
     fn fingerprint_separates_plans_and_is_stable() {
         let a = FaultPlan::smoke().fingerprint();
         assert_eq!(a, FaultPlan::smoke().fingerprint());

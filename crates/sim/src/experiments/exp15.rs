@@ -26,7 +26,9 @@ use aro_circuit::ring::RoStyle;
 use aro_device::environment::Environment;
 use aro_device::units::YEAR;
 use aro_ecc::keygen::KeyGenerator;
+use aro_ecc::soft::{Erasures, SoftBit};
 use aro_faults::{FaultInjector, FaultPlan};
+use aro_metrics::bits::BitString;
 use aro_puf::{Chip, MissionProfile, PairingStrategy, PufDesign};
 
 use crate::config::SimConfig;
@@ -51,6 +53,13 @@ pub struct FaultedKeyTrial {
     pub attempts_per_chip: usize,
     /// Attempts that reproduced the enrolled key.
     pub recovered: usize,
+    /// Attempts recovered by *blind* soft decoding of the same readings
+    /// (confidence-weighted, but ignorant of which positions are damaged).
+    pub recovered_soft: usize,
+    /// Attempts recovered by **erasure-aware** soft decoding: NVM-flagged
+    /// helper bits and BIST-flagged faulty-ring response bits vote with
+    /// zero confidence (see `aro_ecc::soft::Erasures`).
+    pub recovered_erasure_aware: usize,
     /// Rings killed or stuck across the population (hard faults).
     pub hard_faulted_ros: usize,
     /// Helper-data bits erased across the population.
@@ -58,10 +67,22 @@ pub struct FaultedKeyTrial {
 }
 
 impl FaultedKeyTrial {
-    /// Measured key-recovery rate.
+    /// Measured key-recovery rate (hard decoding — the baseline flow).
     #[must_use]
     pub fn recovery_rate(&self) -> f64 {
         self.recovered as f64 / (self.chips * self.attempts_per_chip) as f64
+    }
+
+    /// Key-recovery rate of blind soft decoding.
+    #[must_use]
+    pub fn soft_recovery_rate(&self) -> f64 {
+        self.recovered_soft as f64 / (self.chips * self.attempts_per_chip) as f64
+    }
+
+    /// Key-recovery rate of erasure-aware soft decoding.
+    #[must_use]
+    pub fn erasure_aware_recovery_rate(&self) -> f64 {
+        self.recovered_erasure_aware as f64 / (self.chips * self.attempts_per_chip) as f64
     }
 }
 
@@ -92,6 +113,8 @@ pub fn run_trial(
     let pairs = PairingStrategy::Neighbor.pairs(n_ros);
 
     let mut recovered = 0;
+    let mut recovered_soft = 0;
+    let mut recovered_erasure_aware = 0;
     let mut hard_faulted_ros = 0;
     let mut helper_bits_erased = 0;
     for id in 0..chips as u64 {
@@ -111,23 +134,54 @@ pub fn run_trial(
         helper_bits_erased += erasures.len();
         let helper = helper.with_flipped_bits(&erasures);
 
+        // What the device *knows* about its own damage: NVM integrity
+        // flags name the eroded helper bits, and BIST names the response
+        // bits whose pair involves a dead/stuck ring. Transient faults
+        // (excursions, bursts, glitches) stay invisible — erasure-aware
+        // decoding only gets knowledge the hardware actually has.
+        let known = Erasures {
+            helper: erasures.clone(),
+            response: pairs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(a, b))| {
+                    !chip.ros()[a].health().is_healthy() || !chip.ros()[b].health().is_healthy()
+                })
+                .map(|(bit, _)| bit)
+                .collect(),
+        };
+
         profile.age_chip(&mut chip, &design, 10.0 * YEAR);
 
         for attempt in 0..attempts_per_chip as u64 {
             // Each attempt is one measurement event: it may run under a
             // transient droop/spike, through a noisier readout, and its
-            // counters may glitch.
+            // counters may glitch. The soft reading consumes the exact
+            // nonce stream `Chip::response` would, so the hard-decode
+            // column is byte-identical to the original flow.
             let meas_env = inj.measurement_env(id, attempt, &env);
             let burst_design = inj
                 .noise_burst(id, attempt)
                 .map(|factor| design.with_readout(design.readout().with_noise_burst(factor)));
             let meas_design = burst_design.as_ref().unwrap_or(&design);
-            let mut noisy = chip.response(meas_design, &meas_env, &pairs);
-            for bit in inj.response_glitches(id, attempt, noisy.len()) {
-                noisy.flip(bit);
+            let mut soft: Vec<SoftBit> = chip
+                .response_soft(meas_design, &meas_env, &pairs)
+                .into_iter()
+                .map(|(bit, confidence)| SoftBit::new(bit, confidence))
+                .collect();
+            for bit in inj.response_glitches(id, attempt, soft.len()) {
+                soft[bit].value = !soft[bit].value;
             }
+            let noisy: BitString = soft.iter().map(|s| s.value).collect();
             if generator.reconstruct(&noisy, &helper) == Some(key.clone()) {
                 recovered += 1;
+            }
+            if generator.reconstruct_soft(&soft, &helper) == Some(key.clone()) {
+                recovered_soft += 1;
+            }
+            if generator.reconstruct_soft_erasure_aware(&soft, &helper, &known) == Some(key.clone())
+            {
+                recovered_erasure_aware += 1;
             }
         }
     }
@@ -137,6 +191,8 @@ pub fn run_trial(
         chips,
         attempts_per_chip,
         recovered,
+        recovered_soft,
+        recovered_erasure_aware,
         hard_faulted_ros,
         helper_bits_erased,
     }
@@ -180,6 +236,7 @@ pub fn run(cfg: &SimConfig) -> Report {
         ],
     );
     let mut anchors = Vec::new();
+    let mut trials = Vec::new();
     for style in [RoStyle::AgingResistant, RoStyle::Conventional] {
         for intensity in INTENSITIES {
             let trial = run_trial(cfg, style, &generator, intensity, chips, attempts);
@@ -198,9 +255,35 @@ pub fn run(cfg: &SimConfig) -> Report {
                 trial.hard_faulted_ros.to_string(),
                 trial.helper_bits_erased.to_string(),
             ]);
+            trials.push(trial);
         }
     }
     report.push_table(table);
+
+    let mut strategies = Table::new(
+        "Decode-strategy comparison on identical faulted readings \
+         (hard vs. blind soft vs. erasure-aware soft)",
+        &[
+            "intensity",
+            "design",
+            "hard",
+            "soft (blind)",
+            "erasure-aware",
+        ],
+    );
+    for trial in &trials {
+        strategies.push_row(vec![
+            format!("{:.2}", trial.intensity),
+            match trial.style {
+                RoStyle::AgingResistant => "ARO-PUF".to_string(),
+                RoStyle::Conventional => "RO-PUF (control)".to_string(),
+            },
+            pct(trial.recovery_rate()),
+            pct(trial.soft_recovery_rate()),
+            pct(trial.erasure_aware_recovery_rate()),
+        ]);
+    }
+    report.push_table(strategies);
 
     report.push_note(format!(
         "zero-intensity anchor (must match the fault-free flow): ARO-PUF recovers {}, \
@@ -213,6 +296,22 @@ pub fn run(cfg: &SimConfig) -> Report {
          here and not in the flip-timeline experiments; a single surviving helper-bit flip \
          defeats the key even inside the code's correction radius (see docs/ROBUSTNESS.md)",
     );
+    let storm_lost: usize = trials
+        .iter()
+        .filter(|t| t.style == RoStyle::AgingResistant && t.intensity > 0.0)
+        .map(|t| t.chips * t.attempts_per_chip - t.recovered)
+        .sum();
+    let storm_healed: usize = trials
+        .iter()
+        .filter(|t| t.style == RoStyle::AgingResistant && t.intensity > 0.0)
+        .map(|t| t.recovered_erasure_aware.saturating_sub(t.recovered))
+        .sum();
+    report.push_note(format!(
+        "erasure-aware decoding uses only knowledge the hardware has (NVM integrity flags, \
+         ring BIST): zero-confidence votes silence flagged positions and the measured bit \
+         stands in for each flagged offset bit — recovering {storm_healed} of the \
+         {storm_lost} ARO attempts hard decoding loses across the nonzero intensities",
+    ));
     report
 }
 
@@ -277,9 +376,44 @@ mod tests {
         let report = run(&tiny_cfg());
         let table = &report.tables()[0];
         assert_eq!(table.n_rows(), 2 * INTENSITIES.len());
-        assert!(report.notes().len() >= 3);
+        assert!(report.notes().len() >= 4);
         // The zero-intensity ARO row anchors at full recovery.
         assert_eq!(table.cell(0, 0), "0.00");
         assert_eq!(table.cell(0, 4), "100.00 %");
+        // The strategy table covers the same sweep.
+        assert_eq!(report.tables()[1].n_rows(), 2 * INTENSITIES.len());
+    }
+
+    #[test]
+    fn erasure_awareness_dominates_blind_decoding_at_every_intensity() {
+        let cfg = tiny_cfg();
+        let generator = tiny_generator(&cfg);
+        let mut healed = 0usize;
+        let mut lost = 0usize;
+        for intensity in INTENSITIES {
+            let trial = run_trial(&cfg, RoStyle::AgingResistant, &generator, intensity, 4, 2);
+            assert!(
+                trial.recovered_erasure_aware >= trial.recovered_soft,
+                "aware {} < blind soft {} at intensity {intensity}",
+                trial.recovered_erasure_aware,
+                trial.recovered_soft,
+            );
+            assert!(
+                trial.recovered_erasure_aware >= trial.recovered,
+                "aware {} < hard {} at intensity {intensity}",
+                trial.recovered_erasure_aware,
+                trial.recovered,
+            );
+            if intensity == 0.0 {
+                assert_eq!(trial.recovered_erasure_aware, 8, "clean flow loses nothing");
+            } else {
+                healed += trial.recovered_erasure_aware - trial.recovered;
+                lost += 8 - trial.recovered;
+            }
+        }
+        assert!(
+            healed > 0,
+            "erasure awareness must strictly recover some storm-lost keys ({lost} lost)"
+        );
     }
 }

@@ -1,0 +1,424 @@
+//! EXP-16 — the self-healing key lifecycle: refresh-interval sweep.
+//!
+//! EXP-15 measures how storms erode a *static* enrollment; EXP-14's
+//! erasure appendix shows knowing the damage recovers most of it. This
+//! experiment closes the loop: a maintained device periodically
+//! **refresh-enrolls** (`aro_ecc::refresh`) — it reconstructs its current
+//! key erasure-aware (the continuity gate), then re-derives helper data
+//! against the *aged* response. Each successful refresh discards the
+//! accumulated NVM erosion with the old helper block and re-anchors the
+//! enrollment on today's silicon, so aging drift and hard ring faults
+//! stop consuming code margin.
+//!
+//! The sweep asks the provisioning question: across `storm@x`
+//! intensities, what is the *cheapest* refresh schedule (fewest
+//! refreshes over the ten-year mission) that keeps key recovery at or
+//! above the 99 % target?
+//!
+//! Lifecycle model, stated explicitly:
+//!
+//! * NVM erosion accrues with storage time: a window spanning a fraction
+//!   `f` of the mission erodes each stored bit with probability
+//!   `rate · f` (`FaultInjector::helper_erasures_during`), so refreshing
+//!   every `T/k` leaves `1/k` of the ten-year damage at each gate.
+//! * Maintenance reads are careful: the re-enrollment anchor is a
+//!   5-vote majority read at nominal conditions (a maintenance window),
+//!   while the gate's reconstruction read runs under full field faults.
+//! * Reads retry: a fielded key generator knows when reconstruction
+//!   failed (keys are checked against a stored hash in any real
+//!   deployment), so gates and final reconstructions retry up to
+//!   [`READ_RETRIES`] times — each retry is its own measurement event
+//!   and can be hit by its own transient faults.
+//! * The key **rotates** at each refresh (code-offset enrollment draws a
+//!   fresh salt): recovery at ten years means reconstructing the key of
+//!   the *latest successful* refresh — exactly what a re-wrapped payload
+//!   needs.
+
+use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
+use aro_device::units::YEAR;
+use aro_ecc::keygen::KeyGenerator;
+use aro_ecc::refresh::{refresh_enrollment, RefreshSchedule};
+use aro_ecc::soft::{Erasures, SoftBit};
+use aro_faults::{FaultInjector, FaultPlan};
+use aro_puf::{Chip, MissionProfile, PairingStrategy, PufDesign};
+
+use crate::config::SimConfig;
+use crate::experiments::exp2;
+use crate::report::Report;
+use crate::runner::{pct, puf_area_params};
+use crate::table::Table;
+
+/// Swept refresh intervals in years (`INFINITY` = never refresh — the
+/// static-enrollment control).
+pub const INTERVALS_YEARS: [f64; 4] = [f64::INFINITY, 5.0, 2.5, 1.25];
+
+/// Swept storm intensities (zero is EXP-15's anchor; the lifecycle only
+/// matters under fire).
+pub const INTENSITIES: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// Bounded read retries at every gate and final reconstruction.
+pub const READ_RETRIES: usize = 3;
+
+/// Ten-year recovery target the schedule search provisions for.
+pub const RECOVERY_TARGET: f64 = 0.99;
+
+/// Event-id base for refresh-gate measurement events, keeping them
+/// disjoint from the final reconstruction events on the same chip.
+const REFRESH_EVENT_BASE: u64 = 1 << 32;
+
+/// Outcome of one maintained ten-year mission sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleTrial {
+    /// Fraction of the full storm plan applied.
+    pub intensity: f64,
+    /// Refresh interval in years (`INFINITY` = never).
+    pub interval_years: f64,
+    /// Chips enrolled.
+    pub chips: usize,
+    /// Final reconstruction attempts per chip.
+    pub attempts_per_chip: usize,
+    /// Attempts that recovered the current key at ten years.
+    pub recovered: usize,
+    /// Refresh gates scheduled across the population.
+    pub refreshes_scheduled: usize,
+    /// Refresh gates that passed (continuity held, helper re-derived).
+    pub refreshes_succeeded: usize,
+    /// Helper bits eroded across the population over the whole mission.
+    pub helper_bits_eroded: usize,
+}
+
+impl LifecycleTrial {
+    /// Measured ten-year key-recovery rate.
+    #[must_use]
+    pub fn recovery_rate(&self) -> f64 {
+        self.recovered as f64 / (self.chips * self.attempts_per_chip) as f64
+    }
+}
+
+/// One faulted soft measurement event (the same excursion/burst/glitch
+/// plumbing as EXP-15's attempts).
+fn faulted_soft_reading(
+    inj: &FaultInjector,
+    chip: &mut Chip,
+    design: &PufDesign,
+    env: &Environment,
+    pairs: &[(usize, usize)],
+    chip_id: u64,
+    event: u64,
+) -> Vec<SoftBit> {
+    let meas_env = inj.measurement_env(chip_id, event, env);
+    let burst_design = inj
+        .noise_burst(chip_id, event)
+        .map(|factor| design.with_readout(design.readout().with_noise_burst(factor)));
+    let meas_design = burst_design.as_ref().unwrap_or(design);
+    let mut soft: Vec<SoftBit> = chip
+        .response_soft(meas_design, &meas_env, pairs)
+        .into_iter()
+        .map(|(bit, confidence)| SoftBit::new(bit, confidence))
+        .collect();
+    for bit in inj.response_glitches(chip_id, event, soft.len()) {
+        soft[bit].value = !soft[bit].value;
+    }
+    soft
+}
+
+/// Runs one (intensity, interval) point of the maintained mission.
+/// Deterministic in its arguments: the injector is coordinate-addressed
+/// and every measurement event has a stable id.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_trial(
+    cfg: &SimConfig,
+    generator: &KeyGenerator,
+    intensity: f64,
+    interval_years: f64,
+    chips: usize,
+    attempts_per_chip: usize,
+) -> LifecycleTrial {
+    let mission_s = 10.0 * YEAR;
+    let plan = FaultPlan::storm().scaled(intensity);
+    let inj = FaultInjector::new(plan, cfg.seed);
+    let schedule = RefreshSchedule::new(interval_years * YEAR, mission_s);
+
+    let n_ros = 2 * generator.response_bits();
+    let design = PufDesign::builder(RoStyle::AgingResistant)
+        .n_ros(n_ros)
+        .seed(cfg.seed ^ 0xe16)
+        .build();
+    let env = Environment::nominal(design.tech());
+    let profile = MissionProfile::typical(design.tech());
+    let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+
+    let mut recovered = 0;
+    let mut refreshes_scheduled = 0;
+    let mut refreshes_succeeded = 0;
+    let mut helper_bits_eroded = 0;
+    for id in 0..chips as u64 {
+        let mut chip = Chip::fabricate(&design, id);
+        let mut rng = design.seed_domain().child("exp16").rng(id);
+        let enrolled = chip.golden_response(&design, &env, &pairs);
+        let (mut key, mut helper) = generator.enroll(&enrolled, &mut rng);
+        let block_lens = helper.block_lens();
+
+        // The field kills rings up front (worst case for a lifecycle:
+        // every window lives with the damage); BIST flags the affected
+        // response bits for the whole mission.
+        for (slot, health) in inj.hard_faults(id, n_ros) {
+            chip.set_ro_health(slot, health);
+        }
+        let bist: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(a, b))| {
+                !chip.ros()[a].health().is_healthy() || !chip.ros()[b].health().is_healthy()
+            })
+            .map(|(bit, _)| bit)
+            .collect();
+
+        // Erosion accumulates between refreshes; a successful refresh
+        // writes a pristine helper block and clears the backlog.
+        let mut accumulated: Vec<(usize, usize)> = Vec::new();
+        let known = |accumulated: &[(usize, usize)]| {
+            let mut flagged: Vec<(usize, usize)> = accumulated.to_vec();
+            flagged.sort_unstable();
+            flagged.dedup();
+            Erasures {
+                helper: flagged,
+                response: bist.clone(),
+            }
+        };
+
+        let mut boundaries = schedule.refresh_times();
+        boundaries.push(mission_s);
+        let mut elapsed = 0.0;
+        for (window, &t) in boundaries.iter().enumerate() {
+            let dt = t - elapsed;
+            profile.age_chip(&mut chip, &design, dt);
+            accumulated.extend(inj.helper_erasures_during(
+                id,
+                window as u64,
+                dt / mission_s,
+                &block_lens,
+            ));
+            elapsed = t;
+
+            let is_refresh_gate = window < boundaries.len() - 1;
+            if !is_refresh_gate {
+                break;
+            }
+            refreshes_scheduled += 1;
+            let eroded = helper.with_flipped_bits(&accumulated);
+            let erasures = known(&accumulated);
+            for retry in 0..READ_RETRIES as u64 {
+                let event = REFRESH_EVENT_BASE + window as u64 * READ_RETRIES as u64 + retry;
+                let soft = faulted_soft_reading(&inj, &mut chip, &design, &env, &pairs, id, event);
+                let anchor = chip.response_voted(&design, &env, &pairs, 5);
+                if let Some((new_key, new_helper)) = refresh_enrollment(
+                    generator, &soft, &eroded, &erasures, &key, &anchor, &mut rng,
+                ) {
+                    key = new_key;
+                    helper = new_helper;
+                    helper_bits_eroded += accumulated.len();
+                    accumulated.clear();
+                    refreshes_succeeded += 1;
+                    break;
+                }
+            }
+        }
+
+        // End of mission: reconstruct the current key from what is
+        // actually stored, under full field faults.
+        helper_bits_eroded += accumulated.len();
+        let eroded = helper.with_flipped_bits(&accumulated);
+        let erasures = known(&accumulated);
+        for attempt in 0..attempts_per_chip as u64 {
+            for retry in 0..READ_RETRIES as u64 {
+                let event = attempt * READ_RETRIES as u64 + retry;
+                let soft = faulted_soft_reading(&inj, &mut chip, &design, &env, &pairs, id, event);
+                if generator.reconstruct_soft_erasure_aware(&soft, &eroded, &erasures)
+                    == Some(key.clone())
+                {
+                    recovered += 1;
+                    break;
+                }
+            }
+        }
+    }
+    LifecycleTrial {
+        intensity,
+        interval_years,
+        chips,
+        attempts_per_chip,
+        recovered,
+        refreshes_scheduled,
+        refreshes_succeeded,
+        helper_bits_eroded,
+    }
+}
+
+fn interval_label(interval_years: f64) -> String {
+    if interval_years.is_finite() {
+        format!("{interval_years:.2} y")
+    } else {
+        "never".to_string()
+    }
+}
+
+/// Runs EXP-16.
+#[must_use]
+pub fn run(cfg: &SimConfig) -> Report {
+    let mut report = Report::new(
+        "EXP-16",
+        "Self-healing helper-data refresh (interval sweep)",
+    );
+
+    // Same provisioning as EXP-15: the ECC sized for the ARO design's
+    // fault-free ten-year BER. The lifecycle — not a bigger code — has to
+    // supply the storm margin.
+    let timeline = exp2::flip_timeline(cfg, RoStyle::AgingResistant);
+    let ber = timeline.final_quantile(0.99);
+    let params = puf_area_params(RoStyle::AgingResistant, 5);
+    let Some(generator) =
+        crate::popcache::provisioned_generator(ber, cfg.key_bits, cfg.key_fail_target, &params)
+    else {
+        report.push_note("no feasible ARO design point — increase the code search space");
+        return report;
+    };
+    report.push_note(format!(
+        "lifecycle model: erasure-aware reconstruction everywhere, {READ_RETRIES} read \
+         retries per gate/attempt, 5-vote maintenance anchor reads, key rotation at each \
+         refresh behind a continuity gate; ECC provisioned for fault-free BER {}",
+        pct(ber)
+    ));
+
+    let chips = cfg.n_chips.clamp(4, 8);
+    let attempts = 2;
+    let mut table = Table::new(
+        "Ten-year key recovery vs. refresh interval (ARO-PUF, storm-scaled faults)",
+        &[
+            "intensity",
+            "refresh interval",
+            "refreshes (ok/scheduled)",
+            "helper bits eroded",
+            "attempts",
+            "recovered",
+            "recovery rate",
+        ],
+    );
+    let mut cheapest = Vec::new();
+    for intensity in INTENSITIES {
+        let mut trials = Vec::new();
+        for interval_years in INTERVALS_YEARS {
+            let trial = run_trial(cfg, &generator, intensity, interval_years, chips, attempts);
+            table.push_row(vec![
+                format!("{intensity:.2}"),
+                interval_label(interval_years),
+                format!("{}/{}", trial.refreshes_succeeded, trial.refreshes_scheduled),
+                trial.helper_bits_eroded.to_string(),
+                (trial.chips * trial.attempts_per_chip).to_string(),
+                trial.recovered.to_string(),
+                pct(trial.recovery_rate()),
+            ]);
+            trials.push(trial);
+        }
+        // Cheapest schedule = fewest refreshes meeting the target.
+        let winner = trials
+            .iter()
+            .filter(|t| t.recovery_rate() >= RECOVERY_TARGET)
+            .min_by_key(|t| t.refreshes_scheduled);
+        cheapest.push((intensity, winner.cloned()));
+    }
+    report.push_table(table);
+
+    for (intensity, winner) in &cheapest {
+        match winner {
+            Some(t) => report.push_note(format!(
+                "storm@{intensity}: cheapest schedule at or above {} recovery is `{}` \
+                 ({} refresh(es) over the mission, recovery {})",
+                pct(RECOVERY_TARGET),
+                interval_label(t.interval_years),
+                t.refreshes_scheduled / t.chips.max(1),
+                pct(t.recovery_rate()),
+            )),
+            None => report.push_note(format!(
+                "storm@{intensity}: no swept schedule reaches {} recovery — refresh more \
+                 often than every {} years or grow the code",
+                pct(RECOVERY_TARGET),
+                INTERVALS_YEARS[INTERVALS_YEARS.len() - 1],
+            )),
+        }
+    }
+    report.push_note(
+        "a refresh both scrubs the helper NVM (erosion backlog drops to the current \
+         window's) and re-anchors enrollment on aged silicon (drift and BIST-flagged \
+         rings stop spending code margin) — the static `never` row pays the full \
+         ten-year backlog at its only reconstruction",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SimConfig {
+        let mut cfg = SimConfig::quick();
+        cfg.key_bits = 32;
+        cfg
+    }
+
+    fn tiny_generator(cfg: &SimConfig) -> KeyGenerator {
+        let timeline = exp2::flip_timeline(cfg, RoStyle::AgingResistant);
+        let ber = timeline.final_quantile(0.99);
+        let params = puf_area_params(RoStyle::AgingResistant, 5);
+        KeyGenerator::for_bit_error_rate(ber, cfg.key_bits, cfg.key_fail_target, &params)
+            .expect("feasible")
+    }
+
+    #[test]
+    fn never_refreshing_schedules_no_gates() {
+        let cfg = tiny_cfg();
+        let generator = tiny_generator(&cfg);
+        let trial = run_trial(&cfg, &generator, 0.5, f64::INFINITY, 3, 2);
+        assert_eq!(trial.refreshes_scheduled, 0);
+        assert_eq!(trial.refreshes_succeeded, 0);
+    }
+
+    #[test]
+    fn refreshing_schedules_gates_and_is_replayable() {
+        let cfg = tiny_cfg();
+        let generator = tiny_generator(&cfg);
+        let trial = run_trial(&cfg, &generator, 0.5, 2.5, 3, 2);
+        assert_eq!(trial.refreshes_scheduled, 3 * 3, "3 gates per chip");
+        assert!(trial.refreshes_succeeded > 0, "some gate must pass");
+        assert_eq!(
+            trial,
+            run_trial(&cfg, &generator, 0.5, 2.5, 3, 2),
+            "the lifecycle must be replayable"
+        );
+    }
+
+    #[test]
+    fn refreshing_never_recovers_fewer_keys_than_the_static_control() {
+        let cfg = tiny_cfg();
+        let generator = tiny_generator(&cfg);
+        let never = run_trial(&cfg, &generator, 1.0, f64::INFINITY, 4, 2);
+        let maintained = run_trial(&cfg, &generator, 1.0, 2.5, 4, 2);
+        assert!(
+            maintained.recovered >= never.recovered,
+            "maintained {} vs static {}",
+            maintained.recovered,
+            never.recovered
+        );
+    }
+
+    #[test]
+    fn report_sweeps_all_points_and_names_a_schedule_per_intensity() {
+        let report = run(&tiny_cfg());
+        let table = &report.tables()[0];
+        assert_eq!(table.n_rows(), INTENSITIES.len() * INTERVALS_YEARS.len());
+        // One model note + one schedule note per intensity + one closing.
+        assert_eq!(report.notes().len(), 2 + INTENSITIES.len());
+    }
+}

@@ -8,6 +8,8 @@ pub mod exp12;
 pub mod exp13;
 pub mod exp14;
 pub mod exp15;
+pub mod exp16;
+pub mod exp17;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
@@ -21,9 +23,9 @@ use crate::config::SimConfig;
 use crate::report::Report;
 
 /// Every experiment id, in paper order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 17] = [
     "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "exp9", "exp10", "exp11",
-    "exp12", "exp13", "exp14", "exp15",
+    "exp12", "exp13", "exp14", "exp15", "exp16", "exp17",
 ];
 
 /// Wraps one experiment run in its phase span and progress counter, so
@@ -50,7 +52,7 @@ pub fn run_all(cfg: &SimConfig) -> Vec<Report> {
     })
 }
 
-/// Runs one experiment by id (`"exp1"`…`"exp15"`), or `None` for an
+/// Runs one experiment by id (`"exp1"`…`"exp17"`), or `None` for an
 /// unknown id. Opens a population-cache scope of its own (a no-op when
 /// the caller — e.g. [`run_all`] — already holds one).
 #[must_use]
@@ -71,6 +73,8 @@ pub fn run_by_id(id: &str, cfg: &SimConfig) -> Option<Report> {
         "exp13" => exp13::run,
         "exp14" => exp14::run,
         "exp15" => exp15::run,
+        "exp16" => exp16::run,
+        "exp17" => exp17::run,
         _ => return None,
     };
     Some(crate::popcache::scoped(|| traced(id, cfg, run)))

@@ -41,9 +41,10 @@ use crate::table::Table;
 /// Experiments whose *claims* are statistical rather than seed-anchored
 /// (ablation sweeps, distribution studies, seed-robustness itself): a
 /// retry after a panic may legitimately re-run them under a derived seed.
-/// The headline experiments (exp1, exp2, exp5, exp8, exp14) are excluded
-/// — their numbers are quoted against the paper, so a retry must
-/// reproduce the original seed's bytes or fail honestly.
+/// The headline experiments (exp1, exp2, exp5, exp8, exp14–exp17) are
+/// excluded — their numbers are quoted against the paper (or, for the
+/// robustness capstones, against each other), so a retry must reproduce
+/// the original seed's bytes or fail honestly.
 pub const FLAKY_TOLERANT: [&str; 9] = [
     "exp3", "exp4", "exp6", "exp7", "exp9", "exp10", "exp11", "exp12", "exp13",
 ];

@@ -20,6 +20,8 @@
 //! | [`experiments::exp13`] | seed robustness of the headline claims |
 //! | [`experiments::exp14`] | soft-decision decoding gain |
 //! | [`experiments::exp15`] | key recovery under injected faults (chaos sweep) |
+//! | [`experiments::exp16`] | self-healing helper-data refresh (interval sweep) |
+//! | [`experiments::exp17`] | fault-aware provisioning envelope |
 //!
 //! Every experiment consumes a [`config::SimConfig`] (use
 //! [`config::SimConfig::paper`] for paper-scale populations,

@@ -42,6 +42,21 @@ if [[ "$chaos" -ne 0 && "$chaos" -ne 3 ]]; then
 fi
 echo "chaos smoke exit: $chaos"
 
+# Lifecycle smoke: the self-healing refresh experiment must complete (or
+# degrade honestly) under a quarter-rate storm — the configuration its
+# headline claim is quoted at. See docs/ROBUSTNESS.md ("Self-healing key
+# lifecycle").
+echo "==> lifecycle smoke (repro --quick --faults storm@0.25 exp16)"
+set +e
+./target/release/repro --quick --quiet --faults storm@0.25 exp16
+lifecycle=$?
+set -e
+if [[ "$lifecycle" -ne 0 && "$lifecycle" -ne 3 ]]; then
+    echo "verify: lifecycle smoke exited $lifecycle (expected 0 or 3)" >&2
+    exit 1
+fi
+echo "lifecycle smoke exit: $lifecycle"
+
 # Ledger smoke: the checkpoint/resume contract, end to end on the real
 # binary. Run two experiments with a fresh ledger but "interrupt" after
 # the first (by only asking for it), resume the same ledger for both, and

@@ -12,7 +12,7 @@
 //! * [`metrics`] — PUF quality metrics and randomness tests.
 //! * [`faults`] — deterministic fault injection (see
 //!   `docs/ROBUSTNESS.md`).
-//! * [`sim`] — the EXP-1..EXP-15 paper experiments.
+//! * [`sim`] — the EXP-1..EXP-17 paper experiments.
 //! * [`ledger`] — the crash-safe run journal behind `repro --ledger` /
 //!   `--resume` and the `repro report` analyses (see
 //!   `docs/OBSERVABILITY.md`).

@@ -82,6 +82,70 @@ fn a_different_seed_changes_the_fingerprint_and_forces_a_rerun() {
 }
 
 #[test]
+fn an_erasure_only_plan_fingerprints_apart_from_off_and_forces_a_rerun() {
+    use std::sync::Arc;
+
+    use aro_puf_repro::faults::{FaultInjector, FaultPlan};
+    use aro_puf_repro::sim::faultctx;
+
+    let path = temp_ledger("erasure");
+    let cfg = SimConfig::quick();
+    let opts = HarnessOptions::default();
+    let plan_at = |rate: f64| FaultPlan {
+        helper_erasure_rate: rate,
+        ..FaultPlan::off()
+    };
+
+    // Seed the ledger with a fault-free record, then run the same
+    // experiment under a helper-erasure-only plan: NVM erosion alone is a
+    // live fault model, so the cached record must NOT be replayed.
+    {
+        let mut ledger = Ledger::create(&path).unwrap();
+        let _ = run_experiments_ledgered(&cfg, &["exp1"], &opts, Some(&mut ledger));
+    }
+    let eroded = {
+        let inj = Arc::new(FaultInjector::new(plan_at(0.002), cfg.seed));
+        let mut reopened = Ledger::open(&path).unwrap();
+        let outcome = faultctx::scoped(Some(inj), || {
+            run_experiments_ledgered(&cfg, &["exp1"], &opts, Some(&mut reopened))
+        });
+        assert!(
+            !outcome.successes[0].report.is_replayed(),
+            "helper erosion alone must invalidate the fault-free record"
+        );
+        let records = reopened.records().to_vec();
+        drop(reopened);
+        records
+    };
+    assert_eq!(eroded.len(), 2);
+    assert_ne!(eroded[0].fingerprint, eroded[1].fingerprint);
+
+    // Same plan again: replay. Different erasure rate: re-run.
+    {
+        let inj = Arc::new(FaultInjector::new(plan_at(0.002), cfg.seed));
+        let mut reopened = Ledger::open(&path).unwrap();
+        let outcome = faultctx::scoped(Some(inj), || {
+            run_experiments_ledgered(&cfg, &["exp1"], &opts, Some(&mut reopened))
+        });
+        assert!(outcome.successes[0].report.is_replayed());
+        drop(reopened);
+    }
+    {
+        let inj = Arc::new(FaultInjector::new(plan_at(0.004), cfg.seed));
+        let mut reopened = Ledger::open(&path).unwrap();
+        let outcome = faultctx::scoped(Some(inj), || {
+            run_experiments_ledgered(&cfg, &["exp1"], &opts, Some(&mut reopened))
+        });
+        assert!(
+            !outcome.successes[0].report.is_replayed(),
+            "an erasure-rate change must force a re-run, not a replay"
+        );
+        drop(reopened);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn a_crash_truncated_trailing_line_does_not_poison_resume() {
     let path = temp_ledger("truncated");
     let cfg = SimConfig::quick();
