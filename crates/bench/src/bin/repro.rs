@@ -163,6 +163,10 @@ fn usage() -> String {
          \x20 report profile PATH [--top K]     span-tree telemetry profile\n\
          \x20 report diff OLD NEW [--threshold F]  wall-time/metric deltas\n\
          \x20 report trajectory DIR             BENCH_*.json time series\n\
+         \x20 report health PATH...             deterministic fleet-health\n\
+         \x20                                   tables (BER / decode-margin /\n\
+         \x20                                   HD percentiles, cache rates)\n\
+         \x20 report trace PATH                 Chrome-trace JSON export\n\
          \n\
          exit codes:\n\
          \x20 0  every requested experiment completed\n\
@@ -373,9 +377,15 @@ fn ledger_header(cfg: &SimConfig, quick: bool, fault_spec: Option<&str>) -> Stri
     )
 }
 
-/// The `BENCH_*.json` perf-trajectory dump: schema tag, configuration, and
-/// per-experiment wall times in nanoseconds.
-fn bench_json(cfg: &SimConfig, quick: bool, wall: &[(String, u128)]) -> String {
+/// The `BENCH_*.json` perf-trajectory dump: schema tag, configuration,
+/// per-experiment wall times in nanoseconds, and derived cache hit rates
+/// (consumers tolerate unknown keys, so `derived` is schema-compatible).
+fn bench_json(
+    cfg: &SimConfig,
+    quick: bool,
+    wall: &[(String, u128)],
+    registry: &aro_obs::Registry,
+) -> String {
     let mut out = String::from("{\n  \"schema\": \"aro-bench-v1\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"chips\": {}, \"ros\": {}, \"seed\": {}, \"quick\": {}}},\n",
@@ -390,7 +400,34 @@ fn bench_json(cfg: &SimConfig, quick: bool, wall: &[(String, u128)]) -> String {
         ));
     }
     let total: u128 = wall.iter().map(|(_, ns)| ns).sum();
-    out.push_str(&format!("  ],\n  \"total_wall_ns\": {total}\n}}\n"));
+    out.push_str(&format!("  ],\n  \"total_wall_ns\": {total}"));
+    let rates: Vec<(&str, String)> = [
+        ("popcache_hit_rate", "sim.popcache_hits", "sim.popcache_misses"),
+        (
+            "popcache_timeline_hit_rate",
+            "sim.popcache_timeline_hits",
+            "sim.popcache_timeline_misses",
+        ),
+        ("provision_hit_rate", "sim.provision_hits", "sim.provision_misses"),
+    ]
+    .into_iter()
+    .filter_map(|(key, hits_name, misses_name)| {
+        let hits = registry.counter(hits_name);
+        let misses = registry.counter(misses_name);
+        #[allow(clippy::cast_precision_loss)]
+        ((hits + misses) > 0)
+            .then(|| (key, format!("{:.4}", hits as f64 / (hits + misses) as f64)))
+    })
+    .collect();
+    if !rates.is_empty() {
+        out.push_str(",\n  \"derived\": {");
+        for (i, (key, rate)) in rates.iter().enumerate() {
+            let comma = if i + 1 == rates.len() { "" } else { "," };
+            out.push_str(&format!("\n    \"{key}\": {rate}{comma}"));
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -546,7 +583,8 @@ fn run(opts: &Options) -> Result<i32, CliError> {
     }
 
     if let Some(path) = &opts.bench_json {
-        let json = bench_json(&opts.cfg, opts.quick, &wall);
+        // Scratch is still populated: the flush above copies, not drains.
+        let json = bench_json(&opts.cfg, opts.quick, &wall, &aro_obs::snapshot());
         std::fs::write(path, json).map_err(CliError::io("write bench json", path))?;
     }
     Ok(if outcome.is_total_failure() {

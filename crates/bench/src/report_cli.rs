@@ -6,17 +6,26 @@
 //! repro report profile run.jsonl [--top K]
 //! repro report diff OLD NEW [--threshold F]
 //! repro report trajectory DIR
+//! repro report health PATH...
+//! repro report trace run.jsonl
 //! ```
 //!
 //! `diff` is the regression gate: it exits 5 when any experiment's wall
 //! time regressed past the threshold (default +20 %), which is what
 //! `scripts/bench_check.sh` keys on. Either side may be a bench JSON or a
 //! ledger; ledger sides additionally contribute per-experiment metric
-//! drift to the output.
+//! drift to the output, and health drift when both carry summaries
+//! (degradations warn on stderr — the exit code stays wall-time-driven).
+//!
+//! `health` folds telemetry captures and/or ledgers into the fleet-health
+//! tables (streaming percentiles, per-experiment summaries, cache hit
+//! rates); the output is deterministic at any `--threads N`. `trace`
+//! exports a capture's spans and fault events as Chrome-trace JSON for
+//! `chrome://tracing` / Perfetto.
 
 use std::path::{Path, PathBuf};
 
-use aro_ledger::{diff, profile, trajectory};
+use aro_ledger::{diff, health, profile, trace, trajectory};
 
 /// Exit code `repro report diff` uses for "regression past threshold".
 pub const EXIT_REGRESSION: i32 = 5;
@@ -37,6 +46,14 @@ fn usage() -> String {
      \x20                               (default F = 0.2)\n\
      \x20 trajectory DIR                fold the BENCH_*.json captures in\n\
      \x20                               DIR into a perf time-series table\n\
+     \x20 health PATH...                deterministic fleet-health tables\n\
+     \x20                               (BER / decode-margin / HD\n\
+     \x20                               percentiles, cache hit rates) from\n\
+     \x20                               telemetry captures and/or ledgers;\n\
+     \x20                               byte-identical at any --threads N\n\
+     \x20 trace PATH                    export a telemetry capture's spans\n\
+     \x20                               and fault events as Chrome-trace\n\
+     \x20                               JSON (chrome://tracing, Perfetto)\n\
      \n\
      exit codes:\n\
      \x20 0  analysis completed (no regression, for diff)\n\
@@ -71,6 +88,8 @@ pub fn run(args: &[String]) -> i32 {
         "profile" => run_profile(&args[1..]),
         "diff" => run_diff(&args[1..]),
         "trajectory" => run_trajectory(&args[1..]),
+        "health" => run_health(&args[1..]),
+        "trace" => run_trace(&args[1..]),
         "--help" | "-h" => {
             emit(usage());
             0
@@ -146,6 +165,11 @@ fn run_diff(args: &[String]) -> i32 {
     match diff::diff_files(old, new, threshold) {
         Ok(report) => {
             emit(report.to_markdown());
+            // Health degradations are advisory: warn loudly, exit cleanly.
+            // A noisy BER percentile must never fail CI on its own.
+            for delta in report.health_degradations() {
+                eprintln!("repro report: health DEGRADED — {}", delta.describe());
+            }
             if report.has_regression() {
                 eprintln!(
                     "repro report: wall-time regression past +{:.0} % in: {}",
@@ -156,6 +180,42 @@ fn run_diff(args: &[String]) -> i32 {
             } else {
                 0
             }
+        }
+        Err(e) => {
+            eprintln!("repro report: {e}");
+            1
+        }
+    }
+}
+
+fn run_health(args: &[String]) -> i32 {
+    if args.is_empty() || args.iter().any(|a| a.starts_with('-')) {
+        return fail_usage("health expects one or more telemetry/ledger paths");
+    }
+    let paths: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
+    match health::health_files(&paths) {
+        Ok(report) => {
+            emit(report.to_markdown());
+            0
+        }
+        Err(e) => {
+            eprintln!("repro report: {e}");
+            1
+        }
+    }
+}
+
+fn run_trace(args: &[String]) -> i32 {
+    let [path] = args else {
+        return fail_usage("trace expects exactly one telemetry JSONL path");
+    };
+    if path.starts_with('-') {
+        return fail_usage(&format!("unexpected argument `{path}`"));
+    }
+    match trace::trace_file(Path::new(path)) {
+        Ok(trace) => {
+            emit(trace.to_chrome_json());
+            0
         }
         Err(e) => {
             eprintln!("repro report: {e}");

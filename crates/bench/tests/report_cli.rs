@@ -1,0 +1,177 @@
+//! End-to-end tests for `repro report health` and `repro report trace`:
+//! the fleet-health table must be byte-identical at any `--threads N`
+//! and across reruns, and the trace export must be valid Chrome-trace
+//! JSON.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use aro_obs::json::{self, Value};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+/// A per-test scratch directory. File *basenames* inside it are fixed so
+/// the health report label (built from basenames) is identical across
+/// thread counts.
+fn scratch_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("repro_report_cli_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("create scratch dir");
+    p
+}
+
+/// Runs `--quick exp2` with a telemetry capture and a ledger under the
+/// given thread count, then returns `report health` stdout bytes.
+fn health_output(dir: &std::path::Path, threads: &str) -> Vec<u8> {
+    let telemetry = dir.join("t.jsonl");
+    let ledger = dir.join("l.jsonl");
+    let run = repro(&[
+        "--quick",
+        "exp2",
+        "--threads",
+        threads,
+        "--telemetry",
+        telemetry.to_str().unwrap(),
+        "--ledger",
+        ledger.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(
+        run.status.code(),
+        Some(0),
+        "run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let report = repro(&[
+        "report",
+        "health",
+        telemetry.to_str().unwrap(),
+        ledger.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        report.status.code(),
+        Some(0),
+        "report health failed: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    report.stdout
+}
+
+#[test]
+fn report_health_is_byte_identical_across_thread_counts_and_reruns() {
+    let dir1 = scratch_dir("threads1");
+    let dir2 = scratch_dir("threads2");
+    let dir8 = scratch_dir("threads8");
+    let at1 = health_output(&dir1, "1");
+    let at2 = health_output(&dir2, "2");
+    let at8 = health_output(&dir8, "8");
+
+    let text = String::from_utf8_lossy(&at1);
+    assert!(
+        text.contains("Fleet health — streaming percentiles"),
+        "expected the fleet table:\n{text}"
+    );
+    assert!(
+        text.contains("Per-experiment health"),
+        "ledger records must contribute per-experiment stats:\n{text}"
+    );
+    assert!(text.contains("puf.ber"), "exp2 must feed the BER sketch:\n{text}");
+
+    assert_eq!(at1, at2, "--threads 1 vs 2 must render identical health");
+    assert_eq!(at2, at8, "--threads 2 vs 8 must render identical health");
+
+    // Rerun over the same capture: same bytes again.
+    let telemetry = dir1.join("t.jsonl");
+    let ledger = dir1.join("l.jsonl");
+    let again = repro(&[
+        "report",
+        "health",
+        telemetry.to_str().unwrap(),
+        ledger.to_str().unwrap(),
+    ]);
+    assert_eq!(again.status.code(), Some(0));
+    assert_eq!(again.stdout, at1, "a rerun must render identical health");
+
+    for dir in [dir1, dir2, dir8] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn report_trace_exports_valid_chrome_trace_json() {
+    let dir = scratch_dir("trace");
+    let telemetry = dir.join("t.jsonl");
+    let run = repro(&[
+        "--quick",
+        "exp1",
+        "--telemetry",
+        telemetry.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(
+        run.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let out = repro(&["report", "trace", telemetry.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "report trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let doc = json::parse(text.trim()).expect("trace output must be valid JSON");
+    let Some(Value::Array(events)) = doc.get("traceEvents") else {
+        panic!("missing traceEvents array in:\n{text}");
+    };
+    assert!(!events.is_empty(), "a quick run must produce span events");
+    for event in events {
+        let ph = event.get("ph").and_then(Value::as_str).expect("event phase");
+        assert!(matches!(ph, "X" | "i"), "unexpected phase {ph}");
+        assert!(event.get("name").and_then(Value::as_str).is_some());
+        assert!(event.get("ts").and_then(Value::as_f64).is_some());
+        if ph == "X" {
+            assert!(event.get("dur").and_then(Value::as_f64).is_some());
+        }
+    }
+    // The run span itself must be among the complete events.
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").and_then(Value::as_str) == Some("run")
+                && e.get("ph").and_then(Value::as_str) == Some("X")
+        }),
+        "expected the top-level run span in:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn report_health_and_trace_reject_bad_inputs() {
+    let dir = scratch_dir("bad_inputs");
+    let empty = dir.join("empty.jsonl");
+    std::fs::write(&empty, "not json\n").unwrap();
+
+    let out = repro(&["report", "health", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no sketch/counter events"), "{err}");
+
+    let out = repro(&["report", "trace", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no span or fault events"), "{err}");
+
+    let out = repro(&["report", "health"]);
+    assert_eq!(out.status.code(), Some(2), "missing paths is a usage error");
+    let out = repro(&["report", "trace", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2), "trace takes exactly one path");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -425,7 +425,14 @@ impl RingOscillator {
                 chip,
                 self.wear_epoch,
             );
-            return kernel.frequency();
+            let freq = kernel.frequency();
+            // Sketch points come from rebuilds only (distinct physical
+            // states, unweighted by cache re-reads), thinned through the
+            // deterministic 1-in-16 gate — see `obs_sampled`.
+            if self.obs_sampled() {
+                aro_obs::sketch("circuit.ring_freq_ghz", freq * 1e-9);
+            }
+            return freq;
         }
         let kernel = Box::new(FreqKernel::build(
             self.style,
@@ -440,7 +447,36 @@ impl RingOscillator {
         ));
         let freq = kernel.frequency();
         *slot = Some(kernel);
+        if self.obs_sampled() {
+            aro_obs::sketch("circuit.ring_freq_ghz", freq * 1e-9);
+        }
         freq
+    }
+
+    /// Keep-1-in-16 gate for the per-state observability streams
+    /// (`circuit.ring_freq_ghz`, `device.bti_dvth_mv`).
+    ///
+    /// Every kernel rebuild and every stress batch is a distinct physical
+    /// state — millions per instrumented quick run, ~100× more resolution
+    /// than fleet percentiles need, and observing them all measured as
+    /// +12 % of total wall (docs/PERFORMANCE.md, "Observability cost").
+    /// The gate hashes (wear epoch, die position), so the kept subsequence
+    /// is a pure function of deterministic ring state — byte-identical at
+    /// any `--threads N` — and different rings keep *different*
+    /// checkpoints. (A plain per-ring stride counter would alias with the
+    /// periodic checkpoint schedule: every ring would keep the same early
+    /// ages and the fleet drift sketch would under-represent late life.)
+    fn obs_sampled(&self) -> bool {
+        if !aro_obs::enabled() {
+            return false;
+        }
+        let mut z = self.wear_epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.position.x.to_bits().rotate_left(17)
+            ^ self.position.y.to_bits().rotate_left(43);
+        z ^= z >> 31;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 29;
+        z & 0xF == 0
     }
 
     /// Ages the ring through `duration_s` seconds of *idle* time at die
@@ -504,6 +540,7 @@ impl RingOscillator {
         }
         if bti_applies > 0 {
             aro_obs::counter("device.bti_applies", bti_applies);
+            self.sketch_bti_drift();
         }
     }
 
@@ -562,10 +599,29 @@ impl RingOscillator {
         }
         if bti_applies > 0 {
             aro_obs::counter("device.bti_applies", bti_applies);
+            self.sketch_bti_drift();
         }
         if hci_applies > 0 {
             aro_obs::counter("device.hci_applies", hci_applies);
         }
+    }
+
+    /// Streams this ring's mean accumulated BTI threshold shift (mV,
+    /// across all devices) into the drift-vs-age sketch — one point per
+    /// *sampled* stress interval (see `obs_sampled`), so the sketch traces
+    /// how hard the fleet has aged without paying the per-device sum on
+    /// every batch.
+    fn sketch_bti_drift(&self) {
+        if !self.obs_sampled() {
+            return;
+        }
+        let mut dvth_sum = 0.0;
+        for stage in &self.stages {
+            dvth_sum += stage.pmos().aging().dvth_bti() + stage.nmos().aging().dvth_bti();
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let n_devices = (2 * self.stages.len()) as f64;
+        aro_obs::sketch("device.bti_dvth_mv", dvth_sum / n_devices * 1e3);
     }
 
     /// Clears all accumulated wear (keeps fabrication randomness).

@@ -173,6 +173,10 @@ impl BchCode {
             return None;
         }
         aro_obs::counter("ecc.bch_bits_corrected", n_corrected);
+        // Decode margin: correction headroom left in this block. A p1
+        // sliding toward 0 is the early warning that the key is dying.
+        #[allow(clippy::cast_precision_loss)]
+        aro_obs::sketch("ecc.decode_margin", self.t as f64 - n_corrected as f64);
         Some(corrected)
     }
 }
@@ -224,11 +228,17 @@ impl Code for BchCode {
         aro_obs::counter("ecc.bch_decode_attempts", 1);
         let syndromes = self.syndromes(received);
         if syndromes.iter().all(|&s| s == 0) {
+            // Clean block: full correction headroom unused.
+            #[allow(clippy::cast_precision_loss)]
+            aro_obs::sketch("ecc.decode_margin", self.t as f64);
             return Some(received.clone());
         }
         let corrected = self.correct_errors(received, &syndromes);
         if corrected.is_none() {
             aro_obs::counter("ecc.bch_decode_failures", 1);
+            // A failed block exhausted more than its whole headroom;
+            // record it as negative margin so health percentiles see it.
+            aro_obs::sketch("ecc.decode_margin", -1.0);
         }
         corrected
     }

@@ -171,6 +171,18 @@ impl SoftConcatDecoder {
             return None;
         }
         let r = self.code.inner().r();
+        if aro_obs::enabled() {
+            // Weakest inner vote of this codeword: |Σ signed weights| of
+            // the most contested repetition group. Trends toward 0 as
+            // aging erodes confidence, before any outer-decode failure.
+            let min_margin = received
+                .chunks(r)
+                .map(|g| g.iter().map(SoftBit::signed).sum::<f64>().abs())
+                .fold(f64::INFINITY, f64::min);
+            if min_margin.is_finite() {
+                aro_obs::sketch("ecc.soft_vote_margin", min_margin);
+            }
+        }
         let outer_received: BitString = received.chunks(r).map(soft_majority).collect();
         let outer_corrected = self.code.outer().decode(&outer_received)?;
         Some(

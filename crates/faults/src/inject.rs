@@ -118,11 +118,13 @@ impl FaultInjector {
             .count() as u64;
         if n_dead > 0 {
             aro_obs::counter("faults.dead_ros", n_dead);
+            aro_obs::sketch("faults.fire_size", n_dead as f64);
             aro_obs::fault_event("dead_ro", chip_id, n_dead, &[]);
         }
         let n_stuck = faults.len() as u64 - n_dead;
         if n_stuck > 0 {
             aro_obs::counter("faults.stuck_ros", n_stuck);
+            aro_obs::sketch("faults.fire_size", n_stuck as f64);
             aro_obs::fault_event("stuck_ro", chip_id, n_stuck, &[]);
         }
         faults
@@ -144,6 +146,7 @@ impl FaultInjector {
         let d_temp = self.plan.temp_spike_c * rng.gen_range(0.0..1.0);
         let d_vdd = -self.plan.vdd_droop_v * rng.gen_range(0.0..1.0);
         aro_obs::counter("faults.env_excursions", 1);
+        aro_obs::sketch("faults.fire_size", 1.0);
         aro_obs::fault_event(
             "env_excursion",
             chip_id,
@@ -169,6 +172,7 @@ impl FaultInjector {
         let u: f64 = rng.gen_range(0.0..1.0);
         let factor = 1.0 + (self.plan.noise_burst_factor - 1.0) * u.max(f64::EPSILON);
         aro_obs::counter("faults.noise_bursts", 1);
+        aro_obs::sketch("faults.fire_size", 1.0);
         aro_obs::fault_event("noise_burst", chip_id, 1, &[("factor", factor)]);
         Some(factor)
     }
@@ -188,6 +192,7 @@ impl FaultInjector {
             .collect();
         if !flips.is_empty() {
             aro_obs::counter("faults.response_glitches", flips.len() as u64);
+            aro_obs::sketch("faults.fire_size", flips.len() as f64);
             aro_obs::fault_event("counter_glitch", chip_id, flips.len() as u64, &[]);
         }
         flips
@@ -213,6 +218,7 @@ impl FaultInjector {
         }
         if !erased.is_empty() {
             aro_obs::counter("faults.helper_erasures", erased.len() as u64);
+            aro_obs::sketch("faults.fire_size", erased.len() as f64);
             aro_obs::fault_event("helper_erasure", chip_id, erased.len() as u64, &[]);
         }
         erased
@@ -257,6 +263,7 @@ impl FaultInjector {
         }
         if !erased.is_empty() {
             aro_obs::counter("faults.helper_erasures", erased.len() as u64);
+            aro_obs::sketch("faults.fire_size", erased.len() as f64);
             aro_obs::fault_event(
                 "helper_erasure",
                 chip_id,

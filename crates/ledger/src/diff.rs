@@ -11,13 +11,14 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use crate::bench::parse_bench;
+use crate::health::{fmt_stat, HealthStat};
 use crate::journal::parse_records;
 use crate::md::{ms, pct_delta, MdTable};
 use crate::record::RecordStatus;
 
 /// One side of a diff: per-experiment wall times (order preserved) and,
 /// for ledgers, per-experiment metric aggregates.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WallSet {
     /// Display label (the file name).
     pub label: String,
@@ -25,6 +26,8 @@ pub struct WallSet {
     pub experiments: Vec<(String, u64)>,
     /// Per-experiment counter aggregates (ledger sources only).
     pub metrics: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Per-experiment health summaries (ledger sources with health only).
+    pub health: BTreeMap<String, BTreeMap<String, HealthStat>>,
 }
 
 impl WallSet {
@@ -59,7 +62,7 @@ pub fn load_wall_set(path: &Path) -> Result<WallSet, String> {
         return Ok(WallSet {
             label,
             experiments: bench.experiments,
-            metrics: BTreeMap::new(),
+            ..WallSet::default()
         });
     }
     let (records, _skipped) = parse_records(&text);
@@ -89,6 +92,9 @@ pub fn load_wall_set(path: &Path) -> Result<WallSet, String> {
             set.experiments.push((record.id.clone(), record.wall_ns));
         }
         set.metrics.insert(record.id.clone(), record.metrics);
+        if !record.health.is_empty() {
+            set.health.insert(record.id.clone(), record.health);
+        }
     }
     Ok(set)
 }
@@ -146,6 +152,93 @@ pub struct MetricDelta {
     pub new: u64,
 }
 
+/// Which way a health metric can go wrong, keyed by name prefix.
+///
+/// Margins (decode margin, soft-vote margin, refresh continuity,
+/// inter-chip HD) fail by *collapsing*: the alarm watches p1 falling.
+/// Error rates (BER, intra-chip HD, fault tallies) fail by *creeping
+/// up*: the alarm watches p99 rising. Unknown metrics get no verdict —
+/// their drift is reported but never flagged.
+fn watched_percentile(name: &str) -> Option<WatchKind> {
+    const MARGINS: [&str; 4] = [
+        "ecc.decode_margin",
+        "ecc.soft_vote_margin",
+        "ecc.refresh",
+        "quality.interchip",
+    ];
+    const RATES: [&str; 3] = ["puf.ber", "quality.intrachip", "faults."];
+    if MARGINS.iter().any(|p| name.starts_with(p)) {
+        Some(WatchKind::P1Collapse)
+    } else if RATES.iter().any(|p| name.starts_with(p)) {
+        Some(WatchKind::P99Creep)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WatchKind {
+    P1Collapse,
+    P99Creep,
+}
+
+/// Relative change of the watched percentile that flags a degradation.
+const HEALTH_THRESHOLD: f64 = 0.10;
+/// Absolute floor so a metric appearing from exactly zero still flags.
+const HEALTH_FLOOR: f64 = 1e-9;
+
+/// One per-experiment health summary that drifted between two ledgers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthDelta {
+    /// Experiment id.
+    pub id: String,
+    /// Sketch name (`puf.ber`, `ecc.decode_margin`, …).
+    pub name: String,
+    /// Old summary.
+    pub old: HealthStat,
+    /// New summary.
+    pub new: HealthStat,
+    /// Whether the watched percentile moved the wrong way past the
+    /// health threshold. Always advisory — never trips the exit gate.
+    pub degraded: bool,
+}
+
+impl HealthDelta {
+    /// Human-readable description of what degraded (for the advisory).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match watched_percentile(&self.name) {
+            Some(WatchKind::P1Collapse) => format!(
+                "{}: {} p1 {} -> {}",
+                self.id,
+                self.name,
+                fmt_stat(self.old.p01),
+                fmt_stat(self.new.p01)
+            ),
+            Some(WatchKind::P99Creep) => format!(
+                "{}: {} p99 {} -> {}",
+                self.id,
+                self.name,
+                fmt_stat(self.old.p99),
+                fmt_stat(self.new.p99)
+            ),
+            None => format!("{}: {} drifted", self.id, self.name),
+        }
+    }
+}
+
+fn health_degraded(name: &str, old: &HealthStat, new: &HealthStat) -> bool {
+    match watched_percentile(name) {
+        Some(WatchKind::P1Collapse) => {
+            new.p01 < old.p01 - (old.p01.abs() * HEALTH_THRESHOLD).max(HEALTH_FLOOR)
+        }
+        Some(WatchKind::P99Creep) => {
+            new.p99 > old.p99 + (old.p99.abs() * HEALTH_THRESHOLD).max(HEALTH_FLOOR)
+        }
+        None => false,
+    }
+}
+
 /// The full diff of two runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffReport {
@@ -159,6 +252,8 @@ pub struct DiffReport {
     pub rows: Vec<DiffRow>,
     /// Counters whose aggregates drifted (both sides ledgers only).
     pub metric_deltas: Vec<MetricDelta>,
+    /// Health summaries that drifted (both sides ledgers with health).
+    pub health_deltas: Vec<HealthDelta>,
 }
 
 impl DiffReport {
@@ -179,6 +274,14 @@ impl DiffReport {
             .filter(|row| row.verdict == Verdict::Regressed)
             .map(|row| row.id.as_str())
             .collect()
+    }
+
+    /// Health summaries whose watched percentile moved the wrong way —
+    /// **advisory only**: the diff exit code stays wall-time-driven, so
+    /// a noisy BER percentile can never fail CI, only warn.
+    #[must_use]
+    pub fn health_degradations(&self) -> Vec<&HealthDelta> {
+        self.health_deltas.iter().filter(|d| d.degraded).collect()
     }
 
     /// Renders the machine-readable delta table(s) as markdown.
@@ -236,6 +339,25 @@ impl DiffReport {
                     delta.name.clone(),
                     delta.old.to_string(),
                     delta.new.to_string(),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&drift.to_markdown());
+        }
+        if !self.health_deltas.is_empty() {
+            let mut drift = MdTable::new(
+                "Health drift — streaming-summary percentiles that changed",
+                &["experiment", "metric", "old p1", "new p1", "old p99", "new p99", "verdict"],
+            );
+            for delta in &self.health_deltas {
+                drift.push_row(vec![
+                    delta.id.clone(),
+                    delta.name.clone(),
+                    fmt_stat(delta.old.p01),
+                    fmt_stat(delta.new.p01),
+                    fmt_stat(delta.old.p99),
+                    fmt_stat(delta.new.p99),
+                    if delta.degraded { "DEGRADED" } else { "ok" }.to_string(),
                 ]);
             }
             out.push('\n');
@@ -305,12 +427,33 @@ pub fn diff(old: &WallSet, new: &WallSet, threshold: f64) -> DiffReport {
             }
         }
     }
+    let mut health_deltas = Vec::new();
+    for (id, old_health) in &old.health {
+        let Some(new_health) = new.health.get(id) else {
+            continue;
+        };
+        for (name, old_stat) in old_health {
+            let Some(new_stat) = new_health.get(name) else {
+                continue; // sketch vanished: nothing comparable
+            };
+            if old_stat != new_stat {
+                health_deltas.push(HealthDelta {
+                    id: id.clone(),
+                    name: name.clone(),
+                    old: *old_stat,
+                    new: *new_stat,
+                    degraded: health_degraded(name, old_stat, new_stat),
+                });
+            }
+        }
+    }
     DiffReport {
         old_label: old.label.clone(),
         new_label: new.label.clone(),
         threshold,
         rows,
         metric_deltas,
+        health_deltas,
     }
 }
 
@@ -333,7 +476,17 @@ mod tests {
                 .iter()
                 .map(|(id, ns)| ((*id).to_string(), *ns))
                 .collect(),
-            metrics: BTreeMap::new(),
+            ..WallSet::default()
+        }
+    }
+
+    fn stat(p01: f64, p50: f64, p99: f64) -> HealthStat {
+        HealthStat {
+            count: 100,
+            mean: p50,
+            p01,
+            p50,
+            p99,
         }
     }
 
@@ -384,6 +537,80 @@ mod tests {
         assert_eq!(report.metric_deltas.len(), 2);
         assert!(report.to_markdown().contains("Metric drift"));
         assert!(!report.has_regression(), "metric drift is not a wall regression");
+    }
+
+    #[test]
+    fn decode_margin_p1_collapse_flags_but_never_trips_the_gate() {
+        let mut old = set("old", &[("exp1", 1000)]);
+        let mut new = set("new", &[("exp1", 1000)]);
+        old.health.insert(
+            "exp1".to_string(),
+            BTreeMap::from([
+                ("ecc.decode_margin".to_string(), stat(3.0, 4.0, 5.0)),
+                ("puf.ber".to_string(), stat(0.0, 0.01, 0.02)),
+            ]),
+        );
+        new.health.insert(
+            "exp1".to_string(),
+            BTreeMap::from([
+                // p1 collapses 3 -> 1: well past the 10 % band.
+                ("ecc.decode_margin".to_string(), stat(1.0, 4.0, 5.0)),
+                // p99 creeps 0.02 -> 0.021: +5 %, inside the band.
+                ("puf.ber".to_string(), stat(0.0, 0.01, 0.021)),
+            ]),
+        );
+        let report = diff(&old, &new, 0.2);
+        assert_eq!(report.health_deltas.len(), 2);
+        let degraded = report.health_degradations();
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].name, "ecc.decode_margin");
+        assert!(degraded[0].describe().contains("p1 3.000000 -> 1.000000"));
+        assert!(
+            !report.has_regression(),
+            "health degradation is advisory, never an exit-5 regression"
+        );
+        let md = report.to_markdown();
+        assert!(md.contains("Health drift"));
+        assert!(md.contains("DEGRADED"));
+    }
+
+    #[test]
+    fn error_rate_creep_watches_p99_upward() {
+        let mut old = set("old", &[("exp1", 1000)]);
+        let mut new = set("new", &[("exp1", 1000)]);
+        old.health.insert(
+            "exp1".to_string(),
+            BTreeMap::from([("quality.intrachip_hd".to_string(), stat(0.0, 0.0, 0.0))]),
+        );
+        new.health.insert(
+            "exp1".to_string(),
+            BTreeMap::from([("quality.intrachip_hd".to_string(), stat(0.0, 0.0, 0.05))]),
+        );
+        let report = diff(&old, &new, 0.2);
+        let degraded = report.health_degradations();
+        assert_eq!(degraded.len(), 1, "rate appearing from zero must flag");
+        assert!(degraded[0].describe().contains("p99"));
+        // The same move in the good direction is drift, not degradation.
+        let back = diff(&new, &old, 0.2);
+        assert_eq!(back.health_deltas.len(), 1);
+        assert!(back.health_degradations().is_empty());
+    }
+
+    #[test]
+    fn unknown_metrics_drift_without_a_verdict() {
+        let mut old = set("old", &[("exp1", 1000)]);
+        let mut new = set("new", &[("exp1", 1000)]);
+        old.health.insert(
+            "exp1".to_string(),
+            BTreeMap::from([("circuit.ring_freq_ghz".to_string(), stat(0.09, 0.1, 0.11))]),
+        );
+        new.health.insert(
+            "exp1".to_string(),
+            BTreeMap::from([("circuit.ring_freq_ghz".to_string(), stat(0.01, 0.1, 0.11))]),
+        );
+        let report = diff(&old, &new, 0.2);
+        assert_eq!(report.health_deltas.len(), 1);
+        assert!(report.health_degradations().is_empty());
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! `repro report health` — the deterministic fleet-health table: BER,
+//! decode-margin and Hamming-distance percentiles, drift-vs-age, and
+//! cache hit rates, rendered from a telemetry capture or a run ledger.
+//!
+//! **Determinism contract.** The parser consumes only order-independent
+//! inputs: the final metrics flush (`counter` / `sketch` events, merged in
+//! worker-index order by `aro-obs`) and ledger experiment records. It
+//! never reads span events, thread ids, or wall-clock timestamps — those
+//! belong to `repro report profile` / `trace`. Rendering walks `BTreeMap`s
+//! with fixed formatting, so the output is byte-identical across
+//! `--threads N` and across reruns (enforced by a CLI test).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use aro_obs::json::{self, Value};
+use aro_obs::Sketch;
+
+use crate::md::MdTable;
+use crate::record::LedgerRecord;
+
+/// A compact per-experiment summary of one sketch: the five numbers
+/// `report diff` needs to flag a health regression. Stored in ledger
+/// records (see [`LedgerRecord::health`]) so a ledger alone — no
+/// telemetry capture — carries the health history of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthStat {
+    /// Observations in the window.
+    pub count: u64,
+    /// Exact fixed-point mean.
+    pub mean: f64,
+    /// 1st percentile (nearest rank) — the early-warning edge for
+    /// lower-is-death metrics like `ecc.decode_margin`.
+    pub p01: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile — the early-warning edge for higher-is-worse
+    /// metrics like `puf.ber`.
+    pub p99: f64,
+}
+
+impl HealthStat {
+    /// Summarizes a sketch.
+    #[must_use]
+    pub fn of(sketch: &Sketch) -> Self {
+        Self {
+            count: sketch.count(),
+            mean: sketch.mean(),
+            p01: sketch.quantile(0.01),
+            p50: sketch.quantile(0.5),
+            p99: sketch.quantile(0.99),
+        }
+    }
+
+    /// Appends the JSON object form (`{"count":…,"mean":…,…}`).
+    pub fn jsonl_into(&self, line: &mut String) {
+        let _ = write!(line, "{{\"count\":{}", self.count);
+        for (key, v) in [("mean", self.mean), ("p01", self.p01), ("p50", self.p50), ("p99", self.p99)]
+        {
+            let _ = write!(line, ",\"{key}\":");
+            json::number_into(line, v);
+        }
+        line.push('}');
+    }
+
+    /// Reads the object form back; `None` when malformed.
+    #[must_use]
+    pub fn from_json(v: &Value) -> Option<Self> {
+        Some(Self {
+            count: v.get("count").and_then(Value::as_u64)?,
+            mean: v.get("mean").and_then(Value::as_f64)?,
+            p01: v.get("p01").and_then(Value::as_f64)?,
+            p50: v.get("p50").and_then(Value::as_f64)?,
+            p99: v.get("p99").and_then(Value::as_f64)?,
+        })
+    }
+}
+
+/// Everything `report health` extracts from one input file. A telemetry
+/// capture populates `sketches` + `counters`; a run ledger populates
+/// `per_experiment` (+ `counters` aggregated across records). A file may
+/// carry both (telemetry and ledger events share the JSONL framing).
+#[derive(Debug, Default)]
+pub struct HealthReport {
+    /// Display label (the file name).
+    pub label: String,
+    /// Fleet-wide sketches from the final metrics flush, by name.
+    pub sketches: BTreeMap<String, Sketch>,
+    /// Counters: the final flush values plus per-record deltas summed.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-experiment health stats from ledger records, first-seen order
+    /// (latest record per id wins, matching resume semantics).
+    pub per_experiment: Vec<(String, BTreeMap<String, HealthStat>)>,
+    /// Lines that were not valid JSON (crash debris).
+    pub skipped_lines: usize,
+}
+
+impl HealthReport {
+    /// Feeds one JSONL line (ignores span/fault/gauge/histogram events).
+    pub fn feed_line(&mut self, line: &str) {
+        if line.trim().is_empty() {
+            return;
+        }
+        let Ok(value) = json::parse(line) else {
+            self.skipped_lines += 1;
+            return;
+        };
+        match value.get("event").and_then(Value::as_str) {
+            Some("sketch") => {
+                if let Some((name, sketch)) = Sketch::from_json(&value) {
+                    // Re-flushed captures concatenate: merge, don't clobber.
+                    if let Some(existing) = self.sketches.get_mut(&name) {
+                        if existing.config() == sketch.config() {
+                            existing.merge(&sketch);
+                        }
+                    } else {
+                        self.sketches.insert(name, sketch);
+                    }
+                }
+            }
+            Some("counter") => {
+                if let (Some(name), Some(v)) = (
+                    value.get("name").and_then(Value::as_str),
+                    value.get("value").and_then(Value::as_u64),
+                ) {
+                    *self.counters.entry(name.to_string()).or_insert(0) += v;
+                }
+            }
+            Some("experiment") => {
+                if let Some(record) = LedgerRecord::from_json(&value) {
+                    for (name, v) in &record.metrics {
+                        *self.counters.entry(name.clone()).or_insert(0) += v;
+                    }
+                    if let Some(slot) = self
+                        .per_experiment
+                        .iter_mut()
+                        .find(|(id, _)| *id == record.id)
+                    {
+                        slot.1 = record.health;
+                    } else {
+                        self.per_experiment.push((record.id, record.health));
+                    }
+                }
+            }
+            _ => {} // spans, faults, gauges, histograms: not health inputs
+        }
+    }
+
+    /// Whether the file carried anything health-shaped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty() && self.counters.is_empty() && self.per_experiment.is_empty()
+    }
+
+    /// Renders the fleet-health tables as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.sketches.is_empty() {
+            let mut fleet = MdTable::new(
+                format!("Fleet health — streaming percentiles ({})", self.label),
+                &["metric", "count", "mean", "stddev", "p1", "p50", "p99", "max"],
+            );
+            for (name, s) in &self.sketches {
+                fleet.push_row(vec![
+                    name.clone(),
+                    s.count().to_string(),
+                    fmt_stat(s.mean()),
+                    fmt_stat(s.stddev()),
+                    fmt_stat(s.quantile(0.01)),
+                    fmt_stat(s.quantile(0.5)),
+                    fmt_stat(s.quantile(0.99)),
+                    fmt_stat(if s.count() == 0 { 0.0 } else { s.max() }),
+                ]);
+            }
+            out.push_str(&fleet.to_markdown());
+        }
+        if !self.per_experiment.is_empty() {
+            let mut per_exp = MdTable::new(
+                format!("Per-experiment health ({})", self.label),
+                &["experiment", "metric", "count", "mean", "p1", "p50", "p99"],
+            );
+            for (id, health) in &self.per_experiment {
+                for (name, stat) in health {
+                    per_exp.push_row(vec![
+                        id.clone(),
+                        name.clone(),
+                        stat.count.to_string(),
+                        fmt_stat(stat.mean),
+                        fmt_stat(stat.p01),
+                        fmt_stat(stat.p50),
+                        fmt_stat(stat.p99),
+                    ]);
+                }
+            }
+            if per_exp.n_rows() > 0 {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(&per_exp.to_markdown());
+            }
+        }
+        if let Some(caches) = self.cache_table() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&caches.to_markdown());
+        }
+        if self.skipped_lines > 0 {
+            let _ = write!(
+                out,
+                "\nskipped {} non-JSON line(s) (crash debris)\n",
+                self.skipped_lines
+            );
+        }
+        out
+    }
+
+    /// The cache-effectiveness table, when any cache counter is present.
+    fn cache_table(&self) -> Option<MdTable> {
+        let caches = [
+            ("population cache", "sim.popcache_hits", "sim.popcache_misses"),
+            (
+                "timeline cache",
+                "sim.popcache_timeline_hits",
+                "sim.popcache_timeline_misses",
+            ),
+            (
+                "provisioning cache",
+                "sim.provision_hits",
+                "sim.provision_misses",
+            ),
+        ];
+        let mut table = MdTable::new(
+            "Cache effectiveness",
+            &["cache", "hits", "misses", "hit rate"],
+        );
+        for (label, hits_key, misses_key) in caches {
+            let hits = self.counters.get(hits_key).copied().unwrap_or(0);
+            let misses = self.counters.get(misses_key).copied().unwrap_or(0);
+            if hits + misses == 0 {
+                continue;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let rate = hits as f64 / (hits + misses) as f64 * 100.0;
+            table.push_row(vec![
+                label.to_string(),
+                hits.to_string(),
+                misses.to_string(),
+                format!("{rate:.1} %"),
+            ]);
+        }
+        (table.n_rows() > 0).then_some(table)
+    }
+}
+
+/// Formats a health statistic deterministically: six decimals in the
+/// human-readable band, scientific notation outside it.
+pub(crate) fn fmt_stat(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() < 1e-4 || v.abs() >= 1e7 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Parses a whole capture/ledger text.
+#[must_use]
+pub fn parse_health(text: &str, label: &str) -> HealthReport {
+    let mut report = HealthReport {
+        label: label.to_string(),
+        ..HealthReport::default()
+    };
+    for line in text.lines() {
+        report.feed_line(line);
+    }
+    report
+}
+
+/// Loads and parses one file.
+///
+/// # Errors
+/// Returns a description when the file is unreadable or carries no
+/// health inputs (no sketches, counters, or experiment records).
+pub fn health_file(path: &Path) -> Result<HealthReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let label = path
+        .file_name()
+        .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+    let report = parse_health(&text, &label);
+    if report.is_empty() {
+        return Err(format!(
+            "{}: no sketch/counter events or experiment records — capture with \
+             `repro --telemetry <file>` or `--ledger <file>`",
+            path.display()
+        ));
+    }
+    Ok(report)
+}
+
+/// Loads several files into one report — e.g. a telemetry capture plus
+/// the run's ledger — folding sketches/counters across all of them. The
+/// label joins the file names with ` + `.
+///
+/// # Errors
+/// Returns a description when any file is unreadable, or when the whole
+/// set carries no health inputs.
+pub fn health_files(paths: &[std::path::PathBuf]) -> Result<HealthReport, String> {
+    assert!(!paths.is_empty(), "health_files needs at least one path");
+    let mut report = HealthReport::default();
+    let mut labels = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        labels.push(path.file_name().map_or_else(
+            || path.display().to_string(),
+            |n| n.to_string_lossy().into_owned(),
+        ));
+        for line in text.lines() {
+            report.feed_line(line);
+        }
+    }
+    report.label = labels.join(" + ");
+    if report.is_empty() {
+        return Err(format!(
+            "{}: no sketch/counter events or experiment records — capture with \
+             `repro --telemetry <file>` or `--ledger <file>`",
+            report.label
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sketch(values: &[f64]) -> Sketch {
+        let mut s = Sketch::default();
+        for &v in values {
+            s.observe(v);
+        }
+        s
+    }
+
+    #[test]
+    fn health_stat_round_trips_through_jsonl() {
+        let stat = HealthStat::of(&sample_sketch(&[0.01, 0.02, 0.04]));
+        let mut line = String::new();
+        stat.jsonl_into(&mut line);
+        let back = HealthStat::from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, stat);
+        assert_eq!(back.count, 3);
+    }
+
+    #[test]
+    fn telemetry_capture_renders_fleet_and_cache_tables() {
+        let sketch = sample_sketch(&[1e-3, 2e-3, 4e-3]);
+        let text = format!(
+            "{}\n{}\n{}\ngarbage-not-json\n",
+            sketch.to_jsonl("puf.ber"),
+            r#"{"event":"counter","name":"sim.popcache_hits","value":9}"#,
+            r#"{"event":"counter","name":"sim.popcache_misses","value":3}"#,
+        );
+        let report = parse_health(&text, "cap.jsonl");
+        assert_eq!(report.skipped_lines, 1);
+        let md = report.to_markdown();
+        assert!(md.contains("Fleet health — streaming percentiles (cap.jsonl)"));
+        assert!(md.contains("puf.ber"));
+        assert!(md.contains("Cache effectiveness"));
+        assert!(md.contains("75.0 %"), "9/(9+3) hit rate:\n{md}");
+        assert!(md.contains("skipped 1 non-JSON line(s)"));
+    }
+
+    #[test]
+    fn span_events_never_influence_health_output() {
+        let sketch = sample_sketch(&[0.5]);
+        let base = format!("{}\n", sketch.to_jsonl("quality.interchip_hd"));
+        let with_spans = format!(
+            "{}{}\n{}\n",
+            base,
+            r#"{"event":"span_open","name":"run","thread":1,"depth":1,"ts_ns":5}"#,
+            r#"{"event":"span_close","name":"run","thread":1,"depth":1,"ts_ns":99,"dur_ns":94}"#,
+        );
+        assert_eq!(
+            parse_health(&base, "x").to_markdown(),
+            parse_health(&with_spans, "x").to_markdown(),
+            "wall-clock events must not perturb the deterministic table"
+        );
+    }
+
+    #[test]
+    fn refused_when_nothing_health_shaped() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("aro-health-empty-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "not json at all\n").unwrap();
+        let err = health_file(&path).unwrap_err();
+        assert!(err.contains("no sketch/counter events"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -19,17 +19,25 @@
 //!   and machine-checked metric drift.
 //! - **Trajectory** ([`trajectory`]): a directory of `BENCH_*.json`
 //!   captures folded into a time-series table.
+//! - **Health** ([`health`]): fleet-health tables from the streaming
+//!   sketches — BER / decode-margin / HD percentiles and cache hit
+//!   rates, deterministic at any `--threads N`.
+//! - **Trace** ([`trace`]): spans and fault events exported as Chrome
+//!   `chrome://tracing` / Perfetto JSON.
 //!
 //! Schemas and examples live in `docs/OBSERVABILITY.md` ("Run ledger &
 //! resume" and "Analysis (`repro report`)").
 
 pub mod bench;
 pub mod diff;
+pub mod health;
 pub mod journal;
 pub mod md;
 pub mod profile;
 pub mod record;
+pub mod trace;
 pub mod trajectory;
 
+pub use health::HealthStat;
 pub use journal::Ledger;
 pub use record::{LedgerRecord, RecordStatus};

@@ -5,6 +5,8 @@ use std::fmt::Write as _;
 
 use aro_obs::json::{self, Value};
 
+use crate::health::HealthStat;
+
 /// How the experiment's attempt budget ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecordStatus {
@@ -52,6 +54,12 @@ pub struct LedgerRecord {
     /// Per-experiment counter aggregates (deltas over the experiment),
     /// including the `faults.*` injection tallies.
     pub metrics: BTreeMap<String, u64>,
+    /// Per-experiment health summaries (sketch deltas over the
+    /// experiment): count/mean/p1/p50/p99 per sketch name, so `report
+    /// diff` can flag health regressions — decode-margin p1 collapse,
+    /// BER p99 creep — alongside wall-time ones. Empty on ledgers
+    /// written before this field existed (parsing tolerates absence).
+    pub health: BTreeMap<String, HealthStat>,
 }
 
 impl LedgerRecord {
@@ -76,7 +84,16 @@ impl LedgerRecord {
             report_md: Some(report_md),
             csv,
             metrics,
+            health: BTreeMap::new(),
         }
+    }
+
+    /// Attaches per-experiment health summaries (builder-style, so
+    /// health-less call sites stay untouched).
+    #[must_use]
+    pub fn with_health(mut self, health: BTreeMap<String, HealthStat>) -> Self {
+        self.health = health;
+        self
     }
 
     /// A failure record.
@@ -99,6 +116,7 @@ impl LedgerRecord {
             report_md: None,
             csv: Vec::new(),
             metrics,
+            health: BTreeMap::new(),
         }
     }
 
@@ -139,6 +157,18 @@ impl LedgerRecord {
             let _ = write!(line, ":{value}");
         }
         line.push('}');
+        if !self.health.is_empty() {
+            line.push_str(",\"health\":{");
+            for (i, (name, stat)) in self.health.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                json::escape_into(&mut line, name);
+                line.push(':');
+                stat.jsonl_into(&mut line);
+            }
+            line.push('}');
+        }
         if let Some(report) = &self.report_md {
             line.push_str(",\"report_md\":");
             json::escape_into(&mut line, report);
@@ -197,6 +227,12 @@ impl LedgerRecord {
                 metrics.insert(name.clone(), v.as_u64()?);
             }
         }
+        let mut health = BTreeMap::new();
+        if let Some(Value::Object(map)) = value.get("health") {
+            for (name, v) in map {
+                health.insert(name.clone(), HealthStat::from_json(v)?);
+            }
+        }
         Some(Self {
             fingerprint,
             id,
@@ -207,6 +243,7 @@ impl LedgerRecord {
             report_md,
             csv,
             metrics,
+            health,
         })
     }
 }
@@ -255,6 +292,29 @@ mod tests {
         assert_eq!(back.attempts, 3);
         assert!(back.error.unwrap().contains("forced panic"));
         assert!(back.report_md.is_none());
+    }
+
+    #[test]
+    fn health_summaries_round_trip_and_tolerate_absence() {
+        let stat = HealthStat {
+            count: 240,
+            mean: 0.0125,
+            p01: 0.001,
+            p50: 0.01,
+            p99: 0.05,
+        };
+        let record = sample_success()
+            .with_health(BTreeMap::from([("puf.ber".to_string(), stat)]));
+        let line = record.to_jsonl();
+        assert!(line.contains("\"health\""));
+        let back = LedgerRecord::from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, record);
+        assert_eq!(back.health.get("puf.ber"), Some(&stat));
+        // Pre-health ledgers (no "health" key) still parse, empty.
+        let legacy = sample_success().to_jsonl();
+        assert!(!legacy.contains("\"health\""));
+        let back = LedgerRecord::from_json(&json::parse(&legacy).unwrap()).unwrap();
+        assert!(back.health.is_empty());
     }
 
     #[test]

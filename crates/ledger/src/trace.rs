@@ -1,0 +1,202 @@
+//! `repro report trace` — exports a telemetry capture's spans and fault
+//! events as a Chrome trace (`chrome://tracing` / Perfetto "JSON Array
+//! Format" with a `traceEvents` wrapper).
+//!
+//! Each `span_close` becomes one complete (`"ph":"X"`) event: start
+//! timestamp recovered as `ts_ns − dur_ns`, per-thread lanes from the
+//! dense `aro-obs` thread ids. Each `fault` event becomes a process-scoped
+//! instant (`"ph":"i"`), so injection storms appear as markers over the
+//! span timeline. Timestamps are microseconds, as the format requires.
+//!
+//! Like the profiler, the parser tolerates crash debris: non-JSON lines
+//! are skipped and counted, foreign events ignored.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use aro_obs::json::{self, Value};
+
+/// One parsed telemetry capture, ready to serialize as a Chrome trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Complete span events: `(name, thread, start_ns, dur_ns)`.
+    pub spans: Vec<(String, u64, u64, u64)>,
+    /// Fault instants: `(kind, chip, count, ts_ns)`.
+    pub faults: Vec<(String, u64, u64, u64)>,
+    /// Lines that were not valid JSON (crash debris).
+    pub skipped_lines: usize,
+}
+
+impl Trace {
+    /// Feeds one telemetry line (ignores metric and `span_open` events —
+    /// a span's full extent is recoverable from its close alone).
+    pub fn feed_line(&mut self, line: &str) {
+        if line.trim().is_empty() {
+            return;
+        }
+        let Ok(value) = json::parse(line) else {
+            self.skipped_lines += 1;
+            return;
+        };
+        match value.get("event").and_then(Value::as_str) {
+            Some("span_close") => {
+                let parsed = || -> Option<(String, u64, u64, u64)> {
+                    let name = value.get("name").and_then(Value::as_str)?.to_string();
+                    let thread = value.get("thread").and_then(Value::as_u64)?;
+                    let ts_ns = value.get("ts_ns").and_then(Value::as_u64)?;
+                    let dur_ns = value.get("dur_ns").and_then(Value::as_u64)?;
+                    Some((name, thread, ts_ns.saturating_sub(dur_ns), dur_ns))
+                };
+                if let Some(span) = parsed() {
+                    self.spans.push(span);
+                }
+            }
+            Some("fault") => {
+                let parsed = || -> Option<(String, u64, u64, u64)> {
+                    Some((
+                        value.get("kind").and_then(Value::as_str)?.to_string(),
+                        value.get("chip").and_then(Value::as_u64)?,
+                        value.get("count").and_then(Value::as_u64)?,
+                        value.get("ts_ns").and_then(Value::as_u64)?,
+                    ))
+                };
+                if let Some(fault) = parsed() {
+                    self.faults.push(fault);
+                }
+            }
+            _ => {} // metrics / ledger events: not part of the timeline
+        }
+    }
+
+    /// Whether the capture carried any timeline events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.faults.is_empty()
+    }
+
+    /// Serializes as a Chrome-trace JSON document.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        #[allow(clippy::cast_precision_loss)]
+        let us = |ns: u64| -> String { format!("{:.3}", ns as f64 / 1e3) };
+        for (name, thread, start_ns, dur_ns) in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            json::escape_into(&mut out, name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{thread}}}",
+                us(*start_ns),
+                us(*dur_ns),
+            );
+        }
+        for (kind, chip, count, ts_ns) in &self.faults {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            json::escape_into(&mut out, &format!("fault:{kind}"));
+            let _ = write!(
+                out,
+                ",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":0,\"tid\":0,\
+                 \"args\":{{\"chip\":{chip},\"count\":{count}}}}}",
+                us(*ts_ns),
+            );
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// Parses a whole capture.
+#[must_use]
+pub fn parse_trace(text: &str) -> Trace {
+    let mut trace = Trace::default();
+    for line in text.lines() {
+        trace.feed_line(line);
+    }
+    trace
+}
+
+/// Loads a capture and exports it.
+///
+/// # Errors
+/// Returns a description when the file is unreadable or carries no span
+/// or fault events (nothing to draw).
+pub fn trace_file(path: &Path) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let trace = parse_trace(&text);
+    if trace.is_empty() {
+        return Err(format!(
+            "{}: no span or fault events — capture with `repro --telemetry <file>`",
+            path.display()
+        ));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAPTURE: &str = concat!(
+        r#"{"event":"span_open","name":"run","thread":1,"depth":1,"ts_ns":1000}"#,
+        "\n",
+        r#"{"event":"span_close","name":"step","thread":2,"depth":2,"ts_ns":8000,"dur_ns":3000}"#,
+        "\n",
+        r#"{"event":"fault","kind":"dead_ro","chip":7,"count":2,"ts_ns":5000}"#,
+        "\n",
+        "crash-debris-not-json\n",
+        r#"{"event":"span_close","name":"run","thread":1,"depth":1,"ts_ns":9000,"dur_ns":8000}"#,
+        "\n",
+    );
+
+    #[test]
+    fn exports_complete_events_and_instants() {
+        let trace = parse_trace(CAPTURE);
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.faults.len(), 1);
+        assert_eq!(trace.skipped_lines, 1);
+        // step: close at 8000 ns with dur 3000 → starts at 5000 ns = 5 µs.
+        assert_eq!(trace.spans[0], ("step".to_string(), 2, 5000, 3000));
+
+        let doc = trace.to_chrome_json();
+        let v = json::parse(&doc).expect("valid Chrome-trace JSON");
+        let events = match v.get("traceEvents") {
+            Some(Value::Array(items)) => items,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].get("ph").and_then(Value::as_str),
+            Some("X"),
+            "spans are complete events"
+        );
+        assert_eq!(events[0].get("ts").and_then(Value::as_f64), Some(5.0));
+        assert_eq!(events[0].get("dur").and_then(Value::as_f64), Some(3.0));
+        let fault = &events[2];
+        assert_eq!(fault.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(fault.get("name").and_then(Value::as_str), Some("fault:dead_ro"));
+        assert_eq!(
+            fault.get("args").and_then(|a| a.get("chip")).and_then(Value::as_u64),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn refuses_an_eventless_capture() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("aro-trace-empty-{}.jsonl", std::process::id()));
+        std::fs::write(&path, r#"{"event":"counter","name":"c","value":1}"#).unwrap();
+        let err = trace_file(&path).unwrap_err();
+        assert!(err.contains("no span or fault events"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -31,7 +31,11 @@ pub fn pairwise_hds(responses: &[BitString]) -> Vec<f64> {
     let mut hds = Vec::with_capacity(responses.len() * (responses.len() - 1) / 2);
     for (i, a) in responses.iter().enumerate() {
         for b in &responses[i + 1..] {
-            hds.push(fractional_hd(a, b));
+            let hd = fractional_hd(a, b);
+            // Uniqueness stream for the fleet-health sketches: a p1
+            // collapsing toward 0 means chip pairs are becoming clones.
+            aro_obs::sketch("quality.interchip_hd", hd);
+            hds.push(hd);
         }
     }
     hds
@@ -57,7 +61,13 @@ pub fn intra_chip_hd(reference: &BitString, resamples: &[BitString]) -> Summary 
     );
     let hds: Vec<f64> = resamples
         .iter()
-        .map(|r| fractional_hd(reference, r))
+        .map(|r| {
+            let hd = fractional_hd(reference, r);
+            // Reliability stream: p99 creeping up is noise/aging error
+            // approaching the ECC provisioning line.
+            aro_obs::sketch("quality.intrachip_hd", hd);
+            hd
+        })
         .collect();
     Summary::of(&hds)
 }

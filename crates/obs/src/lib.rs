@@ -6,11 +6,13 @@
 //!   per-thread span stack, emitted as `span_open`/`span_close` telemetry
 //!   events and aggregated into a wall-clock timing table for run
 //!   summaries.
-//! - **Metrics** ([`metrics::Registry`]): counters, gauges and fixed-bucket
-//!   histograms recorded into a thread-local scratch registry. Parallel
-//!   code hands worker scratches back to the spawning thread, which merges
-//!   them in worker-index order, so aggregates are byte-identical for any
-//!   thread count (see `aro-sim::parallel`).
+//! - **Metrics** ([`metrics::Registry`]): counters, gauges, fixed-bucket
+//!   histograms and streaming [`sketch::Sketch`] accumulators (mean /
+//!   variance / quantiles over unbounded streams) recorded into a
+//!   thread-local scratch registry. Parallel code hands worker scratches
+//!   back to the spawning thread, which merges them in worker-index order,
+//!   so aggregates are byte-identical for any thread count (see
+//!   `aro-sim::parallel`).
 //! - **Telemetry sink** ([`sink`]): a process-wide JSON-lines writer (file
 //!   or in-memory) receiving span events and a final metrics flush.
 //!
@@ -24,12 +26,14 @@
 pub mod json;
 pub mod metrics;
 pub mod sink;
+pub mod sketch;
 pub mod span;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use metrics::{Histogram, Registry};
+pub use sketch::{Sketch, SketchConfig};
 pub use span::{timing_snapshot, Span, SpanStats};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -56,11 +60,19 @@ thread_local! {
     // literals with equal text get separate slots and merge by name when
     // the slots are folded into the scratch registry on read.
     static HOT_COUNTERS: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+    // Sketch fast path: same pointer-identity trick for the streaming
+    // sketches fed from those same hot paths (every kernel rebuild observes
+    // the ring frequency, every stress apply the BTI drift — millions of
+    // observations per run). Each slot holds a whole sketch that folds into
+    // the scratch registry by name on read; sketch merge is commutative, so
+    // neither the slot order nor the fold timing can perturb the bytes.
+    static HOT_SKETCHES: RefCell<Vec<(&'static str, Sketch)>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Folds the pointer-keyed counter slots into the scratch registry. Called
-/// by every read/take/reset entry point so the fast path stays invisible.
-fn flush_hot_counters() {
+/// Folds the pointer-keyed counter and sketch slots into the scratch
+/// registry. Called by every read/take/reset entry point so the fast
+/// paths stay invisible.
+fn flush_hot() {
     HOT_COUNTERS.with(|h| {
         let mut slots = h.borrow_mut();
         if slots.is_empty() {
@@ -70,6 +82,18 @@ fn flush_hot_counters() {
             let mut registry = r.borrow_mut();
             for (name, delta) in slots.drain(..) {
                 registry.add_counter(name, delta);
+            }
+        });
+    });
+    HOT_SKETCHES.with(|h| {
+        let mut slots = h.borrow_mut();
+        if slots.is_empty() {
+            return;
+        }
+        SCRATCH.with(|r| {
+            let mut registry = r.borrow_mut();
+            for (name, sketch) in slots.drain(..) {
+                registry.fold_sketch(name, &sketch);
             }
         });
     });
@@ -123,6 +147,44 @@ pub fn observe(name: &str, value: f64) {
     }
 }
 
+/// Records an observation into the named streaming sketch (default
+/// layout) on this thread's scratch registry. Sketches ride the same
+/// worker-index-order merge as every other metric, so fleet-health
+/// percentiles are byte-identical at any thread count.
+///
+/// `name` must be a `'static` literal: like [`counter`], the hot path
+/// accumulates into pointer-keyed slots (no string compare, no tree walk)
+/// and only folds them into the registry when the metrics are read. For
+/// names built at runtime, use [`sketch_dyn`].
+#[inline]
+pub fn sketch(name: &'static str, value: f64) {
+    if enabled() {
+        HOT_SKETCHES.with(|h| {
+            let mut slots = h.borrow_mut();
+            for slot in slots.iter_mut() {
+                if slot.0.as_ptr() == name.as_ptr() && slot.0.len() == name.len() {
+                    slot.1.observe(value);
+                    return;
+                }
+            }
+            let mut sketch = Sketch::new(SketchConfig::DEFAULT);
+            sketch.observe(value);
+            slots.push((name, sketch));
+        });
+    }
+}
+
+/// Records an observation into a sketch whose name is built at runtime
+/// (e.g. the per-age `puf.ber.y…` family). Goes straight to the scratch
+/// registry's name-keyed map — prefer [`sketch`] for literal names on
+/// hot paths.
+#[inline]
+pub fn sketch_dyn(name: &str, value: f64) {
+    if enabled() {
+        SCRATCH.with(|r| r.borrow_mut().sketch_observe(name, value));
+    }
+}
+
 /// Emits one structured fault-injection event to the telemetry sink:
 /// `{"event":"fault","kind":…,"chip":…,"count":…,<fields…>,"ts_ns":…}`.
 ///
@@ -157,7 +219,7 @@ pub fn fault_event(kind: &str, chip_id: u64, count: u64, fields: &[(&str, f64)])
 /// worker-index order via [`merge_scratch`].
 #[must_use]
 pub fn take_scratch() -> Registry {
-    flush_hot_counters();
+    flush_hot();
     SCRATCH.with(|r| std::mem::take(&mut *r.borrow_mut()))
 }
 
@@ -171,7 +233,7 @@ pub fn merge_scratch(worker: &Registry) {
 /// A copy of this thread's accumulated metrics.
 #[must_use]
 pub fn snapshot() -> Registry {
-    flush_hot_counters();
+    flush_hot();
     SCRATCH.with(|r| r.borrow().clone())
 }
 
@@ -179,6 +241,7 @@ pub fn snapshot() -> Registry {
 /// (between runs or tests). Does not touch the sink or enablement.
 pub fn reset() {
     HOT_COUNTERS.with(|h| h.borrow_mut().clear());
+    HOT_SKETCHES.with(|h| h.borrow_mut().clear());
     SCRATCH.with(|r| *r.borrow_mut() = Registry::new());
     span::reset_timings();
 }
@@ -213,6 +276,8 @@ mod tests {
         counter("x", 1);
         gauge("g", 2.0);
         observe("h", 3.0);
+        sketch("s", 4.0);
+        sketch_dyn("sd", 5.0);
         {
             let _span = span("quiet");
         }
@@ -248,6 +313,38 @@ mod tests {
     }
 
     #[test]
+    fn sketch_fast_path_folds_into_the_registry_by_name() {
+        let _guard = lock();
+        set_enabled(true);
+        reset();
+
+        // Pointer-keyed slots vs direct registry observes: identical
+        // aggregates, including when the same text arrives through both
+        // the fast path and the dynamic path (distinct name storage).
+        for i in 1..=100u64 {
+            #[allow(clippy::cast_precision_loss)]
+            sketch("hot.metric", i as f64);
+        }
+        sketch_dyn(&String::from("hot.metric"), 1000.0);
+        let snap = snapshot();
+        let folded = snap.sketch("hot.metric").expect("fast path must fold on read");
+        assert_eq!(folded.count(), 101);
+        // The moment sums are exact; the median only to bucket resolution
+        // (8 buckets/decade, lower-edge representative: 10^(13/8) ≈ 42.2).
+        assert!((folded.mean() - 6050.0 / 101.0).abs() < 1e-3);
+        assert!((30.0..60.0).contains(&folded.quantile(0.5)));
+        assert_eq!(folded.max(), 1000.0);
+
+        // A second read after more observations keeps accumulating rather
+        // than double-counting the already-folded slots.
+        sketch("hot.metric", 2.0);
+        assert_eq!(snapshot().sketch("hot.metric").map(Sketch::count), Some(102));
+
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
     fn worker_handoff_matches_sequential() {
         let _guard = lock();
         set_enabled(true);
@@ -258,6 +355,8 @@ mod tests {
             counter("work.items", 1);
             #[allow(clippy::cast_precision_loss)]
             observe("work.size", i as f64);
+            #[allow(clippy::cast_precision_loss)]
+            sketch("work.ber", i as f64 / 100.0);
         }
         let sequential = take_scratch();
 
@@ -270,6 +369,8 @@ mod tests {
                             counter("work.items", 1);
                             #[allow(clippy::cast_precision_loss)]
                             observe("work.size", i as f64);
+                            #[allow(clippy::cast_precision_loss)]
+                            sketch("work.ber", i as f64 / 100.0);
                         }
                         take_scratch()
                     })

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::json;
+use crate::sketch::{Sketch, SketchConfig};
 
 /// Fixed-point scale for histogram sums: values are accumulated as
 /// `round(v * 2^20)` in an `i128`, making the sum exactly order-independent.
@@ -26,9 +27,12 @@ pub const FIXED_POINT_SCALE: f64 = (1u64 << 20) as f64;
 
 /// Default histogram bucket upper bounds (inclusive), spanning the
 /// magnitudes this workspace observes: probabilities, rates and
-/// nanosecond-scale durations.
-pub const DEFAULT_BUCKETS: [f64; 16] = [
-    0.0, 1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 1e2, 1e4, 1e6, 1e8, 1e10,
+/// nanosecond-scale durations. The 2/5/10/20/50 steps resolve the 1–100
+/// band (decode margins, small counts) that a pure decade ladder would
+/// collapse into a single bucket.
+pub const DEFAULT_BUCKETS: [f64; 21] = [
+    0.0, 1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    1e2, 1e4, 1e6, 1e8, 1e10,
 ];
 
 /// A fixed-bucket histogram with order-independent accumulators.
@@ -151,12 +155,13 @@ impl Histogram {
     }
 }
 
-/// A set of named counters, gauges and histograms.
+/// A set of named counters, gauges, histograms and streaming sketches.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    sketches: BTreeMap<String, Sketch>,
 }
 
 impl Registry {
@@ -169,7 +174,10 @@ impl Registry {
     /// True when nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.sketches.is_empty()
     }
 
     /// Adds `delta` to the named counter.
@@ -208,6 +216,36 @@ impl Registry {
         }
     }
 
+    /// Records an observation into the named streaming sketch, created
+    /// with [`SketchConfig::DEFAULT`] on first use.
+    pub fn sketch_observe(&mut self, name: &str, value: f64) {
+        self.sketch_observe_with(name, value, SketchConfig::DEFAULT);
+    }
+
+    /// Records a sketch observation, creating the sketch with the given
+    /// layout on first use (later calls reuse the existing layout).
+    pub fn sketch_observe_with(&mut self, name: &str, value: f64, config: SketchConfig) {
+        if let Some(s) = self.sketches.get_mut(name) {
+            s.observe(value);
+        } else {
+            let mut s = Sketch::new(config);
+            s.observe(value);
+            self.sketches.insert(name.to_string(), s);
+        }
+    }
+
+    /// Folds one harvested sketch into the named slot, creating it on
+    /// first use. This is how the pointer-keyed sketch fast path
+    /// ([`crate::sketch()`]) lands in the registry: sketch merge is
+    /// commutative, so the fold order cannot perturb the aggregate.
+    pub fn fold_sketch(&mut self, name: &str, sketch: &Sketch) {
+        if let Some(existing) = self.sketches.get_mut(name) {
+            existing.merge(sketch);
+        } else {
+            self.sketches.insert(name.to_string(), sketch.clone());
+        }
+    }
+
     /// Current value of a counter (0 when never touched).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
@@ -241,6 +279,17 @@ impl Registry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// The named sketch, if any observation was recorded.
+    #[must_use]
+    pub fn sketch(&self, name: &str) -> Option<&Sketch> {
+        self.sketches.get(name)
+    }
+
+    /// All sketches in name order.
+    pub fn sketches(&self) -> impl Iterator<Item = (&str, &Sketch)> {
+        self.sketches.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Folds `other` into `self`.
     ///
     /// Callers aggregating per-worker registries must invoke this in
@@ -258,6 +307,13 @@ impl Registry {
                 existing.merge(hist);
             } else {
                 self.histograms.insert(name.clone(), hist.clone());
+            }
+        }
+        for (name, sketch) in &other.sketches {
+            if let Some(existing) = self.sketches.get_mut(name) {
+                existing.merge(sketch);
+            } else {
+                self.sketches.insert(name.clone(), sketch.clone());
             }
         }
     }
@@ -279,6 +335,9 @@ impl Registry {
                 "histogram {name} count={} sum_fp={} min={:?} max={:?} buckets={:?}",
                 h.count, h.sum_fp, h.min, h.max, h.counts
             );
+        }
+        for (name, s) in &self.sketches {
+            s.dump_into(&mut out, name);
         }
         out
     }
@@ -321,6 +380,9 @@ impl Registry {
             }
             line.push_str("]}");
             lines.push(line);
+        }
+        for (name, s) in &self.sketches {
+            lines.push(s.to_jsonl(name));
         }
     }
 }
@@ -380,6 +442,7 @@ mod tests {
         for v in &values {
             sequential.observe("h", *v);
             sequential.add_counter("c", 1);
+            sequential.sketch_observe("s", *v);
         }
 
         for parts in [2, 3, 8] {
@@ -389,6 +452,7 @@ mod tests {
                 for v in chunk {
                     worker.observe("h", *v);
                     worker.add_counter("c", 1);
+                    worker.sketch_observe("s", *v);
                 }
                 merged.merge(&worker);
             }
@@ -402,9 +466,10 @@ mod tests {
         r.add_counter("a.count", 2);
         r.set_gauge("b.gauge", 1.25);
         r.observe("c.hist", 0.3);
+        r.sketch_observe("d.sketch", 0.125);
         let mut lines = Vec::new();
         r.emit_jsonl(&mut lines);
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         for line in &lines {
             let v = crate::json::parse(line).expect("valid JSON");
             assert!(v.get("event").is_some());

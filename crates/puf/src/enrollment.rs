@@ -134,7 +134,11 @@ impl Enrollment {
     /// and environment.
     pub fn flip_rate_now(&self, chip: &mut Chip, design: &PufDesign, env: &Environment) -> f64 {
         let now = self.response_now(chip, design, env);
-        self.reference.hamming_distance(&now) as f64 / self.bits() as f64
+        let rate = self.reference.hamming_distance(&now) as f64 / self.bits() as f64;
+        // Per-chip BER stream for the fleet-health sketches; workers hand
+        // their sketch back through the aro-par worker-index-order merge.
+        aro_obs::sketch("puf.ber", rate);
+        rate
     }
 }
 

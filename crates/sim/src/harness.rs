@@ -31,7 +31,8 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use aro_device::rng::SeedDomain;
-use aro_ledger::{Ledger, LedgerRecord};
+use aro_ledger::{HealthStat, Ledger, LedgerRecord};
+use aro_obs::Registry;
 
 use crate::config::SimConfig;
 use crate::fingerprint;
@@ -255,10 +256,13 @@ pub fn run_experiments_ledgered(
                 });
                 continue;
             }
-            let counters_before = if ledger.is_some() {
-                counter_baseline()
+            // Full registry snapshot (counters *and* sketches): the
+            // record's metrics and health summaries are deltas over this
+            // experiment alone.
+            let before = if ledger.is_some() {
+                aro_obs::snapshot()
             } else {
-                BTreeMap::new()
+                Registry::new()
             };
             let started = Instant::now();
             match run_with_retries(cfg, id, opts) {
@@ -272,8 +276,9 @@ pub fn run_experiments_ledgered(
                             attempts,
                             report.to_string(),
                             report.tables().iter().map(Table::to_csv).collect(),
-                            counter_delta(&counters_before),
-                        );
+                            counter_delta(&before),
+                        )
+                        .with_health(health_delta(&before));
                         if let Err(e) = ledger.append(&record) {
                             outcome.ledger_errors.push(format!("{id}: {e}"));
                         }
@@ -294,8 +299,9 @@ pub fn run_experiments_ledgered(
                             duration_ns(started.elapsed()),
                             failure.attempts,
                             failure.error.clone(),
-                            counter_delta(&counters_before),
-                        );
+                            counter_delta(&before),
+                        )
+                        .with_health(health_delta(&before));
                         if let Err(e) = ledger.append(&record) {
                             outcome.ledger_errors.push(format!("{id}: {e}"));
                         }
@@ -312,26 +318,37 @@ fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// This thread's current counter totals — the "before" side of a
-/// per-experiment delta. Empty while obs is disabled, which makes the
-/// recorded delta empty too (the record simply carries no metrics).
-fn counter_baseline() -> BTreeMap<String, u64> {
-    aro_obs::snapshot()
-        .counters()
-        .map(|(name, v)| (name.to_string(), v))
-        .collect()
-}
-
-/// Counters accumulated since `before` on this thread: the experiment's
-/// own contribution, including its `faults.*` injection tallies.
-fn counter_delta(before: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+/// Counters accumulated since the `before` snapshot on this thread: the
+/// experiment's own contribution, including its `faults.*` injection
+/// tallies. Empty while obs is disabled (both snapshots are empty).
+fn counter_delta(before: &Registry) -> BTreeMap<String, u64> {
     aro_obs::snapshot()
         .counters()
         .filter_map(|(name, v)| {
-            let delta = v - before.get(name).copied().unwrap_or(0);
+            let delta = v - before.counter(name);
             (delta > 0).then(|| (name.to_string(), delta))
         })
         .collect()
+}
+
+/// Sketch windows opened by this experiment, summarized for the ledger:
+/// each sketch's exact delta over the `before` snapshot, collapsed to
+/// the five [`HealthStat`] numbers. Sketches the experiment never
+/// touched produce an empty delta and are dropped, so a record carries
+/// only the health streams its own experiment fed.
+fn health_delta(before: &Registry) -> BTreeMap<String, HealthStat> {
+    let now = aro_obs::snapshot();
+    let mut health = BTreeMap::new();
+    for (name, sketch) in now.sketches() {
+        let delta = match before.sketch(name) {
+            Some(prev) if prev.config() == sketch.config() => sketch.delta_since(prev),
+            _ => sketch.clone(),
+        };
+        if delta.count() > 0 {
+            health.insert(name.to_string(), HealthStat::of(&delta));
+        }
+    }
+    health
 }
 
 /// The config an attempt runs under: attempt 0 (and every attempt of a

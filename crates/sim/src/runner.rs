@@ -154,6 +154,16 @@ pub fn measure_flip_timeline(
             rate
         });
         aro_obs::gauge("sim.age_seconds", age);
+        if aro_obs::enabled() {
+            // Drift-vs-age: a per-checkpoint BER sketch keyed by the age
+            // in years (zero-padded so name order is age order). Streamed
+            // on the spawning thread, after the deterministic by-index
+            // collection, so the bytes match at any thread count.
+            let name = format!("puf.ber.y{:07.2}", age / aro_device::units::YEAR);
+            for &rate in &rates {
+                aro_obs::sketch_dyn(&name, rate);
+            }
+        }
         let m = rates.iter().sum::<f64>() / rates.len() as f64;
         let s = if rates.len() > 1 {
             (rates.iter().map(|r| (r - m).powi(2)).sum::<f64>() / (rates.len() - 1) as f64).sqrt()

@@ -35,8 +35,8 @@ pub fn span_table(timings: &BTreeMap<String, SpanStats>) -> Table {
     t
 }
 
-/// The metrics table (counters, then gauges, then histogram summaries, each
-/// block in name order).
+/// The metrics table (counters, then gauges, then histogram summaries,
+/// then sketch summaries, each block in name order).
 #[must_use]
 pub fn metrics_table(registry: &Registry) -> Table {
     let mut t = Table::new("Run summary — metrics", &["metric", "kind", "value"]);
@@ -56,6 +56,20 @@ pub fn metrics_table(registry: &Registry) -> Table {
                 h.mean(),
                 if h.count() == 0 { 0.0 } else { h.min() },
                 if h.count() == 0 { 0.0 } else { h.max() },
+            ),
+        ]);
+    }
+    for (name, s) in registry.sketches() {
+        t.push_row(vec![
+            name.to_string(),
+            "sketch".into(),
+            format!(
+                "count={} mean={:.6} p1={:.6} p50={:.6} p99={:.6}",
+                s.count(),
+                s.mean(),
+                s.quantile(0.01),
+                s.quantile(0.5),
+                s.quantile(0.99),
             ),
         ]);
     }
@@ -102,6 +116,7 @@ mod tests {
         registry.add_counter("sim.chips_simulated", 42);
         registry.set_gauge("sim.age_seconds", 3.5);
         registry.observe("sim.flip_rate", 0.125);
+        registry.sketch_observe("puf.ber", 0.01);
         let mut timings = BTreeMap::new();
         timings.insert(
             "exp.exp2".to_string(),
@@ -120,5 +135,7 @@ mod tests {
         assert!(md.contains("gauge"));
         assert!(md.contains("histogram"));
         assert!(md.contains("count=1 mean=0.125"));
+        assert!(md.contains("sketch"));
+        assert!(md.contains("puf.ber"));
     }
 }

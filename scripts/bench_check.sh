@@ -33,7 +33,8 @@ CARGO_NET_OFFLINE=true cargo build --release -q -p aro-bench
 run_json="$(mktemp /tmp/BENCH_run.XXXXXX.json)"
 best_json="$(mktemp /tmp/BENCH_best.XXXXXX.json)"
 fault_json="$(mktemp /tmp/BENCH_faults.XXXXXX.json)"
-trap 'rm -f "$run_json" "$best_json" "$fault_json"' EXIT
+health_ledger="/tmp/BENCH_health_$$.jsonl"
+trap 'rm -f "$run_json" "$best_json" "$fault_json" "$health_ledger"' EXIT
 
 echo "==> timing repro --quick (three runs, keeping the fastest)"
 best=""
@@ -79,6 +80,33 @@ if [[ ("$fault_status" -eq 0 || "$fault_status" -eq 3) && -n "$fault_total" ]]; 
     }'
 else
     echo "bench_check: fault run exited $fault_status; no timing recorded" >&2
+fi
+
+# Health-regression advisory: diff a fresh quick-scale ledger against the
+# committed baseline ledger. The quick run is deterministic, so any
+# decode-margin p1 collapse or BER p99 creep flagged here is a real
+# behavioural change, not timing noise — but it stays a WARNING (the wall
+# threshold of 10 = +1000 % keeps cross-machine timing out of the exit
+# code, and health degradations never drive it; see `repro report --help`).
+HEALTH_BASELINE="LEDGER_baseline.jsonl"
+if [[ -f "$HEALTH_BASELINE" ]]; then
+    echo "==> health advisory: fresh quick ledger vs $HEALTH_BASELINE"
+    ./target/release/repro --quick --quiet --ledger "$health_ledger"
+    set +e
+    health_err="$(./target/release/repro report diff "$HEALTH_BASELINE" "$health_ledger" \
+        --threshold 10 2>&1 >/dev/null)"
+    set -e
+    if grep -q "health DEGRADED" <<<"$health_err"; then
+        echo "WARNING: fleet-health summaries degraded vs the committed baseline:"
+        grep "health DEGRADED" <<<"$health_err"
+        echo "WARNING: the quick run is deterministic — this is a behavioural"
+        echo "WARNING: change, not noise. If intentional, regenerate the baseline:"
+        echo "WARNING:   ./target/release/repro --quick --quiet --ledger $HEALTH_BASELINE"
+    else
+        echo "health advisory: no degradations vs $HEALTH_BASELINE"
+    fi
+else
+    echo "bench_check: no $HEALTH_BASELINE at the workspace root; skipping health advisory"
 fi
 
 # The committed perf trajectory: every BENCH_*.json at the workspace root,

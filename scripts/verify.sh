@@ -83,4 +83,40 @@ grep -c '"event":"experiment"' "$ledger_dir/run.ledger" | {
 }
 echo "ledger smoke: resumed run byte-identical to fresh run"
 
+# Health smoke: the fleet-health observatory, end to end. A quick capture
+# must render the deterministic health tables identically at 1 and 4
+# worker threads, and the trace export must be JSON a Chrome-trace viewer
+# would accept. See docs/OBSERVABILITY.md ("Fleet health & streaming
+# statistics" and "Trace export").
+echo "==> health smoke (report health determinism + report trace)"
+health_dir_a="$ledger_dir/health_a"
+health_dir_b="$ledger_dir/health_b"
+mkdir -p "$health_dir_a" "$health_dir_b"
+./target/release/repro --quick exp2 --threads 1 --quiet \
+    --telemetry "$health_dir_a/t.jsonl" --ledger "$health_dir_a/l.jsonl"
+./target/release/repro --quick exp2 --threads 4 --quiet \
+    --telemetry "$health_dir_b/t.jsonl" --ledger "$health_dir_b/l.jsonl"
+./target/release/repro report health "$health_dir_a/t.jsonl" "$health_dir_a/l.jsonl" \
+    > "$ledger_dir/health_1.md"
+./target/release/repro report health "$health_dir_b/t.jsonl" "$health_dir_b/l.jsonl" \
+    > "$ledger_dir/health_4.md"
+if ! cmp -s "$ledger_dir/health_1.md" "$ledger_dir/health_4.md"; then
+    echo "verify: report health differs between --threads 1 and 4" >&2
+    diff "$ledger_dir/health_1.md" "$ledger_dir/health_4.md" | head -20 >&2
+    exit 1
+fi
+if ! grep -q "Fleet health" "$ledger_dir/health_1.md"; then
+    echo "verify: report health produced no fleet-health table" >&2
+    exit 1
+fi
+./target/release/repro report trace "$health_dir_a/t.jsonl" > "$ledger_dir/trace.json"
+python3 - "$ledger_dir/trace.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "trace export carried no events"
+assert any(e.get("ph") == "X" for e in events), "no complete span events"
+PY
+echo "health smoke: deterministic tables + valid Chrome trace"
+
 echo "==> verify OK"
