@@ -409,6 +409,7 @@ fn bench_json(
             "sim.popcache_timeline_misses",
         ),
         ("provision_hit_rate", "sim.provision_hits", "sim.provision_misses"),
+        ("snapshot_hit_rate", "sim.snapshot_hits", "sim.snapshot_misses"),
     ]
     .into_iter()
     .filter_map(|(key, hits_name, misses_name)| {

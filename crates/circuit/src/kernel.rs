@@ -51,6 +51,14 @@ pub struct FreqKernel {
     // --- precomputed result ---
     period_s: f64,
     freq_hz: f64,
+    /// Set on kernels installed from a cached result
+    /// ([`FreqKernel::from_cached`]) whose rebuild was *skipped*, not
+    /// performed. The first warm hit books the skipped rebuild against
+    /// `circuit.kernel_rebuilds` and clears the flag, so counter totals
+    /// match a cold run exactly: a preloaded kernel that is never read
+    /// (or is invalidated first) books nothing — just like the cold
+    /// rebuild that would never have happened.
+    phantom: bool,
 }
 
 impl FreqKernel {
@@ -78,6 +86,7 @@ impl FreqKernel {
             correlated_dvth,
             period_s: 0.0,
             freq_hz: 0.0,
+            phantom: false,
         };
         kernel.recompute(
             style,
@@ -155,7 +164,57 @@ impl FreqKernel {
         self.correlated_dvth = correlated_dvth;
         self.period_s = period_s;
         self.freq_hz = (1.0 / period_s) * (1.0 + freq_bias_rel);
+        self.phantom = false;
         aro_obs::counter("circuit.kernel_rebuilds", 1);
+    }
+
+    /// Installs a kernel from a previously computed *(period, frequency)*
+    /// result without rederiving it — the aged-state snapshot layer
+    /// harvests these from a chip that already walked the same aging
+    /// prefix and preloads them after a replay.
+    ///
+    /// The caller asserts the result was produced by [`FreqKernel::build`]
+    /// for exactly this identity tuple on identical silicon. No rebuild
+    /// counter is booked here: the kernel is marked phantom and the first
+    /// warm hit books it (see the `phantom` field), keeping
+    /// `circuit.kernel_rebuilds` bit-identical to a cold run under every
+    /// read sequence.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn from_cached(
+        tech: &TechParams,
+        env: &Environment,
+        chip: &ChipProcess,
+        wear_epoch: u64,
+        freq_bias_rel: f64,
+        correlated_dvth: f64,
+        period_s: f64,
+        freq_hz: f64,
+    ) -> Self {
+        Self {
+            tech: tech.clone(),
+            env: *env,
+            chip: *chip,
+            wear_epoch,
+            freq_bias_rel,
+            correlated_dvth,
+            period_s,
+            freq_hz,
+            phantom: true,
+        }
+    }
+
+    /// Clears the phantom flag, returning whether it was set — the warm
+    /// path in `RingOscillator::frequency` books the deferred rebuild
+    /// counter exactly once per preloaded kernel.
+    pub fn take_phantom(&mut self) -> bool {
+        std::mem::take(&mut self.phantom)
+    }
+
+    /// The environment this kernel was derived for.
+    #[must_use]
+    pub fn env(&self) -> &Environment {
+        &self.env
     }
 
     /// Whether this kernel still describes the ring under the given inputs.

@@ -22,7 +22,7 @@
 
 use std::cell::RefCell;
 
-use aro_device::aging::{BtiBatch, BtiModel, HciModel, StressInterval};
+use aro_device::aging::{BtiBatch, BtiModel, HciModel, StressInterval, WearLevel};
 use aro_device::environment::Environment;
 use aro_device::mosfet::Geometry;
 use aro_device::params::TechParams;
@@ -211,15 +211,28 @@ impl RoHealth {
     }
 }
 
+/// The ring's lazily built frequency kernels: two slots with
+/// most-recently-used preference, so a read sequence that alternates
+/// between two environments (the lifecycle sweeps interleave faulted
+/// measurement excursions with nominal maintenance reads) keeps both
+/// derivations warm instead of thrashing one slot with full alpha-power
+/// rebuilds. Slots are boxed so an idle cache costs two pointers per
+/// ring — populations hold tens of thousands of rings and clone often.
+#[derive(Debug, Default)]
+struct KernelCache {
+    slots: [Option<Box<FreqKernel>>; 2],
+    /// Index of the most-recently hit or filled slot; misses evict the
+    /// other one.
+    mru: usize,
+}
+
 /// One fabricated ring oscillator.
 ///
-/// Carries a lazily built [`FreqKernel`] so repeated frequency queries
+/// Carries a lazily built [`KernelCache`] so repeated frequency queries
 /// between wear events cost one cached load instead of a full alpha-power
-/// rederivation. The kernel is interior state: two rings compare equal iff
-/// their fabricated silicon and wear histories match, regardless of what
-/// either has cached. It is boxed so an idle cache costs one pointer per
-/// ring, not an inline 480-byte slab — populations hold tens of thousands
-/// of rings and clone often.
+/// rederivation. The kernels are interior state: two rings compare equal
+/// iff their fabricated silicon and wear histories match, regardless of
+/// what either has cached.
 #[derive(Debug)]
 pub struct RingOscillator {
     style: RoStyle,
@@ -228,16 +241,16 @@ pub struct RingOscillator {
     freq_bias_rel: f64,
     correlated_dvth: f64,
     health: RoHealth,
-    /// Bumped by every wear mutation; the kernel stores the epoch it was
+    /// Bumped by every wear mutation; each kernel stores the epoch it was
     /// built at, so a bump invalidates without touching the cache itself.
     wear_epoch: u64,
-    kernel: RefCell<Option<Box<FreqKernel>>>,
+    kernel: RefCell<KernelCache>,
 }
 
 impl Clone for RingOscillator {
     fn clone(&self) -> Self {
-        // The kernel is a derived cache — rebuilding it in the clone is
-        // cheaper than deep-copying it on every population clone.
+        // The kernels are a derived cache — rebuilding them in the clone
+        // is cheaper than deep-copying them on every population clone.
         Self {
             style: self.style,
             stages: self.stages.clone(),
@@ -246,7 +259,7 @@ impl Clone for RingOscillator {
             correlated_dvth: self.correlated_dvth,
             health: self.health,
             wear_epoch: self.wear_epoch,
-            kernel: RefCell::new(None),
+            kernel: RefCell::new(KernelCache::default()),
         }
     }
 }
@@ -302,7 +315,7 @@ impl RingOscillator {
             correlated_dvth: 0.0,
             health: RoHealth::Healthy,
             wear_epoch: 0,
-            kernel: RefCell::new(None),
+            kernel: RefCell::new(KernelCache::default()),
         }
     }
 
@@ -318,11 +331,11 @@ impl RingOscillator {
         self.wear_epoch
     }
 
-    /// Whether a frequency kernel is currently cached (it may still be
+    /// Whether any frequency kernel is currently cached (it may still be
     /// stale for a given query). Exposed for cache-invalidation tests.
     #[must_use]
     pub fn kernel_is_cached(&self) -> bool {
-        self.kernel.borrow().is_some()
+        self.kernel.borrow().slots.iter().any(Option::is_some)
     }
 
     /// The cell style.
@@ -401,8 +414,15 @@ impl RingOscillator {
             RoHealth::Dead => return 0.0,
             RoHealth::Stuck(freq_hz) => return freq_hz,
         }
-        let mut slot = self.kernel.borrow_mut();
-        if let Some(kernel) = slot.as_deref_mut() {
+        let mut cache = self.kernel.borrow_mut();
+        // MRU slot first: a run of same-environment reads stays on one
+        // comparison; an alternating pattern (faulted measurement env vs
+        // nominal anchor reads) hits the second slot instead of rebuilding.
+        for offset in 0..2 {
+            let idx = (cache.mru + offset) % 2;
+            let Some(kernel) = cache.slots[idx].as_deref_mut() else {
+                continue;
+            };
             if kernel.is_valid(
                 tech,
                 env,
@@ -411,46 +431,127 @@ impl RingOscillator {
                 self.freq_bias_rel,
                 self.correlated_dvth,
             ) {
-                return kernel.frequency();
+                if kernel.take_phantom() {
+                    // Preloaded kernel, first use: book the rebuild the
+                    // preload skipped, at the moment the cold path would
+                    // have performed it.
+                    aro_obs::counter("circuit.kernel_rebuilds", 1);
+                }
+                let freq = kernel.frequency();
+                cache.mru = idx;
+                return freq;
             }
-            // Stale: rederive in place, reusing the per-stage buffers.
-            kernel.recompute(
-                self.style,
-                &self.stages,
-                chip.systematic_dvth(self.position),
-                self.correlated_dvth,
-                self.freq_bias_rel,
-                tech,
-                env,
-                chip,
-                self.wear_epoch,
-            );
-            let freq = kernel.frequency();
-            // Sketch points come from rebuilds only (distinct physical
-            // states, unweighted by cache re-reads), thinned through the
-            // deterministic 1-in-16 gate — see `obs_sampled`.
-            if self.obs_sampled() {
-                aro_obs::sketch("circuit.ring_freq_ghz", freq * 1e-9);
-            }
-            return freq;
         }
-        let kernel = Box::new(FreqKernel::build(
-            self.style,
-            &self.stages,
-            chip.systematic_dvth(self.position),
-            self.correlated_dvth,
-            self.freq_bias_rel,
-            tech,
-            env,
-            chip,
-            self.wear_epoch,
-        ));
-        let freq = kernel.frequency();
-        *slot = Some(kernel);
+        // Miss: rebuild into an empty slot if there is one, else evict the
+        // least-recently used. A stale kernel can never revalidate (wear
+        // epochs only move forward between cache clears), so eviction
+        // order never changes which future reads hit.
+        let victim = match cache.slots.iter().position(Option::is_none) {
+            Some(empty) => empty,
+            None => (cache.mru + 1) % 2,
+        };
+        let freq = match cache.slots[victim].as_deref_mut() {
+            Some(kernel) => {
+                // Rederive in place, reusing the allocation.
+                kernel.recompute(
+                    self.style,
+                    &self.stages,
+                    chip.systematic_dvth(self.position),
+                    self.correlated_dvth,
+                    self.freq_bias_rel,
+                    tech,
+                    env,
+                    chip,
+                    self.wear_epoch,
+                );
+                kernel.frequency()
+            }
+            None => {
+                let kernel = Box::new(FreqKernel::build(
+                    self.style,
+                    &self.stages,
+                    chip.systematic_dvth(self.position),
+                    self.correlated_dvth,
+                    self.freq_bias_rel,
+                    tech,
+                    env,
+                    chip,
+                    self.wear_epoch,
+                ));
+                let freq = kernel.frequency();
+                cache.slots[victim] = Some(kernel);
+                freq
+            }
+        };
+        cache.mru = victim;
+        // Sketch points come from rebuilds only (distinct physical
+        // states, unweighted by cache re-reads), thinned through the
+        // deterministic 1-in-16 gate — see `obs_sampled`.
         if self.obs_sampled() {
             aro_obs::sketch("circuit.ring_freq_ghz", freq * 1e-9);
         }
         freq
+    }
+
+    /// The most recent kernel's *(environment, period, frequency)* if it
+    /// describes this ring's present wear state — what the aged-state
+    /// snapshot layer harvests after a recorded step's reads so replays
+    /// of the same step can preload instead of rebuilding. Returns
+    /// `None` for faulted rings and for kernels left stale by a later
+    /// wear event.
+    #[must_use]
+    pub fn cached_kernel_result(&self) -> Option<(Environment, f64, f64)> {
+        if !self.health.is_healthy() {
+            return None;
+        }
+        let cache = self.kernel.borrow();
+        for offset in 0..2 {
+            let idx = (cache.mru + offset) % 2;
+            if let Some(kernel) = cache.slots[idx].as_deref() {
+                if kernel.wear_epoch() == self.wear_epoch {
+                    return Some((*kernel.env(), kernel.period_s(), kernel.frequency()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Installs a harvested kernel result for this ring's *current* wear
+    /// state, skipping the rebuild a first read would pay. Returns `false`
+    /// without installing for faulted rings and for rings the 1-in-16
+    /// observability gate samples — a sampled ring must rebuild live so
+    /// its `circuit.ring_freq_ghz` sketch point is emitted exactly as on
+    /// the cold path. (Non-sampled rebuilds emit only the order-free
+    /// rebuild counter, which the phantom kernel books on first use.)
+    ///
+    /// The caller asserts `(period_s, freq_hz)` came from a kernel built
+    /// for identical silicon at this exact wear state under `env`.
+    pub fn preload_kernel(
+        &self,
+        tech: &TechParams,
+        env: &Environment,
+        chip: &ChipProcess,
+        period_s: f64,
+        freq_hz: f64,
+    ) -> bool {
+        if !self.health.is_healthy() || self.obs_sampled() {
+            return false;
+        }
+        let kernel = FreqKernel::from_cached(
+            tech,
+            env,
+            chip,
+            self.wear_epoch,
+            self.freq_bias_rel,
+            self.correlated_dvth,
+            period_s,
+            freq_hz,
+        );
+        let mut cache = self.kernel.borrow_mut();
+        let slot = cache.slots.iter().position(Option::is_none).unwrap_or(0);
+        cache.slots[slot] = Some(Box::new(kernel));
+        cache.mru = slot;
+        true
     }
 
     /// Keep-1-in-16 gate for the per-state observability streams
@@ -631,6 +732,54 @@ impl RingOscillator {
             stage.pmos_mut().aging_mut().reset_wear();
             stage.nmos_mut().aging_mut().reset_wear();
         }
+    }
+
+    /// Appends this ring's per-device wear accumulators to `out` in the
+    /// canonical device order (per stage: PMOS then NMOS) — the layout
+    /// [`RingOscillator::restore_wear_levels`] consumes.
+    pub fn capture_wear_levels(&self, out: &mut Vec<WearLevel>) {
+        for stage in &self.stages {
+            out.push(stage.pmos().aging().wear());
+            out.push(stage.nmos().aging().wear());
+        }
+    }
+
+    /// Restores per-device wear captured by
+    /// [`RingOscillator::capture_wear_levels`] and pins the wear epoch.
+    /// The kernel cache is dropped unconditionally: a restored ring's next
+    /// frequency query must rederive from the restored wear (the epoch
+    /// counter alone cannot distinguish two histories that happen to share
+    /// an epoch value, e.g. across reused workspace chips).
+    ///
+    /// # Panics
+    /// Panics if `levels` does not hold exactly two entries per stage.
+    pub fn restore_wear_levels(&mut self, levels: &[WearLevel], wear_epoch: u64) {
+        assert_eq!(
+            levels.len(),
+            2 * self.stages.len(),
+            "wear snapshot layout mismatch"
+        );
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            stage.pmos_mut().aging_mut().set_wear(levels[2 * i]);
+            stage.nmos_mut().aging_mut().set_wear(levels[2 * i + 1]);
+        }
+        self.wear_epoch = wear_epoch;
+        *self.kernel.borrow_mut() = KernelCache::default();
+    }
+
+    /// Returns the ring to its exact post-fabrication state: zero wear,
+    /// epoch 0, healthy, no cached kernel. The fabricated silicon
+    /// (variation, bias, correlated offset) is untouched, so a reused
+    /// workspace ring is bitwise indistinguishable from a fresh
+    /// fabrication of the same design and id.
+    pub fn reset_to_fabricated(&mut self) {
+        for stage in &mut self.stages {
+            stage.pmos_mut().aging_mut().reset_wear();
+            stage.nmos_mut().aging_mut().reset_wear();
+        }
+        self.health = RoHealth::Healthy;
+        self.wear_epoch = 0;
+        *self.kernel.borrow_mut() = KernelCache::default();
     }
 
     /// Mean BTI threshold shift over all devices in the ring, in volts —
@@ -960,6 +1109,45 @@ mod tests {
             nominal.to_bits(),
             ro.frequency(&tech, &env, &chip).to_bits(),
             "returning to the first environment must rebuild exactly"
+        );
+    }
+
+    #[test]
+    fn wear_snapshot_roundtrip_is_bitwise_exact() {
+        let (tech, env, chip, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 60);
+        ro.stress_active(&tech, &models, &env, &chip, 30.0);
+        ro.stress_idle(&tech, &models, 45.0, tech.vdd_nominal, YEAR);
+        let aged_freq = ro.frequency(&tech, &env, &chip);
+        let epoch = ro.wear_epoch();
+        let mut levels = Vec::new();
+        ro.capture_wear_levels(&mut levels);
+        assert_eq!(levels.len(), 2 * ro.n_stages());
+
+        // Diverge, then restore: silicon, frequency, and epoch all return.
+        let pristine = ro.clone();
+        ro.stress_idle(&tech, &models, 85.0, tech.vdd_nominal, YEAR);
+        assert_ne!(ro, pristine);
+        ro.restore_wear_levels(&levels, epoch);
+        assert_eq!(ro, pristine);
+        assert_eq!(ro.wear_epoch(), epoch);
+        assert!(!ro.kernel_is_cached(), "restore must drop the kernel");
+        assert_eq!(ro.frequency(&tech, &env, &chip).to_bits(), aged_freq.to_bits());
+    }
+
+    #[test]
+    fn reset_to_fabricated_matches_a_fresh_ring() {
+        let (tech, env, chip, models) = setup();
+        let (mut ro, _) = make_ring(RoStyle::Conventional, 61);
+        let (fresh, _) = make_ring(RoStyle::Conventional, 61);
+        ro.stress_active(&tech, &models, &env, &chip, 30.0);
+        ro.set_health(RoHealth::Dead);
+        ro.reset_to_fabricated();
+        assert_eq!(ro, fresh);
+        assert_eq!(ro.wear_epoch(), 0);
+        assert_eq!(
+            ro.frequency(&tech, &env, &chip).to_bits(),
+            fresh.frequency(&tech, &env, &chip).to_bits()
         );
     }
 

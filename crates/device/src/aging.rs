@@ -214,6 +214,19 @@ impl HciModel {
     }
 }
 
+/// The mutable wear accumulators of one transistor, detached from its
+/// fabrication-time variability multipliers: exactly the state that a
+/// stress history writes and an aged-state snapshot must capture. Both
+/// fields are pure functions of the stress-interval sequence applied so
+/// far, so saving and restoring them is bitwise-exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearLevel {
+    /// Raw (multiplier-free) accumulated BTI threshold shift in volts.
+    pub bti_dvth: f64,
+    /// Accumulated HCI wear in reference-condition equivalent cycles.
+    pub hci_eq_cycles: f64,
+}
+
 /// Accumulated wear-out state of one transistor.
 ///
 /// Tracks BTI and HCI separately (they have different time laws) and carries
@@ -367,6 +380,24 @@ impl TransistorAging {
     pub fn reset_wear(&mut self) {
         self.bti_dvth = 0.0;
         self.hci_eq_cycles = 0.0;
+    }
+
+    /// The wear accumulators alone (no multipliers), for aged-state
+    /// snapshots.
+    #[must_use]
+    pub fn wear(&self) -> WearLevel {
+        WearLevel {
+            bti_dvth: self.bti_dvth,
+            hci_eq_cycles: self.hci_eq_cycles,
+        }
+    }
+
+    /// Restores wear accumulators captured by [`TransistorAging::wear`].
+    /// The variability multipliers are untouched, so restoring onto the
+    /// same fabricated device reproduces its aged state bitwise.
+    pub fn set_wear(&mut self, wear: WearLevel) {
+        self.bti_dvth = wear.bti_dvth;
+        self.hci_eq_cycles = wear.hci_eq_cycles;
     }
 
     /// This device's BTI variability multiplier.

@@ -29,7 +29,7 @@ pub mod sink;
 pub mod sketch;
 pub mod span;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use metrics::{Histogram, Registry};
@@ -67,6 +67,78 @@ thread_local! {
     // the scratch registry by name on read; sketch merge is commutative, so
     // neither the slot order nor the fold timing can perturb the bytes.
     static HOT_SKETCHES: RefCell<Vec<(&'static str, Sketch)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One hot-path metric emission teed off by an active tap recording.
+///
+/// Only the literal-name fast paths ([`counter`] and [`sketch`]) are
+/// tapped: they are the ones the per-device aging/readout loops drive, and
+/// the aged-state snapshot layer needs to replay exactly those emissions
+/// when it restores a chip instead of re-aging it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TapEvent {
+    /// A [`counter`] call: `(name, delta)`.
+    Counter(&'static str, u64),
+    /// A [`sketch`] observation: `(name, value)`.
+    Sketch(&'static str, f64),
+}
+
+thread_local! {
+    // One dedicated flag so the [`counter`]/[`sketch`] fast paths pay a
+    // single thread-local bool check while no tap is recording.
+    static TAP_ON: Cell<bool> = const { Cell::new(false) };
+    static TAP: RefCell<Vec<TapEvent>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Starts (or restarts) a tap recording on this thread: every subsequent
+/// [`counter`]/[`sketch`] call is both emitted normally *and* appended to
+/// the tape, until [`tap_take`] collects it. While instrumentation is
+/// disabled nothing is emitted and therefore nothing is taped — replaying
+/// such a tape is a no-op, exactly matching what the recorded code would
+/// have emitted live.
+pub fn tap_begin() {
+    TAP.with(|t| t.borrow_mut().clear());
+    TAP_ON.with(|on| on.set(true));
+}
+
+/// Number of events taped so far (0 without an active recording). Callers
+/// bracket sub-sections of a recording — e.g. one ring's stress emissions
+/// — as `(tap_position .. tap_position)` spans into the taken tape.
+#[must_use]
+pub fn tap_position() -> usize {
+    TAP.with(|t| t.borrow().len())
+}
+
+/// Ends the recording and returns the tape.
+#[must_use]
+pub fn tap_take() -> Vec<TapEvent> {
+    TAP_ON.with(|on| on.set(false));
+    TAP.with(|t| std::mem::take(&mut *t.borrow_mut()))
+}
+
+/// Re-emits a slice of taped events in order. Counters commute, and
+/// sketch observations are replayed in their original order, so the
+/// scratch-registry state after a replay is bitwise identical to what the
+/// recorded code would have produced live (same names, same values, same
+/// fold order). Inert while instrumentation is disabled — like the
+/// original emissions would have been.
+pub fn tap_replay(events: &[TapEvent]) {
+    if !enabled() {
+        return;
+    }
+    for event in events {
+        match *event {
+            TapEvent::Counter(name, delta) => counter(name, delta),
+            TapEvent::Sketch(name, value) => sketch(name, value),
+        }
+    }
+}
+
+#[inline]
+fn tap_push(event: TapEvent) {
+    if TAP_ON.with(Cell::get) {
+        TAP.with(|t| t.borrow_mut().push(event));
+    }
 }
 
 /// Folds the pointer-keyed counter and sketch slots into the scratch
@@ -118,6 +190,7 @@ pub fn span(name: &str) -> Span {
 #[inline]
 pub fn counter(name: &'static str, delta: u64) {
     if enabled() {
+        tap_push(TapEvent::Counter(name, delta));
         HOT_COUNTERS.with(|h| {
             let mut slots = h.borrow_mut();
             for slot in slots.iter_mut() {
@@ -159,6 +232,7 @@ pub fn observe(name: &str, value: f64) {
 #[inline]
 pub fn sketch(name: &'static str, value: f64) {
     if enabled() {
+        tap_push(TapEvent::Sketch(name, value));
         HOT_SKETCHES.with(|h| {
             let mut slots = h.borrow_mut();
             for slot in slots.iter_mut() {
@@ -385,6 +459,56 @@ mod tests {
 
         set_enabled(false);
         reset();
+    }
+
+    #[test]
+    fn tap_replay_reproduces_the_recorded_registry_state() {
+        let _guard = lock();
+        set_enabled(true);
+        reset();
+
+        tap_begin();
+        assert_eq!(tap_position(), 0);
+        counter("tap.count", 2);
+        let mid = tap_position();
+        sketch("tap.value", 1.5);
+        counter("tap.count", 3);
+        let tape = tap_take();
+        assert_eq!(mid, 1);
+        assert_eq!(tape.len(), 3);
+        let live = take_scratch();
+
+        // Replaying the whole tape reproduces the live registry exactly.
+        tap_replay(&tape);
+        let replayed = take_scratch();
+        assert_eq!(replayed.dump(), live.dump());
+
+        // Spans address sub-sections: just the post-`mid` emissions.
+        tap_replay(&tape[mid..]);
+        let partial = take_scratch();
+        assert_eq!(partial.counter("tap.count"), 3);
+        assert_eq!(partial.sketch("tap.value").map(Sketch::count), Some(1));
+
+        // Replay while a tap is not recording must not extend any tape.
+        tap_begin();
+        assert_eq!(tap_position(), 0);
+        let _ = tap_take();
+
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn tap_is_inert_while_disabled() {
+        let _guard = lock();
+        set_enabled(false);
+        reset();
+        tap_begin();
+        counter("tap.off", 1);
+        sketch("tap.off.s", 1.0);
+        assert!(tap_take().is_empty(), "disabled emissions must not tape");
+        tap_replay(&[TapEvent::Counter("tap.off", 1)]);
+        assert!(snapshot().is_empty());
     }
 
     #[test]

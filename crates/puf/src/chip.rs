@@ -92,8 +92,29 @@ impl Chip {
         &self.ros
     }
 
+    /// Mutable ring access for the aged-state snapshot layer (same
+    /// crate only — external callers go through `set_ro_health` and the
+    /// stress entry points).
+    pub(crate) fn ros_mut(&mut self) -> &mut [RingOscillator] {
+        &mut self.ros
+    }
+
     pub(crate) fn add_age(&mut self, seconds: f64) {
         self.age_s += seconds;
+    }
+
+    /// Rewinds this chip to the bitwise state `Chip::fabricate` produced:
+    /// fresh silicon, healthy rings, measurement nonce back at the start
+    /// of the chip's noise stream. Lets lifecycle sweeps reuse one
+    /// fabricated workspace across trials instead of re-sampling the
+    /// whole array (fabrication draws process variation once; it is not
+    /// consumed by aging or measurement).
+    pub fn reset_to_fabricated(&mut self) {
+        for ro in &mut self.ros {
+            ro.reset_to_fabricated();
+        }
+        self.measure_nonce = self.id << 32;
+        self.age_s = 0.0;
     }
 
     /// Sets the hard-fault state of ring `index` — the fault-injection
@@ -227,13 +248,46 @@ impl Chip {
         votes: usize,
     ) -> BitString {
         assert!(votes >= 1 && votes % 2 == 1, "votes must be odd");
+        // True frequencies are vote-invariant (noise enters at the
+        // readout), so resolve each ring once per call instead of
+        // re-walking the kernel cache `2 * votes` times per pair. The
+        // noise-draw order and count are unchanged, and `frequency`
+        // emits only on kernel rebuilds — first touch per ring, exactly
+        // as in the unhoisted loop — so responses and telemetry are
+        // byte-identical.
+        let mut freqs: Vec<Option<f64>> = vec![None; self.ros.len()];
+        let mut freq_of = |chip: &Self, index: usize| -> f64 {
+            *freqs[index].get_or_insert_with(|| {
+                chip.ros[index].frequency(design.tech(), env, &chip.process)
+            })
+        };
+        let majority = votes / 2 + 1;
         pairs
             .iter()
-            .map(|&p| {
-                let ones = (0..votes)
-                    .filter(|_| self.measure_pair(design, env, p))
-                    .count();
-                ones * 2 > votes
+            .map(|&(i, j)| {
+                // Early-majority cut: once either side holds a strict
+                // majority of the vote budget, the remaining measurements
+                // cannot change the bit. Each skipped measurement's noise
+                // came from its own discarded per-measurement RNG, so
+                // advancing the nonce stream by the skipped count leaves
+                // every later draw — and thus every response bit — exactly
+                // where the full loop would have put it.
+                let mut ones = 0usize;
+                for vote in 0..votes {
+                    let f_i = freq_of(self, i);
+                    let f_j = freq_of(self, j);
+                    let a = design.readout().measure(f_i, &mut self.next_noise_rng());
+                    let b = design.readout().measure(f_j, &mut self.next_noise_rng());
+                    if a.bit_against(&b) {
+                        ones += 1;
+                    }
+                    let zeros = vote + 1 - ones;
+                    if ones >= majority || zeros >= majority {
+                        self.measure_nonce += 2 * (votes - vote - 1) as u64;
+                        break;
+                    }
+                }
+                ones >= majority
             })
             .collect()
     }

@@ -17,6 +17,8 @@
 //!   golden response.
 //! * [`lifetime`] — mission profiles and the aging scheduler that plays a
 //!   deployment (idle stress + measurement stress) onto a chip.
+//! * [`snapshot`] — aged-state snapshots: record one aging step, replay
+//!   it bit-identically onto chips walking the same mission history.
 //! * [`population`] — Monte Carlo chip populations for the paper's
 //!   inter-chip statistics.
 //!
@@ -46,12 +48,13 @@ pub mod enrollment;
 pub mod lifetime;
 pub mod pairing;
 pub mod population;
+pub mod snapshot;
 
 pub use auth::CrpDatabase;
 pub use challenge::Challenge;
 pub use chip::Chip;
 pub use design::PufDesign;
 pub use enrollment::Enrollment;
-pub use lifetime::{MissionProfile, MissionSchedule};
+pub use lifetime::{MissionProfile, MissionSchedule, MissionStep, MissionStepKey};
 pub use pairing::PairingStrategy;
 pub use population::Population;

@@ -61,6 +61,52 @@ impl MissionProfile {
         self.readouts_per_day * (duration_s / DAY) * design.readout().gate_time_s
     }
 
+    /// Resolves one aging step of this mission: the exact models,
+    /// environment and stress durations [`MissionProfile::age_chip`] will
+    /// apply for `duration_s` seconds of calendar time. The aged-state
+    /// snapshot layer records and replays steps through this single
+    /// resolution point, so a snapshotted step is the same step by
+    /// construction.
+    ///
+    /// # Panics
+    /// Panics if `duration_s` is negative or `powered_fraction` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn step(&self, design: &PufDesign, duration_s: f64) -> MissionStep {
+        assert!(duration_s >= 0.0, "duration must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.powered_fraction),
+            "powered fraction must be in [0, 1]"
+        );
+        let active_s = self.active_seconds(design, duration_s).min(duration_s);
+        let idle_s = (duration_s * self.powered_fraction - active_s).max(0.0);
+        MissionStep {
+            models: AgingModels::new(design.tech()),
+            env: Environment::new(self.temp_celsius, self.vdd),
+            temp_celsius: self.temp_celsius,
+            vdd: self.vdd,
+            active_s,
+            idle_s,
+            duration_s,
+        }
+    }
+
+    /// The snapshot-cache identity of one aging step: exact bit patterns
+    /// of every profile parameter plus the step duration. Two steps with
+    /// equal keys applied to the same design resolve to bitwise-identical
+    /// [`MissionStep`]s (the design contributes the gate time and
+    /// technology, and is keyed separately by the snapshot store).
+    #[must_use]
+    pub fn step_key(&self, duration_s: f64) -> MissionStepKey {
+        MissionStepKey([
+            self.temp_celsius.to_bits(),
+            self.vdd.to_bits(),
+            self.powered_fraction.to_bits(),
+            self.readouts_per_day.to_bits(),
+            duration_s.to_bits(),
+        ])
+    }
+
     /// Plays `duration_s` seconds of this mission onto `chip`: applies
     /// oscillation stress for the accumulated measurement windows and
     /// idle-state stress for the remaining powered time, then advances the
@@ -70,20 +116,39 @@ impl MissionProfile {
     /// Panics if `duration_s` is negative or `powered_fraction` is outside
     /// `[0, 1]`.
     pub fn age_chip(&self, chip: &mut Chip, design: &PufDesign, duration_s: f64) {
-        assert!(duration_s >= 0.0, "duration must be non-negative");
-        assert!(
-            (0.0..=1.0).contains(&self.powered_fraction),
-            "powered fraction must be in [0, 1]"
-        );
-        let models = AgingModels::new(design.tech());
-        let env = Environment::new(self.temp_celsius, self.vdd);
-        let active_s = self.active_seconds(design, duration_s).min(duration_s);
-        let idle_s = (duration_s * self.powered_fraction - active_s).max(0.0);
-        chip.stress_active(design, &models, &env, active_s);
-        chip.stress_idle(design, &models, self.temp_celsius, self.vdd, idle_s);
-        chip.add_age(duration_s);
+        let step = self.step(design, duration_s);
+        chip.stress_active(design, &step.models, &step.env, step.active_s);
+        chip.stress_idle(design, &step.models, step.temp_celsius, step.vdd, step.idle_s);
+        chip.add_age(step.duration_s);
     }
 }
+
+/// One resolved aging step (see [`MissionProfile::step`]): everything
+/// [`MissionProfile::age_chip`] derives before stressing the chip.
+#[derive(Debug, Clone)]
+pub struct MissionStep {
+    /// Wear-out models of the design's technology.
+    pub models: AgingModels,
+    /// Powered-state environment of the mission.
+    pub env: Environment,
+    /// Die temperature while powered, in °C.
+    pub temp_celsius: f64,
+    /// Supply while powered, in volts.
+    pub vdd: f64,
+    /// Accumulated oscillation (measurement) seconds of the step.
+    pub active_s: f64,
+    /// Idle-state stress seconds of the step.
+    pub idle_s: f64,
+    /// Calendar seconds the step advances the chip's age by.
+    pub duration_s: f64,
+}
+
+/// Value identity of one aging step for snapshot keying — exact float
+/// bit patterns, since BTI equivalent-time accumulation is not additive
+/// and two different step *sequences* to the same total age are
+/// legitimately different wear histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissionStepKey([u64; 5]);
 
 /// The paper's standard aging checkpoints: 1 month, 6 months, 1, 2, 5 and
 /// 10 years (as absolute ages in seconds).

@@ -33,6 +33,7 @@ use aro_puf::{Chip, MissionProfile, PairingStrategy, PufDesign};
 
 use crate::config::SimConfig;
 use crate::experiments::exp2;
+use crate::popcache::{age_chip_snapshotted, AgeCursor};
 use crate::report::Report;
 use crate::runner::{pct, puf_area_params};
 use crate::table::Table;
@@ -86,6 +87,50 @@ impl FaultedKeyTrial {
     }
 }
 
+/// The chaos sweep's reusable chip bench for one style: fabricated once
+/// with cached golden (enrollment) responses, rewound to fresh silicon
+/// per intensity point (see EXP-16's workspace for the pattern).
+struct StyleWorkspace {
+    design: PufDesign,
+    env: Environment,
+    profile: MissionProfile,
+    pairs: Vec<(usize, usize)>,
+    chips: Vec<Chip>,
+    goldens: Vec<BitString>,
+}
+
+impl StyleWorkspace {
+    fn new(cfg: &SimConfig, style: RoStyle, generator: &KeyGenerator, chips: usize) -> Self {
+        let n_ros = 2 * generator.response_bits();
+        let design = PufDesign::builder(style)
+            .n_ros(n_ros)
+            .seed(cfg.seed ^ 0xe2e)
+            .build();
+        let env = Environment::nominal(design.tech());
+        let profile = MissionProfile::typical(design.tech());
+        let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+        // Chips and goldens come from the population cache: EXP-8 already
+        // fabricated and enrolled exactly this silicon (same design seed),
+        // so the sweep reads the cached population back instead of
+        // re-deriving process variation and enrollment responses.
+        let chips: Vec<Chip> = (0..chips as u64)
+            .map(|id| crate::popcache::fabricated_chip(&design, id))
+            .collect();
+        let goldens: Vec<BitString> = chips
+            .iter()
+            .map(|chip| crate::popcache::golden_response(chip, &design, &env, &pairs))
+            .collect();
+        Self {
+            design,
+            env,
+            profile,
+            pairs,
+            chips,
+            goldens,
+        }
+    }
+}
+
 /// Runs the faulted end-to-end flow for one style at one intensity.
 /// Deterministic in `(cfg, style, generator, intensity)`: the injector is
 /// coordinate-addressed, so the schedule does not depend on thread count
@@ -100,34 +145,54 @@ pub fn run_trial(
     chips: usize,
     attempts_per_chip: usize,
 ) -> FaultedKeyTrial {
+    let mut workspace = StyleWorkspace::new(cfg, style, generator, chips);
+    run_trial_on(cfg, &mut workspace, intensity, generator, attempts_per_chip)
+}
+
+/// [`run_trial`] on a reusable [`StyleWorkspace`]. The ten-year aging
+/// step goes through the aged-state snapshot store
+/// ([`age_chip_snapshotted`]): inside one run, EXP-8 has already walked
+/// the same silicon through the same step, so every intensity replays
+/// its wear instead of re-deriving it.
+fn run_trial_on(
+    cfg: &SimConfig,
+    workspace: &mut StyleWorkspace,
+    intensity: f64,
+    generator: &KeyGenerator,
+    attempts_per_chip: usize,
+) -> FaultedKeyTrial {
     let plan = FaultPlan::storm().scaled(intensity);
     let inj = FaultInjector::new(plan, cfg.seed);
 
-    let n_ros = 2 * generator.response_bits();
-    let design = PufDesign::builder(style)
-        .n_ros(n_ros)
-        .seed(cfg.seed ^ 0xe2e)
-        .build();
-    let env = Environment::nominal(design.tech());
-    let profile = MissionProfile::typical(design.tech());
-    let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+    let StyleWorkspace {
+        design,
+        env,
+        profile,
+        pairs,
+        chips,
+        goldens,
+    } = workspace;
+    let style = design.style();
+    let n_ros = design.n_ros();
+    let chip_count = chips.len();
 
     let mut recovered = 0;
     let mut recovered_soft = 0;
     let mut recovered_erasure_aware = 0;
     let mut hard_faulted_ros = 0;
     let mut helper_bits_erased = 0;
-    for id in 0..chips as u64 {
+    for (slot, chip) in chips.iter_mut().enumerate() {
+        let id = slot as u64;
         // Factory: healthy silicon, nominal conditions, pristine NVM.
-        let mut chip = Chip::fabricate(&design, id);
+        chip.reset_to_fabricated();
+        let mut cursor = AgeCursor::new();
         let mut enroll_rng = design.seed_domain().child("keygen").rng(id);
-        let enrollment_response = chip.golden_response(&design, &env, &pairs);
-        let (key, helper) = generator.enroll(&enrollment_response, &mut enroll_rng);
+        let (key, helper) = generator.enroll(&goldens[slot], &mut enroll_rng);
 
         // Field: rings die behind the factory's back, stored helper bits
         // erode once (NVM damage persists across attempts).
-        for (slot, health) in inj.hard_faults(id, n_ros) {
-            chip.set_ro_health(slot, health);
+        for (fault_slot, health) in inj.hard_faults(id, n_ros) {
+            chip.set_ro_health(fault_slot, health);
         }
         hard_faulted_ros += chip.faulted_ro_count();
         let erasures = inj.helper_erasures(id, &helper.block_lens());
@@ -151,7 +216,7 @@ pub fn run_trial(
                 .collect(),
         };
 
-        profile.age_chip(&mut chip, &design, 10.0 * YEAR);
+        age_chip_snapshotted(chip, design, profile, 10.0 * YEAR, &mut cursor);
 
         for attempt in 0..attempts_per_chip as u64 {
             // Each attempt is one measurement event: it may run under a
@@ -159,13 +224,13 @@ pub fn run_trial(
             // counters may glitch. The soft reading consumes the exact
             // nonce stream `Chip::response` would, so the hard-decode
             // column is byte-identical to the original flow.
-            let meas_env = inj.measurement_env(id, attempt, &env);
+            let meas_env = inj.measurement_env(id, attempt, env);
             let burst_design = inj
                 .noise_burst(id, attempt)
                 .map(|factor| design.with_readout(design.readout().with_noise_burst(factor)));
-            let meas_design = burst_design.as_ref().unwrap_or(&design);
+            let meas_design = burst_design.as_ref().unwrap_or(design);
             let mut soft: Vec<SoftBit> = chip
-                .response_soft(meas_design, &meas_env, &pairs)
+                .response_soft(meas_design, &meas_env, pairs)
                 .into_iter()
                 .map(|(bit, confidence)| SoftBit::new(bit, confidence))
                 .collect();
@@ -184,11 +249,15 @@ pub fn run_trial(
                 recovered_erasure_aware += 1;
             }
         }
+        // The attempts warmed kernels at the aged state; donate them so
+        // the next intensity point's replay preloads instead of
+        // rebuilding.
+        crate::popcache::harvest_kernel_hints(chip, design, &cursor);
     }
     FaultedKeyTrial {
         style,
         intensity,
-        chips,
+        chips: chip_count,
         attempts_per_chip,
         recovered,
         recovered_soft,
@@ -238,8 +307,11 @@ pub fn run(cfg: &SimConfig) -> Report {
     let mut anchors = Vec::new();
     let mut trials = Vec::new();
     for style in [RoStyle::AgingResistant, RoStyle::Conventional] {
+        // One fabricated bench per style for the whole intensity sweep,
+        // rewound to fresh silicon at each point.
+        let mut workspace = StyleWorkspace::new(cfg, style, &generator, chips);
         for intensity in INTENSITIES {
-            let trial = run_trial(cfg, style, &generator, intensity, chips, attempts);
+            let trial = run_trial_on(cfg, &mut workspace, intensity, &generator, attempts);
             if intensity == 0.0 {
                 anchors.push(trial.clone());
             }

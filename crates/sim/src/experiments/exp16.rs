@@ -41,10 +41,12 @@ use aro_ecc::keygen::KeyGenerator;
 use aro_ecc::refresh::{refresh_enrollment, RefreshSchedule};
 use aro_ecc::soft::{Erasures, SoftBit};
 use aro_faults::{FaultInjector, FaultPlan};
+use aro_metrics::bits::BitString;
 use aro_puf::{Chip, MissionProfile, PairingStrategy, PufDesign};
 
 use crate::config::SimConfig;
 use crate::experiments::exp2;
+use crate::popcache::{age_chip_snapshotted, AgeCursor};
 use crate::report::Report;
 use crate::runner::{pct, puf_area_params};
 use crate::table::Table;
@@ -123,11 +125,64 @@ fn faulted_soft_reading(
     soft
 }
 
+/// The sweep's reusable chip bench: the design and its fabricated chips
+/// plus their golden (enrollment) responses, built once for all twelve
+/// (intensity, interval) points. Fabrication and the golden read are
+/// pure per *(design, chip id)*, so each trial rewinds the silicon with
+/// [`Chip::reset_to_fabricated`] instead of re-sampling it, and re-uses
+/// the cached goldens instead of re-deriving every ring's frequency.
+struct SweepWorkspace {
+    design: PufDesign,
+    env: Environment,
+    profile: MissionProfile,
+    pairs: Vec<(usize, usize)>,
+    chips: Vec<Chip>,
+    goldens: Vec<BitString>,
+}
+
+impl SweepWorkspace {
+    fn new(cfg: &SimConfig, generator: &KeyGenerator, chips: usize) -> Self {
+        let n_ros = 2 * generator.response_bits();
+        let design = PufDesign::builder(RoStyle::AgingResistant)
+            .n_ros(n_ros)
+            .seed(cfg.seed ^ 0xe16)
+            .build();
+        let env = Environment::nominal(design.tech());
+        let profile = MissionProfile::typical(design.tech());
+        let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+        let chips: Vec<Chip> = (0..chips as u64)
+            .map(|id| Chip::fabricate(&design, id))
+            .collect();
+        let goldens: Vec<BitString> = chips
+            .iter()
+            .map(|chip| chip.golden_response(&design, &env, &pairs))
+            .collect();
+        Self {
+            design,
+            env,
+            profile,
+            pairs,
+            chips,
+            goldens,
+        }
+    }
+}
+
+/// Rebuilds the device's own damage knowledge in place: the dedup'd
+/// erosion backlog replaces the helper flags while the BIST response
+/// flags (constant for the whole mission) stay put — no per-window
+/// clone of the BIST vector.
+fn refresh_known(known: &mut Erasures, accumulated: &[(usize, usize)]) {
+    known.helper.clear();
+    known.helper.extend_from_slice(accumulated);
+    known.helper.sort_unstable();
+    known.helper.dedup();
+}
+
 /// Runs one (intensity, interval) point of the maintained mission.
 /// Deterministic in its arguments: the injector is coordinate-addressed
 /// and every measurement event has a stable id.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_trial(
     cfg: &SimConfig,
     generator: &KeyGenerator,
@@ -136,29 +191,56 @@ pub fn run_trial(
     chips: usize,
     attempts_per_chip: usize,
 ) -> LifecycleTrial {
+    let mut workspace = SweepWorkspace::new(cfg, generator, chips);
+    run_trial_on(
+        cfg,
+        generator,
+        &mut workspace,
+        intensity,
+        interval_years,
+        attempts_per_chip,
+    )
+}
+
+/// [`run_trial`] on a reusable [`SweepWorkspace`]. Aging goes through the
+/// aged-state snapshot store ([`age_chip_snapshotted`]): all three
+/// intensities walk the same per-interval aging prefixes, so only the
+/// first trial to reach a given window pays the wear physics.
+#[allow(clippy::too_many_lines)]
+fn run_trial_on(
+    cfg: &SimConfig,
+    generator: &KeyGenerator,
+    workspace: &mut SweepWorkspace,
+    intensity: f64,
+    interval_years: f64,
+    attempts_per_chip: usize,
+) -> LifecycleTrial {
     let mission_s = 10.0 * YEAR;
     let plan = FaultPlan::storm().scaled(intensity);
     let inj = FaultInjector::new(plan, cfg.seed);
     let schedule = RefreshSchedule::new(interval_years * YEAR, mission_s);
 
-    let n_ros = 2 * generator.response_bits();
-    let design = PufDesign::builder(RoStyle::AgingResistant)
-        .n_ros(n_ros)
-        .seed(cfg.seed ^ 0xe16)
-        .build();
-    let env = Environment::nominal(design.tech());
-    let profile = MissionProfile::typical(design.tech());
-    let pairs = PairingStrategy::Neighbor.pairs(n_ros);
+    let SweepWorkspace {
+        design,
+        env,
+        profile,
+        pairs,
+        chips,
+        goldens,
+    } = workspace;
+    let n_ros = design.n_ros();
+    let chip_count = chips.len();
 
     let mut recovered = 0;
     let mut refreshes_scheduled = 0;
     let mut refreshes_succeeded = 0;
     let mut helper_bits_eroded = 0;
-    for id in 0..chips as u64 {
-        let mut chip = Chip::fabricate(&design, id);
+    for (slot, chip) in chips.iter_mut().enumerate() {
+        let id = slot as u64;
+        chip.reset_to_fabricated();
+        let mut cursor = AgeCursor::new();
         let mut rng = design.seed_domain().child("exp16").rng(id);
-        let enrolled = chip.golden_response(&design, &env, &pairs);
-        let (mut key, mut helper) = generator.enroll(&enrolled, &mut rng);
+        let (mut key, mut helper) = generator.enroll(&goldens[slot], &mut rng);
         let block_lens = helper.block_lens();
 
         // The field kills rings up front (worst case for a lifecycle:
@@ -177,16 +259,13 @@ pub fn run_trial(
             .collect();
 
         // Erosion accumulates between refreshes; a successful refresh
-        // writes a pristine helper block and clears the backlog.
+        // writes a pristine helper block and clears the backlog. The
+        // BIST flags live in `known.response` for the whole mission;
+        // only the helper backlog is rebuilt per window.
         let mut accumulated: Vec<(usize, usize)> = Vec::new();
-        let known = |accumulated: &[(usize, usize)]| {
-            let mut flagged: Vec<(usize, usize)> = accumulated.to_vec();
-            flagged.sort_unstable();
-            flagged.dedup();
-            Erasures {
-                helper: flagged,
-                response: bist.clone(),
-            }
+        let mut known = Erasures {
+            helper: Vec::new(),
+            response: bist,
         };
 
         let mut boundaries = schedule.refresh_times();
@@ -194,7 +273,7 @@ pub fn run_trial(
         let mut elapsed = 0.0;
         for (window, &t) in boundaries.iter().enumerate() {
             let dt = t - elapsed;
-            profile.age_chip(&mut chip, &design, dt);
+            age_chip_snapshotted(chip, design, profile, dt, &mut cursor);
             accumulated.extend(inj.helper_erasures_during(
                 id,
                 window as u64,
@@ -209,14 +288,14 @@ pub fn run_trial(
             }
             refreshes_scheduled += 1;
             let eroded = helper.with_flipped_bits(&accumulated);
-            let erasures = known(&accumulated);
+            refresh_known(&mut known, &accumulated);
             for retry in 0..READ_RETRIES as u64 {
                 let event = REFRESH_EVENT_BASE + window as u64 * READ_RETRIES as u64 + retry;
-                let soft = faulted_soft_reading(&inj, &mut chip, &design, &env, &pairs, id, event);
-                let anchor = chip.response_voted(&design, &env, &pairs, 5);
-                if let Some((new_key, new_helper)) = refresh_enrollment(
-                    generator, &soft, &eroded, &erasures, &key, &anchor, &mut rng,
-                ) {
+                let soft = faulted_soft_reading(&inj, chip, design, env, pairs, id, event);
+                let anchor = chip.response_voted(design, env, pairs, 5);
+                if let Some((new_key, new_helper)) =
+                    refresh_enrollment(generator, &soft, &eroded, &known, &key, &anchor, &mut rng)
+                {
                     key = new_key;
                     helper = new_helper;
                     helper_bits_eroded += accumulated.len();
@@ -231,12 +310,12 @@ pub fn run_trial(
         // actually stored, under full field faults.
         helper_bits_eroded += accumulated.len();
         let eroded = helper.with_flipped_bits(&accumulated);
-        let erasures = known(&accumulated);
+        refresh_known(&mut known, &accumulated);
         for attempt in 0..attempts_per_chip as u64 {
             for retry in 0..READ_RETRIES as u64 {
                 let event = attempt * READ_RETRIES as u64 + retry;
-                let soft = faulted_soft_reading(&inj, &mut chip, &design, &env, &pairs, id, event);
-                if generator.reconstruct_soft_erasure_aware(&soft, &eroded, &erasures)
+                let soft = faulted_soft_reading(&inj, chip, design, env, pairs, id, event);
+                if generator.reconstruct_soft_erasure_aware(&soft, &eroded, &known)
                     == Some(key.clone())
                 {
                     recovered += 1;
@@ -244,11 +323,15 @@ pub fn run_trial(
                 }
             }
         }
+        // The mission's reads warmed this chip's kernels at its final
+        // aged state; donate them so the next trial to replay the same
+        // aging prefix preloads instead of rebuilding.
+        crate::popcache::harvest_kernel_hints(chip, design, &cursor);
     }
     LifecycleTrial {
         intensity,
         interval_years,
-        chips,
+        chips: chip_count,
         attempts_per_chip,
         recovered,
         refreshes_scheduled,
@@ -294,6 +377,10 @@ pub fn run(cfg: &SimConfig) -> Report {
 
     let chips = cfg.n_chips.clamp(4, 8);
     let attempts = 2;
+    // One fabricated bench for the whole 12-point sweep; every trial
+    // rewinds it to fresh silicon and re-ages it through the snapshot
+    // store (the sweep's aging prefixes repeat across intensities).
+    let mut workspace = SweepWorkspace::new(cfg, &generator, chips);
     let mut table = Table::new(
         "Ten-year key recovery vs. refresh interval (ARO-PUF, storm-scaled faults)",
         &[
@@ -310,7 +397,14 @@ pub fn run(cfg: &SimConfig) -> Report {
     for intensity in INTENSITIES {
         let mut trials = Vec::new();
         for interval_years in INTERVALS_YEARS {
-            let trial = run_trial(cfg, &generator, intensity, interval_years, chips, attempts);
+            let trial = run_trial_on(
+                cfg,
+                &generator,
+                &mut workspace,
+                intensity,
+                interval_years,
+                attempts,
+            );
             table.push_row(vec![
                 format!("{intensity:.2}"),
                 interval_label(interval_years),

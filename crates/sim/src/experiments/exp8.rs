@@ -14,10 +14,11 @@ use aro_circuit::ring::RoStyle;
 use aro_device::environment::Environment;
 use aro_device::units::YEAR;
 use aro_ecc::keygen::KeyGenerator;
-use aro_puf::{Chip, MissionProfile, PairingStrategy, PufDesign};
+use aro_puf::{MissionProfile, PairingStrategy, PufDesign};
 
 use crate::config::SimConfig;
 use crate::experiments::exp2;
+use crate::popcache::{age_chip_snapshotted, AgeCursor};
 use crate::report::Report;
 use crate::runner::{pct, puf_area_params};
 use crate::table::Table;
@@ -64,12 +65,18 @@ pub fn run_trial(
 
     let mut failures = 0;
     for id in 0..chips as u64 {
-        let mut chip = Chip::fabricate(&design, id);
+        // Chip and golden come from the population cache: EXP-15's chaos
+        // sweep re-enrolls the same silicon and reads them back.
+        let mut chip = crate::popcache::fabricated_chip(&design, id);
         let mut enroll_rng = design.seed_domain().child("keygen").rng(id);
-        let enrollment_response = chip.golden_response(&design, &env, &pairs);
+        let enrollment_response = crate::popcache::golden_response(&chip, &design, &env, &pairs);
         let (key, helper) = generator.enroll(&enrollment_response, &mut enroll_rng);
 
-        profile.age_chip(&mut chip, &design, 10.0 * YEAR);
+        // Through the aged-state snapshot store: this is the first walk
+        // of the shared ten-year step inside a run, so it records the
+        // wear that EXP-15's intensity sweep later replays per chip.
+        let mut cursor = AgeCursor::new();
+        age_chip_snapshotted(&mut chip, &design, &profile, 10.0 * YEAR, &mut cursor);
 
         for _ in 0..attempts_per_chip {
             let noisy = chip.response(&design, &env, &pairs);
@@ -77,6 +84,10 @@ pub fn run_trial(
                 failures += 1;
             }
         }
+        // The reads above warmed this chip's kernels at the post-step
+        // state; donate them so EXP-15's replays preload instead of
+        // rebuilding.
+        crate::popcache::harvest_kernel_hints(&chip, &design, &cursor);
     }
     KeyTrial {
         style,

@@ -30,13 +30,17 @@
 //! clone), while every key that is actually reused costs one extra
 //! fabrication amortized over all subsequent hits.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 use aro_circuit::ring::RoStyle;
+use aro_device::environment::Environment;
 use aro_ecc::area::{search_design, KeyGenSpec, PufAreaParams};
 use aro_ecc::keygen::KeyGenerator;
-use aro_puf::{MissionProfile, Population, PufDesign};
+use aro_metrics::bits::BitString;
+use aro_puf::snapshot::{age_step_recorded, age_step_replayed, AgedStepSnapshot};
+use aro_puf::{Chip, MissionProfile, MissionStepKey, Population, PufDesign};
 
 use crate::config::SimConfig;
 use crate::runner::{build_population, measure_flip_timeline, FlipTimeline};
@@ -51,6 +55,22 @@ pub const CAPACITY: usize = 8;
 /// `PufDesign` clone, not a population, so this bound is about lookup
 /// cost, not memory.
 const SEEN_CAPACITY: usize = 32;
+
+/// Maximum retained aged-step snapshots per scope (LRU beyond this). The
+/// lifecycle sweeps' shared ten-year timeline needs ~160 live entries
+/// (15 distinct aging prefixes × 8 chips for EXP-16, plus the single
+/// ten-year step of the EXP-8/15 population); an entry is ~20 KB of wear
+/// plus its telemetry tape (empty on un-instrumented runs).
+pub const SNAPSHOT_CAPACITY: usize = 256;
+
+/// Maximum retained single-chip baselines per scope (LRU beyond this).
+/// The lifecycle sweeps share one ~20-chip population across EXP-8 and
+/// EXP-15; a chip is a few MB of ring state, so the bound keeps the
+/// cache within one population's footprint.
+pub const CHIP_CAPACITY: usize = 24;
+
+/// Maximum retained golden responses per scope (LRU beyond this).
+const GOLDEN_CAPACITY: usize = 64;
 
 type Entry = (PufDesign, usize, Rc<Population>);
 
@@ -82,6 +102,38 @@ struct Scope {
     /// Memoized key generators built from those searches (shared by exp8
     /// and exp14, which provision for the same measured BER).
     generators: Vec<(ProvisionKey, Option<KeyGenerator>)>,
+    /// Recorded aging steps, LRU-ordered (oldest first). Keyed by the
+    /// silicon identity *(design, chip id)* plus the **full step-prefix
+    /// sequence** — BTI equivalent-time accumulation is not additive, so
+    /// two different partitions of the same calendar time are different
+    /// wear histories. Fault plans are deliberately *not* part of the
+    /// key: a snapshot records per-ring coverage, and replay ages any
+    /// ring the recording and replaying trials disagree on live (see
+    /// `aro_puf::snapshot`).
+    snapshots: Vec<SnapshotEntry>,
+    /// Pristine single-chip baselines, LRU-ordered. Fabrication is a
+    /// pure function of *(design, id)*; EXP-8 and EXP-15 walk the same
+    /// chips of the same design, so the second sweep clones instead of
+    /// re-sampling the whole array.
+    chips: Vec<(PufDesign, u64, Rc<Chip>)>,
+    /// Memoized golden (noiseless) responses of pristine chips, keyed by
+    /// *(design, chip id, environment, pairing)*, LRU-ordered.
+    goldens: Vec<GoldenEntry>,
+}
+
+struct GoldenEntry {
+    design: PufDesign,
+    chip_id: u64,
+    env: Environment,
+    pairs: Vec<(usize, usize)>,
+    golden: BitString,
+}
+
+struct SnapshotEntry {
+    design: PufDesign,
+    chip_id: u64,
+    steps: Vec<MissionStepKey>,
+    snapshot: Rc<AgedStepSnapshot>,
 }
 
 thread_local! {
@@ -191,6 +243,262 @@ pub fn reset() {
 #[must_use]
 pub fn retained_baselines() -> usize {
     CACHE.with(|cache| cache.borrow().as_ref().map_or(0, |s| s.entries.len()))
+}
+
+/// Number of retained aged-step snapshots in the active scope (0 without
+/// a scope). Exposed for cache-behavior tests.
+#[must_use]
+pub fn retained_snapshots() -> usize {
+    CACHE.with(|cache| cache.borrow().as_ref().map_or(0, |s| s.snapshots.len()))
+}
+
+/// The aging history a chip has walked since fabrication (or its last
+/// [`Chip::reset_to_fabricated`]) — the snapshot store's step-prefix key.
+///
+/// The caller owns the bookkeeping: start a fresh cursor whenever the
+/// chip starts from fresh silicon, and route **every** aging step of the
+/// trial through [`age_chip_snapshotted`] with the same cursor. A cursor
+/// that skips a step would key snapshots against the wrong wear state.
+#[derive(Debug, Clone, Default)]
+pub struct AgeCursor {
+    steps: Vec<MissionStepKey>,
+}
+
+impl AgeCursor {
+    /// A cursor for a chip at fresh (just-fabricated) silicon.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rewinds the cursor to fresh silicon (pair with
+    /// [`Chip::reset_to_fabricated`] when reusing a workspace chip).
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+}
+
+thread_local! {
+    /// Per-thread override of the snapshot kill switch (tests toggle it
+    /// mid-process; the env default is read once).
+    static SNAPSHOTS_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+fn snapshots_env_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("ARO_SNAPSHOTS").as_deref(),
+            Ok("off" | "0" | "false")
+        )
+    })
+}
+
+/// Whether the aged-state snapshot store is live. Defaults to on; the
+/// `ARO_SNAPSHOTS=off` environment variable (or a thread-local
+/// [`set_snapshots_enabled`] override) disables it, turning
+/// [`age_chip_snapshotted`] into a plain cold [`MissionProfile::age_chip`]
+/// — the determinism smokes byte-compare the two modes.
+#[must_use]
+pub fn snapshots_enabled() -> bool {
+    SNAPSHOTS_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(snapshots_env_default)
+}
+
+/// Overrides the snapshot kill switch on this thread: `Some(false)`
+/// forces cold aging, `Some(true)` forces the store on, `None` restores
+/// the `ARO_SNAPSHOTS` environment default. Test-only control surface —
+/// production callers use the environment variable.
+pub fn set_snapshots_enabled(on: Option<bool>) {
+    SNAPSHOTS_OVERRIDE.with(|cell| cell.set(on));
+}
+
+/// [`MissionProfile::age_chip`] routed through the aged-state snapshot
+/// store: the first trial to walk a given *(design, chip, step-prefix)*
+/// records the step, every later trial replays it. Outside a [`scoped`]
+/// region — or with snapshots disabled, see [`snapshots_enabled`] — this
+/// is exactly `age_chip` (and the cursor still advances, so code paths
+/// shared with un-scoped tests behave identically).
+///
+/// Byte-identity contract: responses, wear state, and telemetry match a
+/// cold `age_chip` walk bit for bit, under any fault plan — see
+/// [`aro_puf::snapshot`] for why replay is fault-safe.
+pub fn age_chip_snapshotted(
+    chip: &mut Chip,
+    design: &PufDesign,
+    profile: &MissionProfile,
+    duration_s: f64,
+    cursor: &mut AgeCursor,
+) {
+    let live = is_active() && snapshots_enabled();
+    if live && !cursor.steps.is_empty() {
+        // The reads since the previous step warmed this chip's kernels;
+        // offer them to that step's snapshot so replays can preload.
+        offer_kernel_hints(chip, design, &cursor.steps);
+    }
+    cursor.steps.push(profile.step_key(duration_s));
+    if !live {
+        profile.age_chip(chip, design, duration_s);
+        return;
+    }
+    let chip_id = chip.id();
+    let hit = CACHE.with(|cache| {
+        let mut slot = cache.borrow_mut();
+        let scope = slot.as_mut()?;
+        let index = scope.snapshots.iter().position(|entry| {
+            entry.chip_id == chip_id && entry.steps == cursor.steps && entry.design == *design
+        })?;
+        // LRU: refresh the entry's position before handing out the Rc.
+        let entry = scope.snapshots.remove(index);
+        let snapshot = Rc::clone(&entry.snapshot);
+        scope.snapshots.push(entry);
+        Some(snapshot)
+    });
+    // Counters stay outside the recorded tape: the tap only runs inside
+    // `age_step_recorded`, after the miss has been counted.
+    if let Some(snapshot) = hit {
+        aro_obs::counter("sim.snapshot_hits", 1);
+        age_step_replayed(chip, design, profile, duration_s, &snapshot);
+        return;
+    }
+    aro_obs::counter("sim.snapshot_misses", 1);
+    let snapshot = age_step_recorded(chip, design, profile, duration_s);
+    CACHE.with(|cache| {
+        if let Some(scope) = cache.borrow_mut().as_mut() {
+            if scope.snapshots.len() >= SNAPSHOT_CAPACITY {
+                scope.snapshots.remove(0);
+            }
+            scope.snapshots.push(SnapshotEntry {
+                design: design.clone(),
+                chip_id,
+                steps: cursor.steps.clone(),
+                snapshot: Rc::new(snapshot),
+            });
+        }
+    });
+}
+
+/// Offers a chip's warm kernels to the snapshot stored for `steps`
+/// (no-op when no such snapshot exists or its hints are already filled).
+fn offer_kernel_hints(chip: &Chip, design: &PufDesign, steps: &[MissionStepKey]) {
+    let chip_id = chip.id();
+    let snapshot = CACHE.with(|cache| {
+        let slot = cache.borrow();
+        let scope = slot.as_ref()?;
+        scope
+            .snapshots
+            .iter()
+            .find(|entry| {
+                entry.chip_id == chip_id && entry.steps == steps && entry.design == *design
+            })
+            .map(|entry| Rc::clone(&entry.snapshot))
+    });
+    if let Some(snapshot) = snapshot {
+        snapshot.harvest_kernel_hints(chip);
+    }
+}
+
+/// Offers the chip's warm kernels to the snapshot its cursor currently
+/// stands on. The lifecycle sweeps call this after a trial's *final*
+/// reads — mid-trial steps are harvested automatically by the next
+/// [`age_chip_snapshotted`] call, but the last step of a trial sees no
+/// further aging, so without this call its replays would rebuild kernels
+/// cold. No-op outside a scope or with snapshots disabled.
+pub fn harvest_kernel_hints(chip: &Chip, design: &PufDesign, cursor: &AgeCursor) {
+    if is_active() && snapshots_enabled() && !cursor.steps.is_empty() {
+        offer_kernel_hints(chip, design, &cursor.steps);
+    }
+}
+
+/// Fabricates (or clones) one chip of `design`. Inside a [`scoped`]
+/// region the first request per *(design, id)* retains a pristine
+/// baseline and every request returns a clone of it; outside a scope
+/// this is exactly [`Chip::fabricate`]. EXP-8 and EXP-15 walk the same
+/// chips of the same design, so the second sweep skips re-sampling the
+/// whole array. Active in both snapshot modes — the clone is bitwise the
+/// fabricated chip, so outputs are unchanged either way.
+#[must_use]
+pub fn fabricated_chip(design: &PufDesign, id: u64) -> Chip {
+    CACHE.with(|cache| {
+        let mut slot = cache.borrow_mut();
+        let Some(scope) = slot.as_mut() else {
+            return Chip::fabricate(design, id);
+        };
+        if let Some(index) = scope
+            .chips
+            .iter()
+            .position(|(d, i, _)| *i == id && d == design)
+        {
+            aro_obs::counter("sim.popcache_hits", 1);
+            let entry = scope.chips.remove(index);
+            let chip = (*entry.2).clone();
+            scope.chips.push(entry);
+            return chip;
+        }
+        aro_obs::counter("sim.popcache_misses", 1);
+        let baseline = Rc::new(Chip::fabricate(design, id));
+        let chip = (*baseline).clone();
+        if scope.chips.len() >= CHIP_CAPACITY {
+            scope.chips.remove(0);
+        }
+        scope.chips.push((design.clone(), id, baseline));
+        chip
+    })
+}
+
+/// [`Chip::golden_response`] memoized per scope for *pristine* chips
+/// (fresh silicon, no faults). The golden response is a pure function of
+/// *(design, chip id, environment, pairing)*; EXP-8 computes it for the
+/// chips EXP-15 re-enrolls, so the second sweep reads it back instead of
+/// re-deriving 2 500 ring frequencies. Aged or faulted chips bypass the
+/// cache (their "golden" would not be the enrollment-time one).
+#[must_use]
+pub fn golden_response(
+    chip: &Chip,
+    design: &PufDesign,
+    env: &Environment,
+    pairs: &[(usize, usize)],
+) -> BitString {
+    if chip.age_s() != 0.0 || chip.faulted_ro_count() != 0 {
+        return chip.golden_response(design, env, pairs);
+    }
+    let chip_id = chip.id();
+    let cached = CACHE.with(|cache| {
+        let mut slot = cache.borrow_mut();
+        let scope = slot.as_mut()?;
+        let index = scope.goldens.iter().position(|entry| {
+            entry.chip_id == chip_id
+                && entry.env == *env
+                && entry.pairs == pairs
+                && entry.design == *design
+        })?;
+        aro_obs::counter("sim.popcache_hits", 1);
+        let entry = scope.goldens.remove(index);
+        let golden = entry.golden.clone();
+        scope.goldens.push(entry);
+        Some(golden)
+    });
+    if let Some(golden) = cached {
+        return golden;
+    }
+    let golden = chip.golden_response(design, env, pairs);
+    CACHE.with(|cache| {
+        if let Some(scope) = cache.borrow_mut().as_mut() {
+            aro_obs::counter("sim.popcache_misses", 1);
+            if scope.goldens.len() >= GOLDEN_CAPACITY {
+                scope.goldens.remove(0);
+            }
+            scope.goldens.push(GoldenEntry {
+                design: design.clone(),
+                chip_id,
+                env: *env,
+                pairs: pairs.to_vec(),
+                golden: golden.clone(),
+            });
+        }
+    });
+    golden
 }
 
 /// The ten-year flip timeline of a style under a config — the
@@ -433,6 +741,62 @@ mod tests {
         });
         reset(); // no-op outside a scope
         assert!(!is_active());
+    }
+
+    #[test]
+    fn snapshotted_aging_is_bit_identical_to_cold_aging() {
+        use aro_device::units::YEAR;
+        let d = design(RoStyle::AgingResistant, 11);
+        let profile = MissionProfile::typical(d.tech());
+        let mut cold = Chip::fabricate(&d, 0);
+        for _ in 0..3 {
+            profile.age_chip(&mut cold, &d, 2.5 * YEAR);
+        }
+        scoped(|| {
+            // First walk records one snapshot per step.
+            let mut recorder = Chip::fabricate(&d, 0);
+            let mut cursor = AgeCursor::new();
+            for _ in 0..3 {
+                age_chip_snapshotted(&mut recorder, &d, &profile, 2.5 * YEAR, &mut cursor);
+            }
+            assert_eq!(retained_snapshots(), 3);
+            assert_eq!(recorder, cold);
+            // Second walk replays; no new entries, same bits.
+            let mut replayer = Chip::fabricate(&d, 0);
+            cursor.clear();
+            for _ in 0..3 {
+                age_chip_snapshotted(&mut replayer, &d, &profile, 2.5 * YEAR, &mut cursor);
+            }
+            assert_eq!(retained_snapshots(), 3, "replays must not re-record");
+            assert_eq!(replayer, cold);
+        });
+        assert_eq!(retained_snapshots(), 0, "store must die with the scope");
+    }
+
+    #[test]
+    fn snapshot_keys_distinguish_step_partitions_and_silicon() {
+        use aro_device::units::YEAR;
+        let d = design(RoStyle::Conventional, 12);
+        let profile = MissionProfile::typical(d.tech());
+        scoped(|| {
+            let mut one_step = Chip::fabricate(&d, 0);
+            let mut cursor = AgeCursor::new();
+            age_chip_snapshotted(&mut one_step, &d, &profile, 2.5 * YEAR, &mut cursor);
+            // Same calendar time as two 1.25-year steps, but BTI
+            // equivalent-time accumulation is not additive: the prefix
+            // key must not alias the partitions.
+            let mut two_steps = Chip::fabricate(&d, 0);
+            cursor.clear();
+            for _ in 0..2 {
+                age_chip_snapshotted(&mut two_steps, &d, &profile, 1.25 * YEAR, &mut cursor);
+            }
+            assert_eq!(retained_snapshots(), 3);
+            // Different chip of the same design: own entries.
+            let mut other = Chip::fabricate(&d, 1);
+            cursor.clear();
+            age_chip_snapshotted(&mut other, &d, &profile, 2.5 * YEAR, &mut cursor);
+            assert_eq!(retained_snapshots(), 4);
+        });
     }
 
     #[test]

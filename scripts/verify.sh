@@ -57,6 +57,24 @@ if [[ "$lifecycle" -ne 0 && "$lifecycle" -ne 3 ]]; then
 fi
 echo "lifecycle smoke exit: $lifecycle"
 
+# Snapshot-determinism smoke: the aged-state snapshot store must be
+# invisible in the output bytes. Run the snapshot-heavy lifecycle sweep
+# once through the store and once with it killed (ARO_SNAPSHOTS=off
+# routes every step through plain cold aging) and require identical
+# stdout. See docs/PERFORMANCE.md ("Aged-state snapshots").
+echo "==> snapshot smoke (ARO_SNAPSHOTS=off vs on, byte-compare)"
+snap_dir="$(mktemp -d /tmp/aro-verify-snap.XXXXXX)"
+./target/release/repro --quick exp16 > "$snap_dir/snapshotted.md"
+ARO_SNAPSHOTS=off ./target/release/repro --quick exp16 > "$snap_dir/cold.md"
+if ! cmp -s "$snap_dir/snapshotted.md" "$snap_dir/cold.md"; then
+    echo "verify: snapshotted exp16 differs from cold-aged exp16" >&2
+    diff "$snap_dir/snapshotted.md" "$snap_dir/cold.md" | head -20 >&2
+    rm -rf "$snap_dir"
+    exit 1
+fi
+rm -rf "$snap_dir"
+echo "snapshot smoke: snapshotted run byte-identical to cold run"
+
 # Ledger smoke: the checkpoint/resume contract, end to end on the real
 # binary. Run two experiments with a fresh ledger but "interrupt" after
 # the first (by only asking for it), resume the same ledger for both, and
