@@ -23,6 +23,8 @@
 //! repro report diff OLD NEW      # wall-time/metric deltas, exit 5 on
 //!                                # regression past --threshold
 //! repro report trajectory DIR    # fold BENCH_*.json into a time series
+//! repro serve-bench              # fleet auth service benchmark (exits 3
+//!                                # if the service ended degraded)
 //! repro --list                   # what is available
 //! ```
 //!
@@ -43,7 +45,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-const EXPERIMENTS: [(&str, &str); 17] = [
+const EXPERIMENTS: [(&str, &str); 18] = [
     ("exp1", "RO frequency degradation vs. time"),
     (
         "exp2",
@@ -73,7 +75,15 @@ const EXPERIMENTS: [(&str, &str); 17] = [
     ("exp15", "Key recovery under injected faults (chaos sweep)"),
     ("exp16", "Self-healing helper-data refresh (interval sweep)"),
     ("exp17", "Fault-aware provisioning envelope"),
+    ("exp18", "Fleet authentication service under fault storms"),
 ];
+
+/// Run modes that are not paper experiments (never part of a bare
+/// `repro` run; only run when named on the command line).
+const MODES: [(&str, &str); 1] = [(
+    "serve-bench",
+    "Fleet authentication service benchmark (auths/sec, p50/p99, FAR/FRR; exits 3 if the service ended degraded)",
+)];
 
 /// Everything that can go wrong, with the exit code it maps to.
 #[derive(Debug)]
@@ -127,7 +137,14 @@ impl fmt::Display for CliError {
 fn usage() -> String {
     let ids = ALL_IDS.join(" | ");
     format!(
-        "usage: repro [OPTIONS] [{ids}]...\n\
+        "usage: repro [OPTIONS] [{ids} | serve-bench]...\n\
+         \n\
+         modes (run only when named; never part of a bare `repro` run):\n\
+         \x20 serve-bench          fleet authentication service benchmark:\n\
+         \x20                      auths/sec, p50/p99 simulated latency, and\n\
+         \x20                      FAR/FRR vs. fleet age under the --faults\n\
+         \x20                      plan; exits 3 if the service ended a sweep\n\
+         \x20                      point degraded/read-only\n\
          \n\
          options:\n\
          \x20 --quick              smoke-test scale (10 chips x 64 ROs)\n\
@@ -173,7 +190,8 @@ fn usage() -> String {
          \x20 1  runtime/I-O failure\n\
          \x20 2  usage error\n\
          \x20 3  partial failure: some experiments failed, the rest were\n\
-         \x20    reported together with a failure table (degraded mode)\n\
+         \x20    reported together with a failure table (degraded mode);\n\
+         \x20    also: `serve-bench` ended with the service degraded\n\
          \x20 4  total failure: no requested experiment completed\n\
          \x20 5  `report diff` found a wall-time regression\n\
          \x20 141 output pipe closed by the consumer"
@@ -327,7 +345,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
             "--list" => return Ok(Parsed::List),
             "--help" | "-h" => return Ok(Parsed::Help),
             id if !id.starts_with('-') => {
-                if !ALL_IDS.contains(&id) {
+                let known =
+                    ALL_IDS.contains(&id) || MODES.iter().any(|&(mode, _)| mode == id);
+                if !known {
                     return Err(CliError::UnknownExperiment(id.to_string()));
                 }
                 opts.ids.push(id.to_string());
@@ -546,8 +566,20 @@ fn run(opts: &Options) -> Result<i32, CliError> {
     }
 
     let mut wall: Vec<(String, u128)> = Vec::with_capacity(outcome.successes.len());
+    // `serve-bench` reports carry a marker note when the service finished
+    // a sweep point outside its healthy state; that maps to exit 3
+    // (degraded-but-served) for fresh and ledger-replayed runs alike.
+    let mut serve_degraded = false;
     for success in &outcome.successes {
         wall.push((success.id.clone(), success.wall.as_nanos()));
+        if success.id == "serve-bench"
+            && success
+                .report
+                .to_string()
+                .contains(aro_sim::experiments::serve_bench::DEGRADED_MARKER)
+        {
+            serve_degraded = true;
+        }
         if !opts.quiet {
             emit(&success.report);
         }
@@ -590,7 +622,7 @@ fn run(opts: &Options) -> Result<i32, CliError> {
     }
     Ok(if outcome.is_total_failure() {
         4
-    } else if outcome.is_degraded() {
+    } else if outcome.is_degraded() || serve_degraded {
         3
     } else {
         0
@@ -606,7 +638,7 @@ fn main() {
     }
     match parse_args(args.into_iter()) {
         Ok(Parsed::List) => {
-            for (id, title) in EXPERIMENTS {
+            for (id, title) in EXPERIMENTS.into_iter().chain(MODES) {
                 emit(format_args!("{id}  {title}"));
             }
         }

@@ -81,6 +81,32 @@ impl HelperData {
         }
     }
 
+    /// Order-sensitive 64-bit FNV-1a digest of the stored bytes (every
+    /// block offset plus the salt). Helper data is public but **not**
+    /// authenticated by the extractor itself — a flipped offset bit
+    /// silently corrupts the recovered key (see
+    /// [`Self::with_flipped_bits`]) — so any store holding helper data
+    /// must seal it with its own integrity check. This digest is that
+    /// seal: `aro-serve` records it at enrollment and compares on read,
+    /// routing mismatches to recovery instead of handing out a wrong key.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash = (hash ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        for offset in &self.offsets {
+            eat(&(offset.len() as u64).to_le_bytes());
+            eat(&offset.to_bytes());
+        }
+        eat(&self.salt);
+        hash
+    }
+
     /// Re-derives the key from a recovered enrollment response — the
     /// exact key-derivation step of [`FuzzyExtractor::reproduce`], shared
     /// with the soft-decision path so both recover identical keys.

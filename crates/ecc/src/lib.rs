@@ -71,5 +71,5 @@ pub use fuzzy::FuzzyExtractor;
 pub use golay::GolayCode;
 pub use repetition::RepetitionCode;
 pub use shortened::ShortenedCode;
-pub use refresh::{refresh_enrollment, RefreshSchedule};
+pub use refresh::{continuity_gate, refresh_enrollment, RefreshSchedule};
 pub use soft::{Erasures, SoftBit, SoftConcatDecoder};

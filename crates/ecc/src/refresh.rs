@@ -128,6 +128,23 @@ pub fn refresh_enrollment<R: Rng + ?Sized>(
     new_anchor: &BitString,
     rng: &mut R,
 ) -> Option<(BitString, HelperData)> {
+    continuity_gate(generator, reading, helper, erasures, current_key)
+        .then(|| generator.enroll(new_anchor, rng))
+}
+
+/// The continuity gate alone: can the *current* key still be
+/// reconstructed erasure-aware from `reading` under the (possibly
+/// eroded) `helper`? Books the same `ecc.refresh_*` observability as
+/// [`refresh_enrollment`], so callers whose `new_anchor` is expensive
+/// to measure (e.g. a multi-vote bench read) can check the gate first
+/// and skip the measurement when the chain is already broken.
+pub fn continuity_gate(
+    generator: &KeyGenerator,
+    reading: &[SoftBit],
+    helper: &HelperData,
+    erasures: &Erasures,
+    current_key: &BitString,
+) -> bool {
     // Continuity stream: 1 per refresh that held the key chain together,
     // 0 per gap. The sketch mean is the fleet's refresh-continuity rate;
     // its p1 collapsing to 0 flags chains that are starting to break.
@@ -135,12 +152,12 @@ pub fn refresh_enrollment<R: Rng + ?Sized>(
         Some(key) if key == *current_key => {
             aro_obs::counter("ecc.helper_refreshes", 1);
             aro_obs::sketch("ecc.refresh_continuity", 1.0);
-            Some(generator.enroll(new_anchor, rng))
+            true
         }
         _ => {
             aro_obs::counter("ecc.refresh_failures", 1);
             aro_obs::sketch("ecc.refresh_continuity", 0.0);
-            None
+            false
         }
     }
 }

@@ -130,7 +130,26 @@ impl CrpDatabase {
         assert!((0.0..=1.0).contains(&threshold), "threshold out of range");
         let record = &self.records[index];
         let answer = device.response(design, env, &record.pairs);
-        let distance = fractional_hd(&record.response, &answer);
+        self.decide(record, &answer, threshold)
+    }
+
+    /// Decides a pre-collected answer against record — the fail-closed
+    /// core of [`Self::verify`]. A malformed answer (bit length
+    /// mismatching the enrolled response) rejects at the worst possible
+    /// distance and counts `serve.malformed`; it never reaches the
+    /// distance computation (whose length assertion would panic the
+    /// verifier on attacker-controlled input).
+    #[must_use]
+    pub fn decide(&self, record: &CrpRecord, answer: &BitString, threshold: f64) -> AuthOutcome {
+        assert!((0.0..=1.0).contains(&threshold), "threshold out of range");
+        if answer.len() != record.response.len() || answer.len() != self.bits_per_response {
+            aro_obs::counter("serve.malformed", 1);
+            return AuthOutcome {
+                distance: 1.0,
+                accepted: false,
+            };
+        }
+        let distance = fractional_hd(&record.response, answer);
         AuthOutcome {
             distance,
             accepted: distance <= threshold,
@@ -235,6 +254,27 @@ mod tests {
         let (far_hi, frr_hi) = far_frr(&genuine, &impostor, 0.6);
         assert_eq!(far_hi, 1.0);
         assert_eq!(frr_hi, 0.0);
+    }
+
+    #[test]
+    fn malformed_answers_fail_closed() {
+        let (design, env) = setup();
+        let chip = Chip::fabricate(&design, 0);
+        let db = CrpDatabase::enroll(&chip, &design, &env, &challenges(2), 24);
+        let record = &db.records()[0];
+        // Too short, too long, empty: all must reject at distance 1.0
+        // without ever reaching the Hamming-distance computation.
+        for len in [8, 40, 0] {
+            let bogus = BitString::zeros(len);
+            let outcome = db.decide(record, &bogus, 0.25);
+            assert!(!outcome.accepted, "length {len} must reject");
+            assert_eq!(outcome.distance, 1.0, "length {len} rejects at worst distance");
+        }
+        // A well-formed answer still decides on distance.
+        let honest = record.response().clone();
+        let outcome = db.decide(record, &honest, 0.25);
+        assert!(outcome.accepted);
+        assert_eq!(outcome.distance, 0.0);
     }
 
     #[test]

@@ -182,7 +182,7 @@ mod tests {
         let e = Enrollment::perform(&mut chip, &design, &env, &PairingStrategy::Neighbor);
         let threshold = {
             let mut m = e.margins_rel().to_vec();
-            m.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            m.sort_by(f64::total_cmp);
             m[m.len() / 2]
         };
         let masked = e.masked(threshold);

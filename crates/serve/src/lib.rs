@@ -1,0 +1,39 @@
+//! `aro-serve` — a simulated fleet-authentication verifier backend,
+//! hardened the way a production service would be.
+//!
+//! The repo's device-side stack keeps one chip's key alive for ten
+//! years; this crate asks what happens when a *fleet* of aging, faulted
+//! devices hits a verifier that itself can fail. Four pieces:
+//!
+//! * [`store`] — a sharded enrollment/helper-data store with per-record
+//!   checksums. Helper data is public but integrity-checked; corruption
+//!   (injected with `aro-faults`' own helper-erasure machinery) is
+//!   detected on read and routed to recovery, never served and never
+//!   panicked on.
+//! * [`pipeline`] — bounded retries, per-attempt timeouts, and
+//!   deterministic seed-derived backoff per request. Latency is
+//!   simulated integer µs, which is what keeps serve-bench reports
+//!   byte-identical at any thread count.
+//! * [`service`] — the verification pipeline plus a health state
+//!   machine (healthy → degraded → read-only) driven by a windowed
+//!   operational-error rate; deterministic load shedding
+//!   (reject-with-retry-after, never wrong answers); and the
+//!   quarantine → `ecc::refresh` continuity-gated re-enrollment →
+//!   re-admission path for devices whose distance margin degrades past
+//!   the watermark.
+//! * [`bench`] — the round-based fleet driver behind EXP-18 and
+//!   `repro serve-bench`: plan a round deterministically, fan probes
+//!   out through `aro-par`, fold outcomes in device-index order.
+//!
+//! Everything is observable through `aro-obs` `serve.*` counters and
+//! sketches. See `docs/ROBUSTNESS.md` ("Fleet authentication service").
+
+pub mod bench;
+pub mod pipeline;
+pub mod service;
+pub mod store;
+
+pub use bench::{run_bench, BenchPlan, BenchStats, FleetContext};
+pub use pipeline::{LatencyModel, RetryPolicy};
+pub use service::{AuthService, HealthState, RequestOutcome, ServicePolicy, Tallies, Verdict};
+pub use store::{ReadOutcome, ShardedStore, StoredRecord, STORE_WINDOW_BASE};

@@ -1,0 +1,618 @@
+//! The authentication service: health state machine, verification
+//! pipeline, load shedding, and the quarantine → re-enrollment path.
+//!
+//! Design rules, in order of precedence:
+//!
+//! 1. **Never a wrong answer.** Corrupt records, malformed responses,
+//!    and timed-out reads all *fail closed* — they reject (or shed with
+//!    retry-after), they never accept and never panic.
+//! 2. **Deterministic under threads.** [`AuthService::probe`] is `&self`
+//!    and pure per device (every random draw comes from a seed-derived
+//!    stream keyed by `(device, event)`), so a round of probes can fan
+//!    out through `aro-par`; all state mutation happens in
+//!    [`AuthService::admit`], called sequentially in device-index order.
+//! 3. **Degrade, don't die.** A windowed operational-error rate drives
+//!    healthy → degraded → read-only transitions (with hysteresis on the
+//!    way back). Degraded sheds a deterministic quarter of traffic with
+//!    retry-after; read-only sheds half and refuses re-enrollment
+//!    writes.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use aro_device::environment::Environment;
+use aro_device::rng::SeedDomain;
+use aro_ecc::keygen::KeyGenerator;
+use aro_ecc::refresh::continuity_gate;
+use aro_ecc::soft::{Erasures, SoftBit};
+use aro_faults::FaultInjector;
+use aro_metrics::quality::fractional_hd;
+use aro_puf::{Chip, PufDesign};
+
+use crate::pipeline::{LatencyModel, RetryPolicy};
+use crate::store::{ReadOutcome, ShardedStore, StoredRecord};
+
+/// The service's health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Full service.
+    Healthy,
+    /// Sheds a quarter of verification traffic (reject with retry-after).
+    Degraded,
+    /// Sheds half the traffic and refuses re-enrollment writes.
+    ReadOnly,
+}
+
+impl HealthState {
+    /// Stable lowercase label (report/table cell).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Healthy => "healthy",
+            Self::Degraded => "degraded",
+            Self::ReadOnly => "read-only",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tuning knobs of the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServicePolicy {
+    /// Accept iff fractional HD to the reference is at or below this.
+    pub accept_threshold: f64,
+    /// Accepted devices whose distance exceeds this margin watermark are
+    /// quarantined for re-enrollment (they still authenticated — but
+    /// their margin is eroding toward the threshold).
+    pub quarantine_watermark: f64,
+    /// Retry/timeout/backoff policy per request.
+    pub retry: RetryPolicy,
+    /// Simulated latency model per attempt.
+    pub latency: LatencyModel,
+    /// Sliding window (events) behind the health state machine.
+    pub health_window: usize,
+    /// Windowed error rate at which the service enters `Degraded`
+    /// (recovery at half this rate).
+    pub degraded_watermark: f64,
+    /// Windowed error rate at which the service enters `ReadOnly`
+    /// (fallback to `Degraded` at half this rate).
+    pub read_only_watermark: f64,
+}
+
+impl Default for ServicePolicy {
+    fn default() -> Self {
+        Self {
+            accept_threshold: 0.25,
+            quarantine_watermark: 0.15,
+            retry: RetryPolicy::default(),
+            latency: LatencyModel::default(),
+            health_window: 64,
+            degraded_watermark: 0.25,
+            read_only_watermark: 0.50,
+        }
+    }
+}
+
+/// Monotonic service counters (also mirrored into `aro-obs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tallies {
+    /// Requests that reached an answer (accepted or denied).
+    pub served: u64,
+    /// Requests accepted.
+    pub accepted: u64,
+    /// Requests rejected on distance.
+    pub rejected: u64,
+    /// Requests shed with retry-after (degraded/read-only load control).
+    pub shed: u64,
+    /// Individual attempts abandoned at the timeout.
+    pub attempt_timeouts: u64,
+    /// Requests whose every attempt timed out.
+    pub timed_out: u64,
+    /// Requests that hit a checksum-failing record.
+    pub corrupt_reads: u64,
+    /// Requests for unknown device ids.
+    pub missing: u64,
+    /// Requests whose answer had the wrong bit length (failed closed).
+    pub malformed: u64,
+    /// Devices placed in quarantine.
+    pub quarantines: u64,
+    /// Successful re-enrollments (device re-admitted).
+    pub reenrolled: u64,
+    /// Re-enrollment attempts whose continuity gate never passed.
+    pub reenroll_failures: u64,
+    /// Re-enrollments refused because the service was read-only.
+    pub reenroll_refusals: u64,
+}
+
+/// What one verification request concluded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Distance within threshold.
+    Accepted {
+        /// Fractional HD to the enrolled reference.
+        distance: f64,
+    },
+    /// Distance past threshold on every completed attempt.
+    Rejected {
+        /// Last measured fractional HD.
+        distance: f64,
+    },
+    /// Every attempt blew its latency budget.
+    TimedOut,
+    /// The stored record failed its checksum (routed to recovery).
+    CorruptRecord,
+    /// No record for this device id.
+    Missing,
+    /// Answer bit length mismatched the reference (failed closed).
+    Malformed,
+}
+
+impl Verdict {
+    /// Whether this verdict authenticated the device.
+    #[must_use]
+    pub fn is_accept(self) -> bool {
+        matches!(self, Self::Accepted { .. })
+    }
+}
+
+/// One request's full outcome (probe result, admitted sequentially).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// The record the request targeted.
+    pub target_id: u64,
+    /// The decision.
+    pub verdict: Verdict,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Attempts abandoned at the timeout.
+    pub attempt_timeouts: u32,
+    /// Total simulated request latency (attempts + backoffs), µs.
+    pub latency_us: u64,
+}
+
+/// The simulated verifier backend.
+#[derive(Debug, Clone)]
+pub struct AuthService {
+    policy: ServicePolicy,
+    store: ShardedStore,
+    state: HealthState,
+    window: VecDeque<bool>,
+    window_errors: usize,
+    quarantine: BTreeSet<u64>,
+    tallies: Tallies,
+    domain: SeedDomain,
+}
+
+/// Mixes a device id and an event id into one seed-stream index.
+fn slot(device: u64, event: u64) -> u64 {
+    device
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(31)
+        .wrapping_add(event)
+}
+
+/// One (possibly faulted) hard read: environment excursion, noise burst,
+/// and response glitches applied exactly as the device-side experiments
+/// apply them. Returns the answer and whether an excursion hit.
+fn faulted_response(
+    chip: &mut Chip,
+    design: &PufDesign,
+    env: &Environment,
+    pairs: &[(usize, usize)],
+    inj: Option<&FaultInjector>,
+    chip_id: u64,
+    event: u64,
+) -> (aro_metrics::bits::BitString, bool) {
+    let Some(inj) = inj else {
+        return (chip.response(design, env, pairs), false);
+    };
+    let meas_env = inj.measurement_env(chip_id, event, env);
+    let excursion = meas_env != *env;
+    let burst_design = inj
+        .noise_burst(chip_id, event)
+        .map(|factor| design.with_readout(design.readout().with_noise_burst(factor)));
+    let meas_design = burst_design.as_ref().unwrap_or(design);
+    let mut answer = chip.response(meas_design, &meas_env, pairs);
+    for bit in inj.response_glitches(chip_id, event, answer.len()) {
+        answer.flip(bit);
+    }
+    (answer, excursion)
+}
+
+/// One (possibly faulted) soft read for the re-enrollment gate — the
+/// same excursion/burst/glitch plumbing as the lifecycle experiments.
+fn faulted_soft_response(
+    chip: &mut Chip,
+    design: &PufDesign,
+    env: &Environment,
+    pairs: &[(usize, usize)],
+    inj: Option<&FaultInjector>,
+    chip_id: u64,
+    event: u64,
+) -> Vec<SoftBit> {
+    let read = |chip: &mut Chip, design: &PufDesign, env: &Environment| -> Vec<SoftBit> {
+        chip.response_soft(design, env, pairs)
+            .into_iter()
+            .map(|(bit, confidence)| SoftBit::new(bit, confidence))
+            .collect()
+    };
+    let Some(inj) = inj else {
+        return read(chip, design, env);
+    };
+    let meas_env = inj.measurement_env(chip_id, event, env);
+    let burst_design = inj
+        .noise_burst(chip_id, event)
+        .map(|factor| design.with_readout(design.readout().with_noise_burst(factor)));
+    let meas_design = burst_design.as_ref().unwrap_or(design);
+    let mut soft = read(chip, meas_design, &meas_env);
+    for bit in inj.response_glitches(chip_id, event, soft.len()) {
+        soft[bit].value = !soft[bit].value;
+    }
+    soft
+}
+
+impl AuthService {
+    /// A fresh service for a fleet of up to `capacity` devices across
+    /// `n_shards` store shards. `seed` roots every service-side jitter
+    /// stream (latency, backoff, re-enrollment salts).
+    #[must_use]
+    pub fn new(policy: ServicePolicy, capacity: usize, n_shards: usize, seed: u64) -> Self {
+        Self {
+            policy,
+            store: ShardedStore::for_fleet(capacity, n_shards),
+            state: HealthState::Healthy,
+            window: VecDeque::new(),
+            window_errors: 0,
+            quarantine: BTreeSet::new(),
+            tallies: Tallies::default(),
+            domain: SeedDomain::new(seed).child("serve"),
+        }
+    }
+
+    /// Current health state.
+    #[must_use]
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The service counters.
+    #[must_use]
+    pub fn tallies(&self) -> &Tallies {
+        &self.tallies
+    }
+
+    /// The record store.
+    #[must_use]
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Mutable store access (setup and fault-injection hooks).
+    pub fn store_mut(&mut self) -> &mut ShardedStore {
+        &mut self.store
+    }
+
+    /// Enrolls a device record (factory-time write).
+    pub fn enroll(&mut self, record: StoredRecord) {
+        self.store.insert(record);
+    }
+
+    /// Whether a device is currently quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, device_id: u64) -> bool {
+        self.quarantine.contains(&device_id)
+    }
+
+    /// Currently quarantined device ids, ascending.
+    #[must_use]
+    pub fn quarantined_ids(&self) -> Vec<u64> {
+        self.quarantine.iter().copied().collect()
+    }
+
+    /// Load-shedding decision for the request at deterministic arrival
+    /// order `order`. Returns the retry-after hint (µs) when shed: in
+    /// degraded state every 4th request is shed, in read-only every 2nd
+    /// — a pure function of `(state, order)`, so reruns shed the exact
+    /// same requests.
+    #[must_use]
+    pub fn should_shed(&self, order: u64) -> Option<u64> {
+        let shed = match self.state {
+            HealthState::Healthy => false,
+            HealthState::Degraded => order % 4 == 3,
+            HealthState::ReadOnly => order % 2 == 1,
+        };
+        shed.then(|| {
+            let mut rng = self.domain.child("shed").rng(order);
+            self.policy.retry.backoff_us(2, &mut rng)
+        })
+    }
+
+    /// Runs one verification request against record `target_id`,
+    /// answering with reads of `chip` (fault coordinates keyed by
+    /// `probe_id`). Pure per device given the event base: `&self`, safe
+    /// to fan out across `aro-par` workers.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe(
+        &self,
+        chip: &mut Chip,
+        probe_id: u64,
+        target_id: u64,
+        event_base: u64,
+        design: &PufDesign,
+        env: &Environment,
+        inj: Option<&FaultInjector>,
+    ) -> RequestOutcome {
+        let outcome = |verdict, attempts, attempt_timeouts, latency_us| RequestOutcome {
+            target_id,
+            verdict,
+            attempts,
+            attempt_timeouts,
+            latency_us,
+        };
+        let record = match self.store.read(target_id) {
+            ReadOutcome::Missing => {
+                return outcome(Verdict::Missing, 0, 0, self.policy.latency.base_us)
+            }
+            ReadOutcome::Corrupt(_) => {
+                // Fail closed: a checksum-failing record never backs an
+                // accept. The admit step routes the device to recovery.
+                return outcome(Verdict::CorruptRecord, 0, 0, self.policy.latency.base_us)
+            }
+            ReadOutcome::Intact(record) => record,
+        };
+        let reference = record.reference();
+        let mut latency_us = 0;
+        let mut attempt_timeouts = 0;
+        let mut last_distance = None;
+        for attempt in 0..self.policy.retry.max_attempts {
+            let event = event_base + u64::from(attempt);
+            let mut rng = self.domain.child("request").rng(slot(target_id, event));
+            let (answer, excursion) =
+                faulted_response(chip, design, env, record.challenge_pairs(), inj, probe_id, event);
+            let cost = self.policy.latency.attempt_us(reference.len(), excursion, &mut rng);
+            if cost > self.policy.retry.attempt_timeout_us {
+                attempt_timeouts += 1;
+                latency_us += self.policy.retry.attempt_timeout_us
+                    + self.policy.retry.backoff_us(attempt + 1, &mut rng);
+                continue;
+            }
+            latency_us += cost;
+            if answer.len() != reference.len() {
+                // Fail closed on malformed input: no distance is ever
+                // computed against a length-mismatched answer.
+                aro_obs::counter("serve.malformed", 1);
+                return outcome(Verdict::Malformed, attempt + 1, attempt_timeouts, latency_us);
+            }
+            let distance = fractional_hd(reference, &answer);
+            last_distance = Some(distance);
+            if distance <= self.policy.accept_threshold {
+                return outcome(
+                    Verdict::Accepted { distance },
+                    attempt + 1,
+                    attempt_timeouts,
+                    latency_us,
+                );
+            }
+            // The mismatch may be a transient (burst/glitch): back off
+            // and retry within the attempt budget.
+            latency_us += self.policy.retry.backoff_us(attempt + 1, &mut rng);
+        }
+        let attempts = self.policy.retry.max_attempts;
+        match last_distance {
+            Some(distance) => outcome(
+                Verdict::Rejected { distance },
+                attempts,
+                attempt_timeouts,
+                latency_us,
+            ),
+            None => outcome(Verdict::TimedOut, attempts, attempt_timeouts, latency_us),
+        }
+    }
+
+    /// Admits one probe outcome into the service state: tallies, obs
+    /// counters/sketches, the health window, and quarantine routing.
+    /// Call sequentially in a deterministic request order.
+    /// `maintenance_eligible` marks traffic whose failures should route
+    /// the *record* to quarantine (a fleet's own devices — not impostor
+    /// probes in a bench, which must only feed the FAR tally).
+    pub fn admit(&mut self, outcome: &RequestOutcome, maintenance_eligible: bool) {
+        self.tallies.served += 1;
+        aro_obs::counter("serve.requests", 1);
+        aro_obs::sketch("serve.latency_us", outcome.latency_us as f64);
+        self.tallies.attempt_timeouts += u64::from(outcome.attempt_timeouts);
+        if outcome.attempt_timeouts > 0 {
+            aro_obs::counter("serve.attempt_timeouts", u64::from(outcome.attempt_timeouts));
+        }
+        let mut quarantine = false;
+        match outcome.verdict {
+            Verdict::Accepted { distance } => {
+                self.tallies.accepted += 1;
+                aro_obs::counter("serve.accepted", 1);
+                aro_obs::sketch("serve.distance", distance);
+                quarantine = distance > self.policy.quarantine_watermark;
+            }
+            Verdict::Rejected { distance } => {
+                self.tallies.rejected += 1;
+                aro_obs::counter("serve.rejected", 1);
+                aro_obs::sketch("serve.distance", distance);
+                quarantine = true;
+            }
+            Verdict::TimedOut => {
+                self.tallies.timed_out += 1;
+                aro_obs::counter("serve.timeouts", 1);
+            }
+            Verdict::CorruptRecord => {
+                self.tallies.corrupt_reads += 1;
+                quarantine = true;
+            }
+            Verdict::Missing => {
+                self.tallies.missing += 1;
+                aro_obs::counter("serve.missing", 1);
+            }
+            Verdict::Malformed => {
+                self.tallies.malformed += 1;
+                quarantine = true;
+            }
+        }
+        if quarantine && maintenance_eligible {
+            self.quarantine(outcome.target_id);
+        }
+        // Health events: one per timed-out attempt, one for the verdict.
+        // Rejects are *decisions*, not operational errors — only reads
+        // the service could not complete (timeouts) or could not trust
+        // (corrupt/malformed/missing records) count against health.
+        for _ in 0..outcome.attempt_timeouts {
+            self.push_health(true);
+        }
+        let error = matches!(
+            outcome.verdict,
+            Verdict::TimedOut | Verdict::CorruptRecord | Verdict::Malformed | Verdict::Missing
+        );
+        self.push_health(error);
+    }
+
+    /// Admits a load-shedding decision (reject-with-retry-after).
+    pub fn admit_shed(&mut self, _retry_after_us: u64) {
+        self.tallies.shed += 1;
+        aro_obs::counter("serve.shed", 1);
+    }
+
+    fn quarantine(&mut self, device_id: u64) {
+        if self.quarantine.insert(device_id) {
+            self.tallies.quarantines += 1;
+            aro_obs::counter("serve.quarantines", 1);
+        }
+    }
+
+    fn push_health(&mut self, error: bool) {
+        if self.window.len() == self.policy.health_window
+            && self.window.pop_front() == Some(true)
+        {
+            self.window_errors -= 1;
+        }
+        self.window.push_back(error);
+        if error {
+            self.window_errors += 1;
+        }
+        let len = self.window.len();
+        if len < self.policy.health_window / 2 {
+            return;
+        }
+        let rate = self.window_errors as f64 / len as f64;
+        aro_obs::sketch("serve.error_rate", rate);
+        let next = if rate >= self.policy.read_only_watermark {
+            HealthState::ReadOnly
+        } else {
+            match self.state {
+                HealthState::ReadOnly if rate >= self.policy.read_only_watermark / 2.0 => {
+                    HealthState::ReadOnly
+                }
+                _ if rate >= self.policy.degraded_watermark => HealthState::Degraded,
+                HealthState::Healthy => HealthState::Healthy,
+                _ if rate < self.policy.degraded_watermark / 2.0 => HealthState::Healthy,
+                _ => HealthState::Degraded,
+            }
+        };
+        if next != self.state {
+            self.state = next;
+            aro_obs::counter(
+                match next {
+                    HealthState::Healthy => "serve.recovered_healthy",
+                    HealthState::Degraded => "serve.entered_degraded",
+                    HealthState::ReadOnly => "serve.entered_read_only",
+                },
+                1,
+            );
+        }
+    }
+
+    /// The quarantine → re-enrollment → re-admission path: reconstruct
+    /// the device's current key erasure-aware from the (damaged) stored
+    /// record — `ecc::refresh`'s continuity gate — then re-anchor the
+    /// whole enrollment (helper data *and* CRP reference) on today's
+    /// silicon and reseal the record. Returns whether the device was
+    /// re-admitted. Refused outright in read-only state: re-enrollment
+    /// is a store write.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reenroll(
+        &mut self,
+        chip: &mut Chip,
+        probe_id: u64,
+        target_id: u64,
+        key_pairs: &[(usize, usize)],
+        generator: &KeyGenerator,
+        design: &PufDesign,
+        env: &Environment,
+        inj: Option<&FaultInjector>,
+        event_base: u64,
+    ) -> bool {
+        if self.state == HealthState::ReadOnly {
+            self.tallies.reenroll_refusals += 1;
+            aro_obs::counter("serve.reenroll_refused", 1);
+            return false;
+        }
+        let _span = aro_obs::span("serve.reenroll");
+        let (challenge_pairs, helper, key, flagged) = match self.store.read(target_id) {
+            ReadOutcome::Missing => return false,
+            // Recovery reads the record even when its checksum fails —
+            // that is the whole point of the erasure flags.
+            ReadOutcome::Intact(r) | ReadOutcome::Corrupt(r) => (
+                r.challenge_pairs().to_vec(),
+                r.helper().clone(),
+                r.key().clone(),
+                r.flagged().to_vec(),
+            ),
+        };
+        // Device-side BIST: response bits backed by a dead/stuck ring
+        // are erasures for the gate's decoder.
+        let bist: Vec<usize> = key_pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(a, b))| {
+                !chip.ros()[a].health().is_healthy() || !chip.ros()[b].health().is_healthy()
+            })
+            .map(|(bit, _)| bit)
+            .collect();
+        let known = Erasures {
+            helper: flagged,
+            response: bist,
+        };
+        let mut rng = self.domain.child("reenroll").rng(slot(target_id, event_base));
+        for attempt in 0..u64::from(self.policy.retry.max_attempts) {
+            let event = event_base + attempt;
+            let soft = faulted_soft_response(chip, design, env, key_pairs, inj, probe_id, event);
+            // Gate first: the multi-vote anchor and reference reads below
+            // are the expensive half of maintenance, so they only happen
+            // once the continuity gate has passed — a broken chain costs
+            // one soft read per attempt, nothing more.
+            if !continuity_gate(generator, &soft, &helper, &known, &key) {
+                continue;
+            }
+            // Maintenance reads are careful: 5-vote majority anchors at
+            // nominal conditions (the device is on the bench, not in the
+            // field).
+            let anchor = chip.response_voted(design, env, key_pairs, 5);
+            let (new_key, new_helper) = generator.enroll(&anchor, &mut rng);
+            let reference = chip.response_voted(design, env, &challenge_pairs, 5);
+            self.store.repair(StoredRecord::new(
+                target_id,
+                challenge_pairs,
+                reference,
+                new_helper,
+                new_key,
+            ));
+            self.quarantine.remove(&target_id);
+            self.tallies.reenrolled += 1;
+            aro_obs::counter("serve.reenrolled", 1);
+            return true;
+        }
+        self.tallies.reenroll_failures += 1;
+        aro_obs::counter("serve.reenroll_failures", 1);
+        false
+    }
+}

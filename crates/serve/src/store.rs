@@ -1,0 +1,382 @@
+//! The sharded, crash-safe enrollment/helper-data store.
+//!
+//! A verifier backend keeps one record per enrolled device: the CRP
+//! reference material, the key generator's public helper data, and the
+//! verifier's copy of the current key (the re-enrollment continuity
+//! anchor). Helper data is public but **unauthenticated** by the fuzzy
+//! extractor itself — a flipped stored bit silently corrupts the
+//! recovered key — so every record is sealed with a checksum at write
+//! time and re-verified on every read. A mismatch is routed to recovery
+//! ([`ReadOutcome::Corrupt`]), never panicked on and never served.
+//!
+//! Records live in **fixed-index shards**: the shard of a device is
+//! `device_id / ceil(fleet_capacity / n_shards)` — the same
+//! `div_ceil`-chunk discipline `aro-par` uses to split work across
+//! threads, so the store layout is a pure function of `(capacity,
+//! shards)` and identical no matter what order records arrive or which
+//! thread asks.
+//!
+//! Store corruption is injected with the *same* `aro-faults`
+//! helper-erasure machinery the device-side NVM uses
+//! ([`ShardedStore::erode`]): coordinates are drawn per `(device,
+//! window)` in a window id space offset by [`STORE_WINDOW_BASE`], so
+//! store damage and device damage are independent but both byte-
+//! deterministic under one injector.
+
+use aro_ecc::fuzzy::HelperData;
+use aro_faults::FaultInjector;
+use aro_metrics::bits::BitString;
+
+/// Window-id base for store-side erosion draws, keeping the verifier's
+/// NVM fault coordinates disjoint from every device-side helper window
+/// (device lifecycles count mission windows from zero and stay far below
+/// this).
+pub const STORE_WINDOW_BASE: u64 = 1 << 40;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn fnv_u64(hash: u64, value: u64) -> u64 {
+    fnv(hash, &value.to_le_bytes())
+}
+
+/// One device's verifier-side enrollment, integrity-sealed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecord {
+    device_id: u64,
+    challenge_pairs: Vec<(usize, usize)>,
+    reference: BitString,
+    helper: HelperData,
+    key: BitString,
+    /// Media-level erasure flags: `(block, bit)` helper positions the
+    /// storage layer knows it lost (an NVM controller reports these on
+    /// read). Recovery feeds them to the erasure-aware decoder.
+    flagged: Vec<(usize, usize)>,
+    checksum: u64,
+}
+
+impl StoredRecord {
+    /// Seals a fresh enrollment record (checksum computed here).
+    #[must_use]
+    pub fn new(
+        device_id: u64,
+        challenge_pairs: Vec<(usize, usize)>,
+        reference: BitString,
+        helper: HelperData,
+        key: BitString,
+    ) -> Self {
+        let mut record = Self {
+            device_id,
+            challenge_pairs,
+            reference,
+            helper,
+            key,
+            flagged: Vec::new(),
+            checksum: 0,
+        };
+        record.checksum = record.digest();
+        record
+    }
+
+    fn digest(&self) -> u64 {
+        let mut hash = fnv_u64(FNV_OFFSET, self.device_id);
+        for &(a, b) in &self.challenge_pairs {
+            hash = fnv_u64(hash, a as u64);
+            hash = fnv_u64(hash, b as u64);
+        }
+        hash = fnv_u64(hash, self.reference.len() as u64);
+        hash = fnv(hash, &self.reference.to_bytes());
+        hash = fnv_u64(hash, self.helper.digest());
+        hash = fnv_u64(hash, self.key.len() as u64);
+        fnv(hash, &self.key.to_bytes())
+    }
+
+    /// Whether the stored bytes still match the checksum sealed at
+    /// enrollment.
+    #[must_use]
+    pub fn is_intact(&self) -> bool {
+        self.digest() == self.checksum
+    }
+
+    /// The enrolled device id.
+    #[must_use]
+    pub fn device_id(&self) -> u64 {
+        self.device_id
+    }
+
+    /// The device's challenge pair set.
+    #[must_use]
+    pub fn challenge_pairs(&self) -> &[(usize, usize)] {
+        &self.challenge_pairs
+    }
+
+    /// The enrolled CRP reference response.
+    #[must_use]
+    pub fn reference(&self) -> &BitString {
+        &self.reference
+    }
+
+    /// The stored (possibly eroded) helper data.
+    #[must_use]
+    pub fn helper(&self) -> &HelperData {
+        &self.helper
+    }
+
+    /// The verifier's copy of the device's current key.
+    #[must_use]
+    pub fn key(&self) -> &BitString {
+        &self.key
+    }
+
+    /// Helper positions the storage media has flagged as lost.
+    #[must_use]
+    pub fn flagged(&self) -> &[(usize, usize)] {
+        &self.flagged
+    }
+}
+
+/// What a store read found.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadOutcome<'a> {
+    /// No record for this device id.
+    Missing,
+    /// Record present and its checksum holds.
+    Intact(&'a StoredRecord),
+    /// Record present but the checksum fails: the stored bytes were
+    /// corrupted in place. Served to *recovery* only, never to a verify
+    /// decision.
+    Corrupt(&'a StoredRecord),
+}
+
+/// Fixed-index sharded record store.
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    shards: Vec<Vec<StoredRecord>>,
+    chunk: usize,
+}
+
+impl ShardedStore {
+    /// A store laid out for `capacity` devices across `n_shards` fixed
+    /// index chunks (`aro-par`'s `div_ceil` discipline). Ids at or past
+    /// `capacity` clamp to the last shard.
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero.
+    #[must_use]
+    pub fn for_fleet(capacity: usize, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "a store needs at least one shard");
+        Self {
+            shards: (0..n_shards).map(|_| Vec::new()).collect(),
+            chunk: capacity.max(1).div_ceil(n_shards),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The fixed shard index of a device id.
+    #[must_use]
+    pub fn shard_of(&self, device_id: u64) -> usize {
+        ((device_id as usize) / self.chunk).min(self.shards.len() - 1)
+    }
+
+    /// Total records across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the store holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Vec::is_empty)
+    }
+
+    /// Inserts (or replaces) a record at its fixed shard, keeping each
+    /// shard id-sorted so the layout is insertion-order independent.
+    pub fn insert(&mut self, record: StoredRecord) {
+        aro_obs::counter("serve.store_writes", 1);
+        let at_shard = self.shard_of(record.device_id);
+        let shard = &mut self.shards[at_shard];
+        match shard.binary_search_by_key(&record.device_id, |r| r.device_id) {
+            Ok(at) => shard[at] = record,
+            Err(at) => shard.insert(at, record),
+        }
+    }
+
+    /// Reads a record, verifying its checksum. Corruption is *detected*,
+    /// counted, and reported — never panicked on.
+    #[must_use]
+    pub fn read(&self, device_id: u64) -> ReadOutcome<'_> {
+        let shard = &self.shards[self.shard_of(device_id)];
+        match shard.binary_search_by_key(&device_id, |r| r.device_id) {
+            Err(_) => ReadOutcome::Missing,
+            Ok(at) => {
+                let record = &shard[at];
+                if record.is_intact() {
+                    ReadOutcome::Intact(record)
+                } else {
+                    aro_obs::counter("serve.store_corrupt_reads", 1);
+                    ReadOutcome::Corrupt(record)
+                }
+            }
+        }
+    }
+
+    /// Erodes the store in place with the fault plan's helper-erasure
+    /// machinery: each record's helper block draws its own `(device,
+    /// window)` coordinates, scaled by `fraction` of the mission like any
+    /// other storage window. Flipped positions are flagged on the record
+    /// (the media knows what it lost) but the checksum is *not* resealed
+    /// — the next read detects the damage. Returns the number of bits
+    /// flipped.
+    pub fn erode(&mut self, inj: &FaultInjector, window: u64, fraction: f64) -> usize {
+        let mut eroded = 0;
+        for shard in &mut self.shards {
+            for record in shard.iter_mut() {
+                let positions = inj.helper_erasures_during(
+                    record.device_id,
+                    STORE_WINDOW_BASE + window,
+                    fraction,
+                    &record.helper.block_lens(),
+                );
+                if positions.is_empty() {
+                    continue;
+                }
+                record.helper = record.helper.with_flipped_bits(&positions);
+                record.flagged.extend_from_slice(&positions);
+                record.flagged.sort_unstable();
+                record.flagged.dedup();
+                eroded += positions.len();
+            }
+        }
+        if eroded > 0 {
+            aro_obs::counter("serve.store_bits_eroded", eroded as u64);
+        }
+        eroded
+    }
+
+    /// Writes a freshly re-enrolled record over a damaged one.
+    pub fn repair(&mut self, record: StoredRecord) {
+        aro_obs::counter("serve.store_repairs", 1);
+        self.insert(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aro_ecc::keygen::KeyGenerator;
+    use aro_faults::FaultPlan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn record(id: u64) -> StoredRecord {
+        let generator = KeyGenerator::for_bit_error_rate(
+            0.05,
+            32,
+            1e-6,
+            &aro_ecc::area::PufAreaParams {
+                ro_cell_ge: 3.0,
+                readout_fixed_ge: 120.0,
+                readout_per_ro_ge: 3.0,
+                ros_per_bit: 2.0,
+            },
+        )
+        .expect("feasible");
+        let mut rng = StdRng::seed_from_u64(id);
+        let response =
+            BitString::from_fn(generator.response_bits(), |i| (i + id as usize).is_multiple_of(3));
+        let (key, helper) = generator.enroll(&response, &mut rng);
+        let reference = BitString::from_fn(16, |i| i.is_multiple_of(2));
+        StoredRecord::new(id, vec![(0, 1), (2, 3)], reference, helper, key)
+    }
+
+    #[test]
+    fn fresh_records_read_back_intact() {
+        let mut store = ShardedStore::for_fleet(8, 3);
+        for id in 0..8 {
+            store.insert(record(id));
+        }
+        assert_eq!(store.len(), 8);
+        for id in 0..8 {
+            assert!(matches!(store.read(id), ReadOutcome::Intact(r) if r.device_id() == id));
+        }
+        assert!(matches!(store.read(99), ReadOutcome::Missing));
+    }
+
+    #[test]
+    fn sharding_follows_the_div_ceil_chunk_discipline() {
+        let store = ShardedStore::for_fleet(10, 4);
+        // chunk = ceil(10 / 4) = 3: ids 0..3 -> shard 0, 3..6 -> 1, ...
+        assert_eq!(store.shard_of(0), 0);
+        assert_eq!(store.shard_of(2), 0);
+        assert_eq!(store.shard_of(3), 1);
+        assert_eq!(store.shard_of(9), 3);
+        assert_eq!(store.shard_of(1000), 3, "out-of-range ids clamp");
+    }
+
+    #[test]
+    fn erosion_is_detected_on_read_and_flagged() {
+        let mut store = ShardedStore::for_fleet(4, 2);
+        for id in 0..4 {
+            store.insert(record(id));
+        }
+        let inj = FaultInjector::new(FaultPlan::storm(), 7);
+        let eroded = store.erode(&inj, 0, 1.0);
+        assert!(eroded > 0, "a full-window storm must erode something");
+        let mut corrupt = 0;
+        for id in 0..4 {
+            match store.read(id) {
+                ReadOutcome::Corrupt(r) => {
+                    corrupt += 1;
+                    assert!(!r.flagged().is_empty(), "media flags must accompany damage");
+                }
+                ReadOutcome::Intact(r) => assert!(r.flagged().is_empty()),
+                ReadOutcome::Missing => panic!("record vanished"),
+            }
+        }
+        assert!(corrupt > 0, "eroded records must fail their checksum");
+    }
+
+    #[test]
+    fn erosion_is_deterministic() {
+        let build = || {
+            let mut store = ShardedStore::for_fleet(4, 2);
+            for id in 0..4 {
+                store.insert(record(id));
+            }
+            let inj = FaultInjector::new(FaultPlan::storm().scaled(0.5), 11);
+            store.erode(&inj, 3, 0.7);
+            store
+        };
+        let (a, b) = (build(), build());
+        for id in 0..4 {
+            assert_eq!(a.read(id), b.read(id), "device {id}");
+        }
+    }
+
+    #[test]
+    fn repair_reseals_the_record() {
+        let mut store = ShardedStore::for_fleet(2, 1);
+        store.insert(record(0));
+        let inj = FaultInjector::new(FaultPlan::storm(), 3);
+        let mut window = 0;
+        while store.erode(&inj, window, 1.0) == 0 {
+            window += 1;
+        }
+        // At least one read must now be corrupt; repair with a fresh seal.
+        store.repair(record(0));
+        assert!(matches!(store.read(0), ReadOutcome::Intact(_)));
+    }
+}

@@ -10,6 +10,7 @@ pub mod exp14;
 pub mod exp15;
 pub mod exp16;
 pub mod exp17;
+pub mod exp18;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
@@ -18,14 +19,15 @@ pub mod exp6;
 pub mod exp7;
 pub mod exp8;
 pub mod exp9;
+pub mod serve_bench;
 
 use crate::config::SimConfig;
 use crate::report::Report;
 
 /// Every experiment id, in paper order.
-pub const ALL_IDS: [&str; 17] = [
+pub const ALL_IDS: [&str; 18] = [
     "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "exp9", "exp10", "exp11",
-    "exp12", "exp13", "exp14", "exp15", "exp16", "exp17",
+    "exp12", "exp13", "exp14", "exp15", "exp16", "exp17", "exp18",
 ];
 
 /// Wraps one experiment run in its phase span and progress counter, so
@@ -52,9 +54,11 @@ pub fn run_all(cfg: &SimConfig) -> Vec<Report> {
     })
 }
 
-/// Runs one experiment by id (`"exp1"`…`"exp17"`), or `None` for an
-/// unknown id. Opens a population-cache scope of its own (a no-op when
-/// the caller — e.g. [`run_all`] — already holds one).
+/// Runs one experiment by id (`"exp1"`…`"exp18"`, plus the
+/// `"serve-bench"` mode, which is not in [`ALL_IDS`] — it only runs when
+/// asked for by name), or `None` for an unknown id. Opens a
+/// population-cache scope of its own (a no-op when the caller — e.g.
+/// [`run_all`] — already holds one).
 #[must_use]
 pub fn run_by_id(id: &str, cfg: &SimConfig) -> Option<Report> {
     let run: fn(&SimConfig) -> Report = match id {
@@ -75,6 +79,8 @@ pub fn run_by_id(id: &str, cfg: &SimConfig) -> Option<Report> {
         "exp15" => exp15::run,
         "exp16" => exp16::run,
         "exp17" => exp17::run,
+        "exp18" => exp18::run,
+        "serve-bench" => serve_bench::run,
         _ => return None,
     };
     Some(crate::popcache::scoped(|| traced(id, cfg, run)))

@@ -22,6 +22,8 @@
 //! | [`experiments::exp15`] | key recovery under injected faults (chaos sweep) |
 //! | [`experiments::exp16`] | self-healing helper-data refresh (interval sweep) |
 //! | [`experiments::exp17`] | fault-aware provisioning envelope |
+//! | [`experiments::exp18`] | fleet authentication service under fault storms |
+//! | [`experiments::serve_bench`] | `repro serve-bench` — fleet auth throughput/accuracy |
 //!
 //! Every experiment consumes a [`config::SimConfig`] (use
 //! [`config::SimConfig::paper`] for paper-scale populations,
@@ -38,6 +40,7 @@ pub mod parallel;
 pub mod popcache;
 pub mod report;
 pub mod runner;
+pub mod servefleet;
 pub mod summary;
 pub mod table;
 

@@ -82,6 +82,27 @@ else
     echo "bench_check: fault run exited $fault_status; no timing recorded" >&2
 fi
 
+# Serve-bench timing: the fleet-authentication benchmark under a half
+# storm, recorded for the trend log (exit 3 = the service honestly ended
+# degraded, still a valid timing). Latency numbers inside the report are
+# simulated µs; this records the real wall time of producing them.
+echo "==> timing repro --quick --faults storm@0.5 serve-bench (one run)"
+serve_json="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
+trap 'rm -f "$run_json" "$best_json" "$fault_json" "$serve_json" "$health_ledger"' EXIT
+set +e
+./target/release/repro --quick --quiet --faults storm@0.5 serve-bench \
+    --bench-json "$serve_json"
+serve_status=$?
+set -e
+serve_total="$(sed -n 's/.*"total_wall_ns": \([0-9]*\).*/\1/p' "$serve_json")"
+if [[ ("$serve_status" -eq 0 || "$serve_status" -eq 3) && -n "$serve_total" ]]; then
+    awk -v serve="$serve_total" 'BEGIN {
+        printf "serve-bench total: %10.1f ms  (exit %s)\n", serve / 1e6, "'"$serve_status"'"
+    }'
+else
+    echo "bench_check: serve-bench exited $serve_status; no timing recorded" >&2
+fi
+
 # Health-regression advisory: diff a fresh quick-scale ledger against the
 # committed baseline ledger. The quick run is deterministic, so any
 # decode-margin p1 collapse or BER p99 creep flagged here is a real

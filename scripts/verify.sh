@@ -137,4 +137,46 @@ assert any(e.get("ph") == "X" for e in events), "no complete span events"
 PY
 echo "health smoke: deterministic tables + valid Chrome trace"
 
+# Serve smoke: the fleet authentication service must survive a
+# quarter-rate storm (exit 0, or 3 if it honestly ends degraded), and
+# the serve-bench report — simulated latencies included — must be
+# byte-identical at 1 and 4 worker threads under a half storm. See
+# docs/ROBUSTNESS.md ("Fleet authentication service").
+echo "==> serve smoke (exp18 under storm@0.25 + serve-bench thread determinism)"
+set +e
+./target/release/repro --quick --quiet --faults storm@0.25 exp18
+serve=$?
+set -e
+if [[ "$serve" -ne 0 && "$serve" -ne 3 ]]; then
+    echo "verify: serve smoke exited $serve (expected 0 or 3)" >&2
+    exit 1
+fi
+echo "serve smoke exit: $serve"
+serve_dir="$ledger_dir/serve"
+mkdir -p "$serve_dir"
+set +e
+./target/release/repro --quick --faults storm@0.5 --threads 1 serve-bench \
+    > "$serve_dir/bench_1.md"
+serve_t1=$?
+./target/release/repro --quick --faults storm@0.5 --threads 4 serve-bench \
+    > "$serve_dir/bench_4.md"
+serve_t4=$?
+set -e
+for code in "$serve_t1" "$serve_t4"; do
+    if [[ "$code" -ne 0 && "$code" -ne 3 ]]; then
+        echo "verify: serve-bench exited $code (expected 0 or 3)" >&2
+        exit 1
+    fi
+done
+if [[ "$serve_t1" -ne "$serve_t4" ]]; then
+    echo "verify: serve-bench exit codes differ between --threads 1 and 4" >&2
+    exit 1
+fi
+if ! cmp -s "$serve_dir/bench_1.md" "$serve_dir/bench_4.md"; then
+    echo "verify: serve-bench differs between --threads 1 and 4" >&2
+    diff "$serve_dir/bench_1.md" "$serve_dir/bench_4.md" | head -20 >&2
+    exit 1
+fi
+echo "serve smoke: serve-bench byte-identical at 1 and 4 threads"
+
 echo "==> verify OK"

@@ -12,7 +12,9 @@
 //! * [`metrics`] — PUF quality metrics and randomness tests.
 //! * [`faults`] — deterministic fault injection (see
 //!   `docs/ROBUSTNESS.md`).
-//! * [`sim`] — the EXP-1..EXP-17 paper experiments.
+//! * [`serve`] — the fault-tolerant fleet authentication service
+//!   (`repro serve-bench`, see `docs/ROBUSTNESS.md`).
+//! * [`sim`] — the EXP-1..EXP-18 paper experiments.
 //! * [`ledger`] — the crash-safe run journal behind `repro --ledger` /
 //!   `--resume` and the `repro report` analyses (see
 //!   `docs/OBSERVABILITY.md`).
@@ -26,4 +28,5 @@ pub use aro_faults as faults;
 pub use aro_ledger as ledger;
 pub use aro_metrics as metrics;
 pub use aro_puf as puf;
+pub use aro_serve as serve;
 pub use aro_sim as sim;

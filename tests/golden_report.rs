@@ -106,9 +106,9 @@ fn interrupted_then_resumed_run_matches_the_fixture_byte_for_byte() {
     let mut resumed_ledger = Ledger::open(&path).expect("reopen ledger");
     assert_eq!(resumed_ledger.records().len(), 5);
     let resumed = render_harness_run(&ALL_IDS, Some(&mut resumed_ledger));
-    // 5 replayed + 12 fresh appends = 17 records: had replay silently
-    // failed, the re-runs would have appended 17 more (total 22).
-    assert_eq!(resumed_ledger.records().len(), 17);
+    // 5 replayed + 13 fresh appends = 18 records: had replay silently
+    // failed, the re-runs would have appended 18 more (total 23).
+    assert_eq!(resumed_ledger.records().len(), 18);
     drop(resumed_ledger);
     std::fs::remove_file(&path).expect("cleanup");
     assert_eq!(

@@ -1,0 +1,180 @@
+//! Fleet-authentication-service robustness tests: thread-count
+//! byte-identity of the `serve-bench` report, deterministic
+//! store-corruption recovery, and the quarantine → helper-refresh →
+//! re-admission round trip.
+//!
+//! See `docs/ROBUSTNESS.md` ("Fleet authentication service") for the
+//! contract these tests enforce.
+
+use std::sync::Arc;
+
+use aro_puf_repro::circuit::ring::RoStyle;
+use aro_puf_repro::ecc::area::PufAreaParams;
+use aro_puf_repro::ecc::keygen::KeyGenerator;
+use aro_puf_repro::faults::{FaultInjector, FaultPlan};
+use aro_puf_repro::puf::{Challenge, Chip, PairingStrategy, PufDesign};
+use aro_puf_repro::serve::{
+    AuthService, BenchPlan, ReadOutcome, ServicePolicy, StoredRecord, Verdict,
+};
+use aro_puf_repro::sim::experiments::run_by_id;
+use aro_puf_repro::sim::parallel::set_thread_override;
+use aro_puf_repro::sim::servefleet::FleetWorkspace;
+use aro_puf_repro::sim::{faultctx, popcache, SimConfig};
+use proptest::prelude::*;
+
+/// A small configuration that keeps each serve-bench run around a
+/// second while still exercising the full enrollment/traffic path.
+fn tiny_cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::quick();
+    cfg.n_chips = 4;
+    cfg.key_bits = 32;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Renders the `serve-bench` report at a forced worker-thread count
+/// under `plan`, exactly as `repro --faults PLAN serve-bench` would.
+fn serve_bench_at(plan: &str, seed: u64, threads: usize) -> String {
+    let cfg = tiny_cfg(seed);
+    let plan = FaultPlan::parse(plan).expect("valid plan");
+    // `repro` installs no ambient injector when faults are off.
+    let injector = (!plan.is_off()).then(|| Arc::new(FaultInjector::new(plan, cfg.seed)));
+    set_thread_override(threads);
+    let out = faultctx::scoped(injector, || {
+        popcache::scoped(|| {
+            run_by_id("serve-bench", &cfg)
+                .expect("serve-bench is a known id")
+                .to_string()
+        })
+    });
+    set_thread_override(0);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3 })]
+
+    /// The tentpole contract: the whole serve-bench report — auths/sec,
+    /// p50/p99, FAR/FRR, shed/quarantine tallies, health states — is
+    /// byte-identical at any `--threads N`, with faults off and under a
+    /// half-intensity storm alike.
+    #[test]
+    fn serve_bench_report_is_byte_identical_across_thread_counts(
+        plan in prop::sample::select(vec!["off", "storm@0.5"]),
+        seed in 0u64..100,
+    ) {
+        let t1 = serve_bench_at(plan, seed, 1);
+        let t2 = serve_bench_at(plan, seed, 2);
+        let t8 = serve_bench_at(plan, seed, 8);
+        prop_assert_eq!(&t1, &t2, "1 vs 2 threads under {}", plan);
+        prop_assert_eq!(&t1, &t8, "1 vs 8 threads under {}", plan);
+    }
+}
+
+/// Store corruption is recovered deterministically: an aged fleet under
+/// a half storm — eroded verifier NVM included — produces the exact
+/// same accepted/rejected/corrupt/quarantine tallies on every rerun.
+#[test]
+fn store_corruption_recovery_tallies_are_deterministic() {
+    let cfg = tiny_cfg(7);
+    let params = PufAreaParams {
+        ro_cell_ge: 3.0,
+        readout_fixed_ge: 120.0,
+        readout_per_ro_ge: 3.0,
+        ros_per_bit: 2.0,
+    };
+    let generator = KeyGenerator::for_bit_error_rate(0.05, cfg.key_bits, cfg.key_fail_target, &params)
+        .expect("feasible");
+    let inj = FaultInjector::new(FaultPlan::storm().scaled(0.5), cfg.seed);
+    let plan = BenchPlan {
+        genuine_rounds: 4,
+        impostor_rounds: 2,
+    };
+    let run = || {
+        let mut ws = FleetWorkspace::new(&cfg, &generator, RoStyle::AgingResistant, 4);
+        ws.run_trial(&cfg, &generator, Some(&inj), 10.0, &plan)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "recovery must not depend on run order or timing");
+    assert!(
+        first.tallies.corrupt_reads + first.tallies.quarantines > 0,
+        "a ten-year half-storm fleet must exercise the recovery path: {:?}",
+        first.tallies
+    );
+    assert_eq!(first.impostor_accepted, 0, "recovery never opens a false accept");
+}
+
+/// The full quarantine → refresh → re-admit round trip: a device whose
+/// stored record is corrupted under storm@0.5 fails verification, lands
+/// in quarantine, is re-enrolled through the continuity-gated helper
+/// refresh, and then authenticates again.
+#[test]
+fn quarantined_device_is_reenrolled_and_readmitted() {
+    let params = PufAreaParams {
+        ro_cell_ge: 3.0,
+        readout_fixed_ge: 120.0,
+        readout_per_ro_ge: 3.0,
+        ros_per_bit: 2.0,
+    };
+    let generator =
+        KeyGenerator::for_bit_error_rate(0.05, 32, 1e-6, &params).expect("feasible");
+    let n_ros = 2 * generator.response_bits();
+    let design = PufDesign::builder(RoStyle::AgingResistant)
+        .n_ros(n_ros)
+        .seed(0x5e7e)
+        .build();
+    let env = aro_puf_repro::device::environment::Environment::nominal(design.tech());
+    let key_pairs = PairingStrategy::Neighbor.pairs(n_ros);
+    let crp_pairs = Challenge(0xfee1).pairs(n_ros, 64.min(n_ros / 2));
+    let mut chip = Chip::fabricate(&design, 0);
+
+    let mut service = AuthService::new(ServicePolicy::default(), 1, 1, 42);
+    let mut rng = design.seed_domain().child("test-enroll").rng(0);
+    let (key, helper) = generator.enroll(&chip.golden_response(&design, &env, &key_pairs), &mut rng);
+    let reference = chip.golden_response(&design, &env, &crp_pairs);
+    service.enroll(StoredRecord::new(0, crp_pairs, reference, helper, key));
+
+    // Erode the verifier's store under a half storm until this record's
+    // checksum fails (bounded: a full-fraction storm window flips bits
+    // at a healthy rate).
+    let inj = FaultInjector::new(FaultPlan::storm().scaled(0.5), 42);
+    let mut window = 0;
+    while matches!(service.store().read(0), ReadOutcome::Intact(_)) {
+        assert!(window < 1_000, "storm@0.5 must corrupt the record eventually");
+        service.store_mut().erode(&inj, window, 1.0);
+        window += 1;
+    }
+
+    // Verification now fails closed and routes the device to quarantine.
+    let outcome = service.probe(&mut chip, 0, 0, 0, &design, &env, Some(&inj));
+    assert_eq!(outcome.verdict, Verdict::CorruptRecord);
+    service.admit(&outcome, true);
+    assert!(service.is_quarantined(0), "corrupt record must quarantine");
+
+    // Maintenance: the continuity-gated helper refresh re-anchors the
+    // enrollment and reseals the record.
+    let readmitted = service.reenroll(
+        &mut chip,
+        0,
+        0,
+        &key_pairs,
+        &generator,
+        &design,
+        &env,
+        Some(&inj),
+        1 << 20,
+    );
+    assert!(readmitted, "refresh must recover an undamaged device");
+    assert!(!service.is_quarantined(0));
+    assert!(matches!(service.store().read(0), ReadOutcome::Intact(_)));
+
+    // And the device authenticates again.
+    let outcome = service.probe(&mut chip, 0, 0, 1 << 21, &design, &env, None);
+    assert!(
+        matches!(outcome.verdict, Verdict::Accepted { .. }),
+        "re-admitted device must verify: {:?}",
+        outcome.verdict
+    );
+    assert!(service.tallies().reenrolled >= 1);
+}
