@@ -7,6 +7,7 @@
 //! repro --seed 7 exp3            # a different Monte Carlo seed
 //! repro --csv out/               # additionally dump every table as CSV
 //! repro --telemetry run.jsonl    # JSON-lines span/metric telemetry
+//! repro --audit --telemetry run.jsonl exp18  # request-scoped serve audit trail
 //! repro --metrics                # print the instrumented run summary
 //! repro --bench-json BENCH_run.json  # per-experiment wall-time dump
 //! repro --threads 4              # force the worker-thread count
@@ -23,6 +24,9 @@
 //! repro report diff OLD NEW      # wall-time/metric deltas, exit 5 on
 //!                                # regression past --threshold
 //! repro report trajectory DIR    # fold BENCH_*.json into a time series
+//! repro report incidents run.jsonl  # serve-audit forensics (root causes,
+//!                                # quarantine post-mortems, timelines)
+//! repro report slo run.jsonl     # windowed availability & latency burn
 //! repro serve-bench              # fleet auth service benchmark (exits 3
 //!                                # if the service ended degraded)
 //! repro --list                   # what is available
@@ -151,6 +155,11 @@ fn usage() -> String {
          \x20 --seed N             override the Monte Carlo seed\n\
          \x20 --csv DIR            additionally dump every table as CSV\n\
          \x20 --telemetry PATH     write span/metric telemetry as JSON lines\n\
+         \x20 --audit              capture the request-scoped serve audit\n\
+         \x20                      trail (exp18 / serve-bench) into the\n\
+         \x20                      --telemetry file: one causal JSONL chain\n\
+         \x20                      per verification, byte-identical at any\n\
+         \x20                      --threads N; requires --telemetry\n\
          \x20 --metrics            print the instrumented run summary tables\n\
          \x20 --bench-json PATH    write per-experiment wall times as JSON\n\
          \x20 --threads N          force N worker threads (1 = sequential,\n\
@@ -184,6 +193,11 @@ fn usage() -> String {
          \x20                                   tables (BER / decode-margin /\n\
          \x20                                   HD percentiles, cache rates)\n\
          \x20 report trace PATH                 Chrome-trace JSON export\n\
+         \x20 report incidents PATH             serve-audit forensics: causal\n\
+         \x20                                   timelines, top root causes,\n\
+         \x20                                   quarantine post-mortems\n\
+         \x20 report slo PATH                   windowed availability and\n\
+         \x20                                   simulated-latency burn rates\n\
          \n\
          exit codes:\n\
          \x20 0  every requested experiment completed\n\
@@ -204,6 +218,7 @@ struct Options {
     ids: Vec<String>,
     csv_dir: Option<PathBuf>,
     telemetry: Option<PathBuf>,
+    audit: bool,
     bench_json: Option<PathBuf>,
     threads: Option<usize>,
     faults: Option<FaultPlan>,
@@ -230,6 +245,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
         ids: Vec::new(),
         csv_dir: None,
         telemetry: None,
+        audit: false,
         bench_json: None,
         threads: None,
         faults: None,
@@ -268,6 +284,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
                     .ok_or_else(|| CliError::Usage("--telemetry expects a path".into()))?;
                 opts.telemetry = Some(PathBuf::from(path));
             }
+            "--audit" => opts.audit = true,
             "--bench-json" => {
                 let path = args
                     .next()
@@ -354,6 +371,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
             }
             flag => return Err(CliError::Usage(format!("unknown option `{flag}`"))),
         }
+    }
+    if opts.audit && opts.telemetry.is_none() {
+        return Err(CliError::Usage(
+            "--audit needs somewhere to write the trail: pass --telemetry PATH too".into(),
+        ));
     }
     if opts.ledger.is_some() && opts.resume.is_some() {
         return Err(CliError::Usage(
@@ -448,6 +470,23 @@ fn bench_json(
         }
         out.push_str("\n  }");
     }
+    // serve-bench sweep points publish `serve.bench.*` gauges (auths/sec,
+    // exact p50/p99 simulated µs, quarantine/re-admit tallies); surfacing
+    // them here lets `report diff` / `report trajectory` track service
+    // throughput alongside wall times. Name-sorted for byte-stable dumps.
+    let mut serve: Vec<(&str, f64)> = registry
+        .gauges()
+        .filter(|(name, _)| name.starts_with("serve.bench."))
+        .collect();
+    serve.sort_by(|a, b| a.0.cmp(b.0));
+    if !serve.is_empty() {
+        out.push_str(",\n  \"serve\": {");
+        for (i, (name, value)) in serve.iter().enumerate() {
+            let comma = if i + 1 == serve.len() { "" } else { "," };
+            out.push_str(&format!("\n    \"{name}\": {value}{comma}"));
+        }
+        out.push_str("\n  }");
+    }
     out.push_str("\n}\n");
     out
 }
@@ -488,6 +527,10 @@ fn run(opts: &Options) -> Result<i32, CliError> {
     if let Some(path) = &opts.telemetry {
         aro_obs::sink::install_file(path).map_err(CliError::io("open telemetry file", path))?;
     }
+    // Audit capture piggybacks on the telemetry sink (parse_args already
+    // rejected --audit without --telemetry). With the flag off the serve
+    // path never builds an audit trail, so fixtures stay byte-identical.
+    aro_serve::audit::set_enabled(opts.audit);
     if let Some(ledger) = &mut ledger {
         if ledger.skipped_lines() > 0 {
             eprintln!(

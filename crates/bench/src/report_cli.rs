@@ -8,6 +8,8 @@
 //! repro report trajectory DIR
 //! repro report health PATH...
 //! repro report trace run.jsonl
+//! repro report incidents run.jsonl
+//! repro report slo run.jsonl [--window N] [--availability-slo F] [--latency-slo-us N]
 //! ```
 //!
 //! `diff` is the regression gate: it exits 5 when any experiment's wall
@@ -20,12 +22,19 @@
 //! `health` folds telemetry captures and/or ledgers into the fleet-health
 //! tables (streaming percentiles, per-experiment summaries, cache hit
 //! rates); the output is deterministic at any `--threads N`. `trace`
-//! exports a capture's spans and fault events as Chrome-trace JSON for
-//! `chrome://tracing` / Perfetto.
+//! exports a capture's spans, fault events, and serve audit verdicts as
+//! Chrome-trace JSON for `chrome://tracing` / Perfetto.
+//!
+//! `incidents` and `slo` consume a serve audit capture (`repro --audit
+//! --telemetry FILE exp18`): `incidents` reconstructs per-device causal
+//! timelines, top root causes, and quarantine post-mortems; `slo` scores
+//! windowed availability and simulated-latency burn rates. Both are
+//! byte-identical at any `--threads N` because the audit stream is
+//! emitted sequentially in admission order.
 
 use std::path::{Path, PathBuf};
 
-use aro_ledger::{diff, health, profile, trace, trajectory};
+use aro_ledger::{diff, health, incidents, profile, slo, trace, trajectory};
 
 /// Exit code `repro report diff` uses for "regression past threshold".
 pub const EXIT_REGRESSION: i32 = 5;
@@ -51,9 +60,18 @@ fn usage() -> String {
      \x20                               percentiles, cache hit rates) from\n\
      \x20                               telemetry captures and/or ledgers;\n\
      \x20                               byte-identical at any --threads N\n\
-     \x20 trace PATH                    export a telemetry capture's spans\n\
-     \x20                               and fault events as Chrome-trace\n\
-     \x20                               JSON (chrome://tracing, Perfetto)\n\
+     \x20 trace PATH                    export a telemetry capture's spans,\n\
+     \x20                               fault events, and serve audit\n\
+     \x20                               verdicts as Chrome-trace JSON\n\
+     \x20                               (chrome://tracing, Perfetto)\n\
+     \x20 incidents PATH                forensics over a serve audit capture\n\
+     \x20                               (repro --audit --telemetry FILE):\n\
+     \x20                               per-device causal timelines, top\n\
+     \x20                               root causes, quarantine post-mortems\n\
+     \x20 slo PATH [--window N]         windowed availability and simulated-\n\
+     \x20     [--availability-slo F]    latency burn rates over a serve\n\
+     \x20     [--latency-slo-us N]      audit capture (defaults: window 64,\n\
+     \x20                               availability 0.99, p99 1250 us)\n\
      \n\
      exit codes:\n\
      \x20 0  analysis completed (no regression, for diff)\n\
@@ -90,6 +108,8 @@ pub fn run(args: &[String]) -> i32 {
         "trajectory" => run_trajectory(&args[1..]),
         "health" => run_health(&args[1..]),
         "trace" => run_trace(&args[1..]),
+        "incidents" => run_incidents(&args[1..]),
+        "slo" => run_slo(&args[1..]),
         "--help" | "-h" => {
             emit(usage());
             0
@@ -215,6 +235,91 @@ fn run_trace(args: &[String]) -> i32 {
     match trace::trace_file(Path::new(path)) {
         Ok(trace) => {
             emit(trace.to_chrome_json());
+            0
+        }
+        Err(e) => {
+            eprintln!("repro report: {e}");
+            1
+        }
+    }
+}
+
+fn run_incidents(args: &[String]) -> i32 {
+    let [path] = args else {
+        return fail_usage("incidents expects exactly one telemetry JSONL path");
+    };
+    if path.starts_with('-') {
+        return fail_usage(&format!("unexpected argument `{path}`"));
+    }
+    match incidents::incidents_file(Path::new(path)) {
+        Ok(report) => {
+            emit(report.to_markdown());
+            0
+        }
+        Err(e) => {
+            eprintln!("repro report: {e}");
+            1
+        }
+    }
+}
+
+fn run_slo(args: &[String]) -> i32 {
+    let mut path: Option<PathBuf> = None;
+    let mut policy = slo::SloPolicy::default();
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--window" => {
+                let Some(value) = args.next() else {
+                    return fail_usage("--window expects a request count");
+                };
+                match value.parse() {
+                    Ok(n) if n > 0 => policy.window = n,
+                    _ => {
+                        return fail_usage(&format!(
+                            "--window expects a positive integer, got `{value}`"
+                        ))
+                    }
+                }
+            }
+            "--availability-slo" => {
+                let Some(value) = args.next() else {
+                    return fail_usage("--availability-slo expects a fraction");
+                };
+                match value.parse::<f64>() {
+                    Ok(f) if f > 0.0 && f < 1.0 => policy.availability = f,
+                    _ => {
+                        return fail_usage(&format!(
+                            "--availability-slo expects a fraction in (0, 1), got `{value}`"
+                        ))
+                    }
+                }
+            }
+            "--latency-slo-us" => {
+                let Some(value) = args.next() else {
+                    return fail_usage("--latency-slo-us expects a duration in µs");
+                };
+                match value.parse() {
+                    Ok(us) if us > 0 => policy.latency_p99_us = us,
+                    _ => {
+                        return fail_usage(&format!(
+                            "--latency-slo-us expects a positive integer, got `{value}`"
+                        ))
+                    }
+                }
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            other => return fail_usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(path) = path else {
+        return fail_usage("slo expects a telemetry JSONL path");
+    };
+    match slo::slo_file(&path) {
+        Ok(report) => {
+            emit(report.to_markdown(&policy));
             0
         }
         Err(e) => {

@@ -153,6 +153,97 @@ fn report_trace_exports_valid_chrome_trace_json() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Captures exp18 under a quarter storm with the audit trail on, at the
+/// given thread count, and returns the telemetry path.
+fn audited_capture(dir: &std::path::Path, threads: &str) -> PathBuf {
+    let telemetry = dir.join("t.jsonl");
+    let run = repro(&[
+        "--quick",
+        "exp18",
+        "--faults",
+        "storm@0.25",
+        "--audit",
+        "--threads",
+        threads,
+        "--telemetry",
+        telemetry.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(
+        matches!(run.status.code(), Some(0 | 3)),
+        "audited exp18 failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    telemetry
+}
+
+#[test]
+fn report_incidents_and_slo_are_byte_identical_across_thread_counts() {
+    let dir1 = scratch_dir("audit1");
+    let dir4 = scratch_dir("audit4");
+    let t1 = audited_capture(&dir1, "1");
+    let t4 = audited_capture(&dir4, "4");
+
+    let inc1 = repro(&["report", "incidents", t1.to_str().unwrap()]);
+    let inc4 = repro(&["report", "incidents", t4.to_str().unwrap()]);
+    assert_eq!(
+        inc1.status.code(),
+        Some(0),
+        "report incidents failed: {}",
+        String::from_utf8_lossy(&inc1.stderr)
+    );
+    assert_eq!(inc1.stdout, inc4.stdout, "incidents must not depend on --threads");
+    let text = String::from_utf8_lossy(&inc1.stdout);
+    assert!(text.contains("Incident report"), "{text}");
+    assert!(text.contains("Top root causes"), "{text}");
+    assert!(
+        text.contains("Quarantine post-mortem"),
+        "a quarter storm must quarantine someone:\n{text}"
+    );
+
+    let slo1 = repro(&["report", "slo", t1.to_str().unwrap()]);
+    let slo4 = repro(&["report", "slo", t4.to_str().unwrap()]);
+    assert_eq!(
+        slo1.status.code(),
+        Some(0),
+        "report slo failed: {}",
+        String::from_utf8_lossy(&slo1.stderr)
+    );
+    assert_eq!(slo1.stdout, slo4.stdout, "slo must not depend on --threads");
+    let text = String::from_utf8_lossy(&slo1.stdout);
+    assert!(text.contains("SLO report"), "{text}");
+    assert!(text.contains("burn"), "{text}");
+
+    // Tightening the objectives via flags must change the verdicts line.
+    let tight = repro(&[
+        "report",
+        "slo",
+        t1.to_str().unwrap(),
+        "--window",
+        "16",
+        "--availability-slo",
+        "0.999",
+        "--latency-slo-us",
+        "200",
+    ]);
+    assert_eq!(tight.status.code(), Some(0));
+    let tight_text = String::from_utf8_lossy(&tight.stdout);
+    assert!(tight_text.contains("availability ≥ 99.90 %"), "{tight_text}");
+    assert!(tight_text.contains("p99 ≤ 200 µs"), "{tight_text}");
+
+    for dir in [dir1, dir4] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn audit_flag_requires_telemetry() {
+    let out = repro(&["--quick", "--audit", "exp18"]);
+    assert_eq!(out.status.code(), Some(2), "--audit without --telemetry is a usage error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--telemetry"), "{err}");
+}
+
 #[test]
 fn report_health_and_trace_reject_bad_inputs() {
     let dir = scratch_dir("bad_inputs");
@@ -169,9 +260,23 @@ fn report_health_and_trace_reject_bad_inputs() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("no span or fault events"), "{err}");
 
+    let out = repro(&["report", "incidents", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no audit events"), "{err}");
+
+    let out = repro(&["report", "slo", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no audit verdict events"), "{err}");
+
     let out = repro(&["report", "health"]);
     assert_eq!(out.status.code(), Some(2), "missing paths is a usage error");
     let out = repro(&["report", "trace", "a", "b"]);
     assert_eq!(out.status.code(), Some(2), "trace takes exactly one path");
+    let out = repro(&["report", "incidents", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2), "incidents takes exactly one path");
+    let out = repro(&["report", "slo", "a", "--window", "0"]);
+    assert_eq!(out.status.code(), Some(2), "--window 0 is a usage error");
     let _ = std::fs::remove_dir_all(dir);
 }

@@ -4,7 +4,7 @@
 use aro_obs::json::{self, Value};
 
 /// One parsed `BENCH_*.json` capture.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchFile {
     /// Chips per population.
     pub chips: u64,
@@ -18,6 +18,11 @@ pub struct BenchFile {
     pub experiments: Vec<(String, u64)>,
     /// Total wall time across the run.
     pub total_wall_ns: u64,
+    /// Serve-bench numbers (`serve.bench.*` gauges: auths/sec, exact
+    /// p50/p99 simulated µs, quarantine/re-admit tallies), name-sorted.
+    /// Empty for captures predating the section or runs without
+    /// `serve-bench` (older files parse unchanged).
+    pub serve: Vec<(String, f64)>,
 }
 
 /// Parses a `BENCH_*.json` document.
@@ -56,6 +61,17 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         .get("total_wall_ns")
         .and_then(Value::as_u64)
         .ok_or("missing \"total_wall_ns\"")?;
+    // Optional "serve" section (added in v1 compatibly: consumers of the
+    // schema tolerate unknown keys, and its absence parses as empty).
+    let mut serve = Vec::new();
+    if let Some(Value::Object(entries)) = value.get("serve") {
+        for (name, v) in entries {
+            if let Some(metric) = v.as_f64() {
+                serve.push((name.clone(), metric));
+            }
+        }
+        serve.sort_by(|a, b| a.0.cmp(&b.0));
+    }
     Ok(BenchFile {
         chips: field("chips")?,
         ros: field("ros")?,
@@ -63,6 +79,7 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         quick,
         experiments,
         total_wall_ns,
+        serve,
     })
 }
 
@@ -97,6 +114,26 @@ mod tests {
             vec![("exp1".to_string(), 100), ("exp2".to_string(), 250)]
         );
         assert_eq!(bench.total_wall_ns, 350);
+    }
+
+    #[test]
+    fn serve_section_is_optional_and_name_sorted() {
+        let text = sample(&[("exp1", 100)]);
+        assert!(parse_bench(&text).unwrap().serve.is_empty());
+
+        let with_serve = text.replacen(
+            "  \"total_wall_ns\":",
+            "  \"serve\": {\"serve.bench.aro_puf.age0y.p99_us\": 840, \"serve.bench.aro_puf.age0y.auths_per_sec\": 125000.5},\n  \"total_wall_ns\":",
+            1,
+        );
+        let bench = parse_bench(&with_serve).unwrap();
+        assert_eq!(
+            bench.serve,
+            vec![
+                ("serve.bench.aro_puf.age0y.auths_per_sec".to_string(), 125000.5),
+                ("serve.bench.aro_puf.age0y.p99_us".to_string(), 840.0),
+            ]
+        );
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub struct WallSet {
     pub metrics: BTreeMap<String, BTreeMap<String, u64>>,
     /// Per-experiment health summaries (ledger sources with health only).
     pub health: BTreeMap<String, BTreeMap<String, HealthStat>>,
+    /// Serve-bench numbers (bench captures with a `"serve"` section only).
+    pub serve: Vec<(String, f64)>,
 }
 
 impl WallSet {
@@ -62,6 +64,7 @@ pub fn load_wall_set(path: &Path) -> Result<WallSet, String> {
         return Ok(WallSet {
             label,
             experiments: bench.experiments,
+            serve: bench.serve,
             ..WallSet::default()
         });
     }
@@ -239,6 +242,22 @@ fn health_degraded(name: &str, old: &HealthStat, new: &HealthStat) -> bool {
     }
 }
 
+/// One serve-bench metric compared between two bench captures.
+///
+/// Always advisory: serve numbers ride the wall-time diff for trend
+/// visibility (`auths_per_sec` dropping, `p99_us` creeping) but never
+/// trip the exit-5 regression gate — `bench_check.sh` applies its own
+/// advisory thresholds on top of these rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeDelta {
+    /// Gauge name (`serve.bench.aro_puf.age0y.p99_us`, …).
+    pub name: String,
+    /// Old value (absent when the metric is new).
+    pub old: Option<f64>,
+    /// New value (absent when the metric disappeared).
+    pub new: Option<f64>,
+}
+
 /// The full diff of two runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffReport {
@@ -254,6 +273,8 @@ pub struct DiffReport {
     pub metric_deltas: Vec<MetricDelta>,
     /// Health summaries that drifted (both sides ledgers with health).
     pub health_deltas: Vec<HealthDelta>,
+    /// Serve-bench metrics that changed (bench captures with serve data).
+    pub serve_deltas: Vec<ServeDelta>,
 }
 
 impl DiffReport {
@@ -339,6 +360,27 @@ impl DiffReport {
                     delta.name.clone(),
                     delta.old.to_string(),
                     delta.new.to_string(),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&drift.to_markdown());
+        }
+        if !self.serve_deltas.is_empty() {
+            let mut drift = MdTable::new(
+                "Serve drift — serve-bench metrics that changed (advisory)",
+                &["metric", "old", "new", "delta"],
+            );
+            let fmt_v = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.1}"));
+            for delta in &self.serve_deltas {
+                let pct = match (delta.old, delta.new) {
+                    (Some(old), Some(new)) => pct_delta(old, new),
+                    _ => "-".to_string(),
+                };
+                drift.push_row(vec![
+                    delta.name.clone(),
+                    fmt_v(delta.old),
+                    fmt_v(delta.new),
+                    pct,
                 ]);
             }
             out.push('\n');
@@ -447,6 +489,26 @@ pub fn diff(old: &WallSet, new: &WallSet, threshold: f64) -> DiffReport {
             }
         }
     }
+    let mut serve_deltas = Vec::new();
+    if !old.serve.is_empty() || !new.serve.is_empty() {
+        let old_serve: BTreeMap<&String, f64> =
+            old.serve.iter().map(|(n, v)| (n, *v)).collect();
+        let new_serve: BTreeMap<&String, f64> =
+            new.serve.iter().map(|(n, v)| (n, *v)).collect();
+        let names: std::collections::BTreeSet<&String> =
+            old_serve.keys().chain(new_serve.keys()).copied().collect();
+        for name in names {
+            let old_v = old_serve.get(name).copied();
+            let new_v = new_serve.get(name).copied();
+            if old_v != new_v {
+                serve_deltas.push(ServeDelta {
+                    name: name.clone(),
+                    old: old_v,
+                    new: new_v,
+                });
+            }
+        }
+    }
     DiffReport {
         old_label: old.label.clone(),
         new_label: new.label.clone(),
@@ -454,6 +516,7 @@ pub fn diff(old: &WallSet, new: &WallSet, threshold: f64) -> DiffReport {
         rows,
         metric_deltas,
         health_deltas,
+        serve_deltas,
     }
 }
 
@@ -537,6 +600,34 @@ mod tests {
         assert_eq!(report.metric_deltas.len(), 2);
         assert!(report.to_markdown().contains("Metric drift"));
         assert!(!report.has_regression(), "metric drift is not a wall regression");
+    }
+
+    #[test]
+    fn serve_bench_drift_is_advisory_only() {
+        let mut old = set("old", &[("serve-bench", 1000)]);
+        let mut new = set("new", &[("serve-bench", 1000)]);
+        old.serve = vec![
+            ("serve.bench.aro_puf.age0y.auths_per_sec".to_string(), 100_000.0),
+            ("serve.bench.aro_puf.age0y.p99_us".to_string(), 800.0),
+        ];
+        new.serve = vec![
+            ("serve.bench.aro_puf.age0y.auths_per_sec".to_string(), 50_000.0),
+            ("serve.bench.aro_puf.age0y.p99_us".to_string(), 800.0),
+            ("serve.bench.aro_puf.age0y.quarantines".to_string(), 3.0),
+        ];
+        let report = diff(&old, &new, 0.2);
+        assert_eq!(report.serve_deltas.len(), 2, "unchanged p99 is not drift");
+        assert_eq!(report.serve_deltas[0].name, "serve.bench.aro_puf.age0y.auths_per_sec");
+        assert_eq!(report.serve_deltas[1].old, None, "new metric shows as added");
+        assert!(
+            !report.has_regression(),
+            "halved throughput warns via bench_check.sh, never exit-5"
+        );
+        let md = report.to_markdown();
+        assert!(md.contains("Serve drift"));
+        assert!(md.contains("-50.0 %") || md.contains("-50"), "delta rendered: {md}");
+        // No serve data on either side: no table at all.
+        assert!(!diff(&set("a", &[]), &set("b", &[]), 0.2).to_markdown().contains("Serve drift"));
     }
 
     #[test]

@@ -207,6 +207,12 @@ impl HealthReport {
             }
             out.push_str(&caches.to_markdown());
         }
+        if let Some(serve) = self.serve_table() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&serve.to_markdown());
+        }
         if self.skipped_lines > 0 {
             let _ = write!(
                 out,
@@ -250,6 +256,38 @@ impl HealthReport {
                 misses.to_string(),
                 format!("{rate:.1} %"),
             ]);
+        }
+        (table.n_rows() > 0).then_some(table)
+    }
+
+    /// The serve fail-closed/maintenance summary, when any serve counter
+    /// is present (pairs with the per-state `serve.*` sketches in the
+    /// fleet table above).
+    fn serve_table(&self) -> Option<MdTable> {
+        let rows = [
+            ("requests served", "serve.requests"),
+            ("accepted", "serve.accepted"),
+            ("rejected", "serve.rejected"),
+            ("shed (load control)", "serve.shed"),
+            ("attempt timeouts", "serve.attempt_timeouts"),
+            ("timed out (fail closed)", "serve.timeouts"),
+            ("corrupt reads (fail closed)", "serve.corrupt_reads"),
+            ("missing records (fail closed)", "serve.missing"),
+            ("malformed answers (fail closed)", "serve.malformed"),
+            ("quarantines", "serve.quarantines"),
+            ("re-admitted", "serve.reenrolled"),
+            ("re-enroll gate failures", "serve.reenroll_failures"),
+            ("re-enroll refused (read-only)", "serve.reenroll_refused"),
+        ];
+        if !self.counters.contains_key("serve.requests") {
+            return None;
+        }
+        let mut table = MdTable::new("Serve fail-closed & maintenance", &["event", "count"]);
+        for (label, key) in rows {
+            let Some(count) = self.counters.get(key) else {
+                continue;
+            };
+            table.push_row(vec![label.to_string(), count.to_string()]);
         }
         (table.n_rows() > 0).then_some(table)
     }

@@ -22,19 +22,27 @@
 //! - **Health** ([`health`]): fleet-health tables from the streaming
 //!   sketches — BER / decode-margin / HD percentiles and cache hit
 //!   rates, deterministic at any `--threads N`.
-//! - **Trace** ([`trace`]): spans and fault events exported as Chrome
-//!   `chrome://tracing` / Perfetto JSON.
+//! - **Trace** ([`trace`]): spans, fault events, and serve audit
+//!   verdicts exported as Chrome `chrome://tracing` / Perfetto JSON.
+//! - **Incidents** ([`incidents`]): request-scoped forensics over a
+//!   serve audit capture — per-device causal timelines, top root
+//!   causes, quarantine post-mortems.
+//! - **SLO** ([`slo`]): windowed availability and simulated-latency
+//!   burn rates over the same audit stream.
 //!
 //! Schemas and examples live in `docs/OBSERVABILITY.md` ("Run ledger &
-//! resume" and "Analysis (`repro report`)").
+//! resume", "Analysis (`repro report`)", and "Serve audit trail &
+//! incident forensics").
 
 pub mod bench;
 pub mod diff;
 pub mod health;
+pub mod incidents;
 pub mod journal;
 pub mod md;
 pub mod profile;
 pub mod record;
+pub mod slo;
 pub mod trace;
 pub mod trajectory;
 

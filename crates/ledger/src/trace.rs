@@ -8,6 +8,12 @@
 //! instant (`"ph":"i"`), so injection storms appear as markers over the
 //! span timeline. Timestamps are microseconds, as the format requires.
 //!
+//! Serve audit events (`repro --audit`) get their own track: process 1,
+//! one lane per device, on the **simulated** service clock (µs) rather
+//! than wall time. Each audit `verdict` becomes a complete event spanning
+//! the request's simulated latency; `scope` and `health` lines become
+//! instants marking trial boundaries and state transitions.
+//!
 //! Like the profiler, the parser tolerates crash debris: non-JSON lines
 //! are skipped and counted, foreign events ignored.
 
@@ -23,6 +29,12 @@ pub struct Trace {
     pub spans: Vec<(String, u64, u64, u64)>,
     /// Fault instants: `(kind, chip, count, ts_ns)`.
     pub faults: Vec<(String, u64, u64, u64)>,
+    /// Audit verdict events on the simulated clock:
+    /// `(verdict, device, start_us, dur_us)`.
+    pub audit_spans: Vec<(String, u64, u64, u64)>,
+    /// Audit instants on the simulated clock: `(name, at_us)` — trial
+    /// scopes and health-machine transitions.
+    pub audit_marks: Vec<(String, u64)>,
     /// Lines that were not valid JSON (crash debris).
     pub skipped_lines: usize,
 }
@@ -64,6 +76,37 @@ impl Trace {
                     self.faults.push(fault);
                 }
             }
+            Some("audit") => match value.get("stage").and_then(Value::as_str) {
+                Some("verdict") => {
+                    let parsed = || -> Option<(String, u64, u64, u64)> {
+                        let verdict = value.get("verdict").and_then(Value::as_str)?.to_string();
+                        let device = value.get("device").and_then(Value::as_u64)?;
+                        let at_us = value.get("at_us").and_then(Value::as_u64)?;
+                        let dur_us = value.get("latency_us").and_then(Value::as_u64)?;
+                        Some((verdict, device, at_us.saturating_sub(dur_us), dur_us))
+                    };
+                    if let Some(span) = parsed() {
+                        self.audit_spans.push(span);
+                    }
+                }
+                Some("scope") => {
+                    if let Some(label) = value.get("label").and_then(Value::as_str) {
+                        self.audit_marks.push((format!("scope:{label}"), 0));
+                    }
+                }
+                Some("health") => {
+                    let parsed = || -> Option<(String, u64)> {
+                        let from = value.get("from").and_then(Value::as_str)?;
+                        let to = value.get("to").and_then(Value::as_str)?;
+                        let at_us = value.get("at_us").and_then(Value::as_u64)?;
+                        Some((format!("health:{from}→{to}"), at_us))
+                    };
+                    if let Some(mark) = parsed() {
+                        self.audit_marks.push(mark);
+                    }
+                }
+                _ => {} // request/attempt detail belongs to `report incidents`
+            },
             _ => {} // metrics / ledger events: not part of the timeline
         }
     }
@@ -71,7 +114,10 @@ impl Trace {
     /// Whether the capture carried any timeline events at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.faults.is_empty()
+        self.spans.is_empty()
+            && self.faults.is_empty()
+            && self.audit_spans.is_empty()
+            && self.audit_marks.is_empty()
     }
 
     /// Serializes as a Chrome-trace JSON document.
@@ -107,6 +153,33 @@ impl Trace {
                 ",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":0,\"tid\":0,\
                  \"args\":{{\"chip\":{chip},\"count\":{count}}}}}",
                 us(*ts_ns),
+            );
+        }
+        // The audit track: process 1, the *simulated* service clock
+        // (timestamps already in µs), one lane per device.
+        for (verdict, device, start_us, dur_us) in &self.audit_spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            json::escape_into(&mut out, &format!("auth:{verdict}"));
+            let _ = write!(
+                out,
+                ",\"cat\":\"audit\",\"ph\":\"X\",\"ts\":{start_us},\"dur\":{dur_us},\
+                 \"pid\":1,\"tid\":{device}}}",
+            );
+        }
+        for (name, at_us) in &self.audit_marks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            json::escape_into(&mut out, name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"audit\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{at_us},\"pid\":1,\"tid\":0}}",
             );
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
@@ -188,6 +261,37 @@ mod tests {
             fault.get("args").and_then(|a| a.get("chip")).and_then(Value::as_u64),
             Some(7)
         );
+    }
+
+    #[test]
+    fn audit_events_get_their_own_simulated_track() {
+        let capture = concat!(
+            r#"{"event":"audit","stage":"scope","seq":0,"trial":1,"label":"ARO age=10y"}"#,
+            "\n",
+            r#"{"event":"audit","stage":"verdict","seq":1,"trial":1,"req":"00000000000000aa","device":3,"verdict":"rejected","distance":0.375,"attempts":2,"latency_us":595,"quarantined":true,"at_us":700}"#,
+            "\n",
+            r#"{"event":"audit","stage":"health","seq":2,"trial":1,"from":"healthy","to":"degraded","error_rate":0.28,"at_us":700}"#,
+            "\n",
+        );
+        let trace = parse_trace(capture);
+        assert_eq!(trace.audit_spans.len(), 1);
+        assert_eq!(trace.audit_marks.len(), 2);
+        // Verdict at t=700 µs with 595 µs latency → starts at 105 µs.
+        assert_eq!(trace.audit_spans[0], ("rejected".to_string(), 3, 105, 595));
+
+        let doc = trace.to_chrome_json();
+        let v = json::parse(&doc).expect("valid Chrome-trace JSON");
+        let events = match v.get("traceEvents") {
+            Some(Value::Array(items)) => items,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 3);
+        let auth = &events[0];
+        assert_eq!(auth.get("name").and_then(Value::as_str), Some("auth:rejected"));
+        assert_eq!(auth.get("pid").and_then(Value::as_u64), Some(1), "audit track is pid 1");
+        assert_eq!(auth.get("tid").and_then(Value::as_u64), Some(3), "one lane per device");
+        assert_eq!(auth.get("ts").and_then(Value::as_f64), Some(105.0));
+        assert!(doc.contains("health:healthy→degraded"), "{doc}");
     }
 
     #[test]

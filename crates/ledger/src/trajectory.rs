@@ -12,7 +12,7 @@ use crate::bench::{parse_bench, BenchFile};
 use crate::md::{ms, pct_delta, MdTable};
 
 /// One capture in the series.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryPoint {
     /// File name (not full path) of the capture.
     pub file: String,
@@ -21,7 +21,7 @@ pub struct TrajectoryPoint {
 }
 
 /// The folded series.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
     /// Captures in file-name order.
     pub points: Vec<TrajectoryPoint>,

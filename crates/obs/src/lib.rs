@@ -286,6 +286,35 @@ pub fn fault_event(kind: &str, chip_id: u64, count: u64, fields: &[(&str, f64)])
     sink::write_line(&line);
 }
 
+/// Emits one structured serve fail-closed event to the telemetry sink:
+/// `{"event":"serve_fail","kind":…,"device":…,<fields…>}`.
+///
+/// The `aro-serve` admit path calls this at every fail-closed site
+/// (timeout, corrupt record, missing record, malformed answer) alongside
+/// its `serve.*` counters — the serve-side mirror of [`fault_event`], so
+/// incident forensics can link a fail-closed verdict to the injected
+/// faults that caused it. Unlike `fault_event` there is **no wall-clock
+/// timestamp**: serve time is simulated (callers pass `at_us` in
+/// `fields`), and emission happens on the sequential admit path, so the
+/// stream is byte-identical at any thread count.
+pub fn serve_fail_event(kind: &str, device: u64, fields: &[(&str, f64)]) {
+    if !enabled() || !sink::installed() {
+        return;
+    }
+    use std::fmt::Write as _;
+    let mut line = String::from("{\"event\":\"serve_fail\",\"kind\":");
+    json::escape_into(&mut line, kind);
+    let _ = write!(line, ",\"device\":{device}");
+    for (name, value) in fields {
+        line.push(',');
+        json::escape_into(&mut line, name);
+        line.push(':');
+        json::number_into(&mut line, *value);
+    }
+    line.push('}');
+    sink::write_line(&line);
+}
+
 /// Takes this thread's scratch registry, leaving it empty.
 ///
 /// Worker threads call this after finishing their chunk and hand the

@@ -152,9 +152,9 @@ pub fn run_bench(
         let mut shard_us = vec![0u64; service.store().n_shards()];
         let mut served = 0u64;
         let mut negative = 0u64;
-        for (action, outcome) in actions.iter().zip(outcomes) {
+        for (device, (action, outcome)) in actions.iter().zip(outcomes).enumerate() {
             match (action, outcome) {
-                (Action::Shed(after), _) => service.admit_shed(*after),
+                (Action::Shed(after), _) => service.admit_shed(device as u64, *after),
                 (_, Some(outcome)) => {
                     served += 1;
                     if genuine != outcome.verdict.is_accept() {

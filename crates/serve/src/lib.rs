@@ -24,15 +24,24 @@
 //! * [`bench`] — the round-based fleet driver behind EXP-18 and
 //!   `repro serve-bench`: plan a round deterministically, fan probes
 //!   out through `aro-par`, fold outcomes in device-index order.
+//! * [`audit`] — the request-scoped audit trail: a seed-derived request
+//!   id per verification, its full causal chain (store read → attempts
+//!   with fault linkage → verdict → quarantine/health/re-enrollment)
+//!   emitted as structured JSONL on the simulated service clock.
+//!   Consumed by `repro report incidents` / `report slo`.
 //!
 //! Everything is observable through `aro-obs` `serve.*` counters and
-//! sketches. See `docs/ROBUSTNESS.md` ("Fleet authentication service").
+//! sketches. See `docs/ROBUSTNESS.md` ("Fleet authentication service")
+//! and `docs/OBSERVABILITY.md` ("Serve audit trail & incident
+//! forensics").
 
+pub mod audit;
 pub mod bench;
 pub mod pipeline;
 pub mod service;
 pub mod store;
 
+pub use audit::{AttemptAudit, AttemptFaults, RequestAudit, StoreAudit};
 pub use bench::{run_bench, BenchPlan, BenchStats, FleetContext};
 pub use pipeline::{LatencyModel, RetryPolicy};
 pub use service::{AuthService, HealthState, RequestOutcome, ServicePolicy, Tallies, Verdict};

@@ -16,6 +16,12 @@
 //!    way back). Degraded sheds a deterministic quarter of traffic with
 //!    retry-after; read-only sheds half and refuses re-enrollment
 //!    writes.
+//! 4. **Auditable.** When the [`crate::audit`] trail is on, `probe`
+//!    captures each request's causal chain (store read, per-attempt
+//!    faults/latency/timeouts, decode margin) on the outcome, and the
+//!    sequential admit path emits it — plus shed/health/re-enrollment
+//!    events and a structured `serve_fail` event at every fail-closed
+//!    site — in device-index order on the simulated service clock.
 
 use std::collections::{BTreeSet, VecDeque};
 
@@ -28,6 +34,7 @@ use aro_faults::FaultInjector;
 use aro_metrics::quality::fractional_hd;
 use aro_puf::{Chip, PufDesign};
 
+use crate::audit::{self, AttemptAudit, AttemptFaults, RequestAudit, StoreAudit};
 use crate::pipeline::{LatencyModel, RetryPolicy};
 use crate::store::{ReadOutcome, ShardedStore, StoredRecord};
 
@@ -50,6 +57,32 @@ impl HealthState {
             Self::Healthy => "healthy",
             Self::Degraded => "degraded",
             Self::ReadOnly => "read-only",
+        }
+    }
+
+    // Per-state sketch names must be `'static` literals for the obs
+    // hot path, hence one match per family instead of format!.
+    fn latency_sketch(self) -> &'static str {
+        match self {
+            Self::Healthy => "serve.latency_us.healthy",
+            Self::Degraded => "serve.latency_us.degraded",
+            Self::ReadOnly => "serve.latency_us.read_only",
+        }
+    }
+
+    fn retries_sketch(self) -> &'static str {
+        match self {
+            Self::Healthy => "serve.retries.healthy",
+            Self::Degraded => "serve.retries.degraded",
+            Self::ReadOnly => "serve.retries.read_only",
+        }
+    }
+
+    fn margin_sketch(self) -> &'static str {
+        match self {
+            Self::Healthy => "serve.decode_margin.healthy",
+            Self::Degraded => "serve.decode_margin.degraded",
+            Self::ReadOnly => "serve.decode_margin.read_only",
         }
     }
 }
@@ -157,10 +190,32 @@ impl Verdict {
     pub fn is_accept(self) -> bool {
         matches!(self, Self::Accepted { .. })
     }
+
+    /// The measured fractional HD, when one exists for this verdict.
+    #[must_use]
+    pub fn distance(self) -> Option<f64> {
+        match self {
+            Self::Accepted { distance } | Self::Rejected { distance } => Some(distance),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label (audit `verdict` field, report cells).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Accepted { .. } => "accepted",
+            Self::Rejected { .. } => "rejected",
+            Self::TimedOut => "timed_out",
+            Self::CorruptRecord => "corrupt_record",
+            Self::Missing => "missing",
+            Self::Malformed => "malformed",
+        }
+    }
 }
 
 /// One request's full outcome (probe result, admitted sequentially).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestOutcome {
     /// The record the request targeted.
     pub target_id: u64,
@@ -172,6 +227,10 @@ pub struct RequestOutcome {
     pub attempt_timeouts: u32,
     /// Total simulated request latency (attempts + backoffs), µs.
     pub latency_us: u64,
+    /// The request's audit record — captured in `probe` (worker
+    /// threads), emitted by `admit` (sequential). `None` while the
+    /// audit trail is off.
+    pub audit: Option<Box<RequestAudit>>,
 }
 
 /// The simulated verifier backend.
@@ -185,6 +244,10 @@ pub struct AuthService {
     quarantine: BTreeSet<u64>,
     tallies: Tallies,
     domain: SeedDomain,
+    /// Simulated service clock, µs: advances by each admitted request's
+    /// latency, in admit order. Audit events are stamped with it — never
+    /// with wall time.
+    clock_us: u64,
 }
 
 /// Mixes a device id and an event id into one seed-stream index.
@@ -197,7 +260,8 @@ fn slot(device: u64, event: u64) -> u64 {
 
 /// One (possibly faulted) hard read: environment excursion, noise burst,
 /// and response glitches applied exactly as the device-side experiments
-/// apply them. Returns the answer and whether an excursion hit.
+/// apply them. Returns the answer and which faults fired — the audit
+/// trail's link from a verdict back to its injected causes.
 fn faulted_response(
     chip: &mut Chip,
     design: &PufDesign,
@@ -206,21 +270,27 @@ fn faulted_response(
     inj: Option<&FaultInjector>,
     chip_id: u64,
     event: u64,
-) -> (aro_metrics::bits::BitString, bool) {
+) -> (aro_metrics::bits::BitString, AttemptFaults) {
     let Some(inj) = inj else {
-        return (chip.response(design, env, pairs), false);
+        return (chip.response(design, env, pairs), AttemptFaults::default());
     };
     let meas_env = inj.measurement_env(chip_id, event, env);
     let excursion = meas_env != *env;
-    let burst_design = inj
-        .noise_burst(chip_id, event)
-        .map(|factor| design.with_readout(design.readout().with_noise_burst(factor)));
+    let burst = inj.noise_burst(chip_id, event);
+    let burst_design =
+        burst.map(|factor| design.with_readout(design.readout().with_noise_burst(factor)));
     let meas_design = burst_design.as_ref().unwrap_or(design);
     let mut answer = chip.response(meas_design, &meas_env, pairs);
-    for bit in inj.response_glitches(chip_id, event, answer.len()) {
+    let glitches = inj.response_glitches(chip_id, event, answer.len());
+    for &bit in &glitches {
         answer.flip(bit);
     }
-    (answer, excursion)
+    let faults = AttemptFaults {
+        excursion,
+        burst: burst.is_some(),
+        glitches: glitches.len() as u64,
+    };
+    (answer, faults)
 }
 
 /// One (possibly faulted) soft read for the re-enrollment gate — the
@@ -270,6 +340,7 @@ impl AuthService {
             quarantine: BTreeSet::new(),
             tallies: Tallies::default(),
             domain: SeedDomain::new(seed).child("serve"),
+            clock_us: 0,
         }
     }
 
@@ -277,6 +348,13 @@ impl AuthService {
     #[must_use]
     pub fn state(&self) -> HealthState {
         self.state
+    }
+
+    /// The simulated service clock, µs (sum of admitted request
+    /// latencies, in admit order).
+    #[must_use]
+    pub fn clock_us(&self) -> u64 {
+        self.clock_us
     }
 
     /// The service counters.
@@ -347,21 +425,56 @@ impl AuthService {
         env: &Environment,
         inj: Option<&FaultInjector>,
     ) -> RequestOutcome {
-        let outcome = |verdict, attempts, attempt_timeouts, latency_us| RequestOutcome {
+        // Audit capture is one relaxed load when off; when on, the chain
+        // is *built* here (worker threads) and *emitted* by the
+        // sequential admit path — never from a worker.
+        let capture = audit::capturing();
+        let outcome = |verdict,
+                       attempts,
+                       attempt_timeouts,
+                       latency_us,
+                       store: StoreAudit,
+                       trail: Vec<AttemptAudit>| RequestOutcome {
             target_id,
             verdict,
             attempts,
             attempt_timeouts,
             latency_us,
+            audit: capture.then(|| {
+                Box::new(RequestAudit {
+                    probe_id,
+                    event_base,
+                    store,
+                    attempts: trail,
+                })
+            }),
         };
+        let shard = self.store.shard_of(target_id);
         let record = match self.store.read(target_id) {
             ReadOutcome::Missing => {
-                return outcome(Verdict::Missing, 0, 0, self.policy.latency.base_us)
+                return outcome(
+                    Verdict::Missing,
+                    0,
+                    0,
+                    self.policy.latency.base_us,
+                    StoreAudit::Missing,
+                    Vec::new(),
+                )
             }
-            ReadOutcome::Corrupt(_) => {
+            ReadOutcome::Corrupt(record) => {
                 // Fail closed: a checksum-failing record never backs an
                 // accept. The admit step routes the device to recovery.
-                return outcome(Verdict::CorruptRecord, 0, 0, self.policy.latency.base_us)
+                return outcome(
+                    Verdict::CorruptRecord,
+                    0,
+                    0,
+                    self.policy.latency.base_us,
+                    StoreAudit::Corrupt {
+                        shard,
+                        flagged: record.flagged().len(),
+                    },
+                    Vec::new(),
+                )
             }
             ReadOutcome::Intact(record) => record,
         };
@@ -369,48 +482,113 @@ impl AuthService {
         let mut latency_us = 0;
         let mut attempt_timeouts = 0;
         let mut last_distance = None;
+        let mut trail: Vec<AttemptAudit> = Vec::new();
         for attempt in 0..self.policy.retry.max_attempts {
             let event = event_base + u64::from(attempt);
             let mut rng = self.domain.child("request").rng(slot(target_id, event));
-            let (answer, excursion) =
+            let (answer, faults) =
                 faulted_response(chip, design, env, record.challenge_pairs(), inj, probe_id, event);
-            let cost = self.policy.latency.attempt_us(reference.len(), excursion, &mut rng);
+            let cost = self
+                .policy
+                .latency
+                .attempt_us(reference.len(), faults.excursion, &mut rng);
             if cost > self.policy.retry.attempt_timeout_us {
                 attempt_timeouts += 1;
-                latency_us += self.policy.retry.attempt_timeout_us
-                    + self.policy.retry.backoff_us(attempt + 1, &mut rng);
+                let backoff = self.policy.retry.backoff_us(attempt + 1, &mut rng);
+                latency_us += self.policy.retry.attempt_timeout_us + backoff;
+                if capture {
+                    trail.push(AttemptAudit {
+                        attempt: attempt + 1,
+                        latency_us: self.policy.retry.attempt_timeout_us,
+                        timed_out: true,
+                        backoff_us: backoff,
+                        distance: None,
+                        faults,
+                    });
+                }
                 continue;
             }
             latency_us += cost;
             if answer.len() != reference.len() {
                 // Fail closed on malformed input: no distance is ever
-                // computed against a length-mismatched answer.
-                aro_obs::counter("serve.malformed", 1);
-                return outcome(Verdict::Malformed, attempt + 1, attempt_timeouts, latency_us);
+                // computed against a length-mismatched answer. (The
+                // `serve.malformed` counter and its `serve_fail` event
+                // are emitted by the sequential admit step.)
+                if capture {
+                    trail.push(AttemptAudit {
+                        attempt: attempt + 1,
+                        latency_us: cost,
+                        timed_out: false,
+                        backoff_us: 0,
+                        distance: None,
+                        faults,
+                    });
+                }
+                return outcome(
+                    Verdict::Malformed,
+                    attempt + 1,
+                    attempt_timeouts,
+                    latency_us,
+                    StoreAudit::Intact { shard },
+                    trail,
+                );
             }
             let distance = fractional_hd(reference, &answer);
             last_distance = Some(distance);
             if distance <= self.policy.accept_threshold {
+                if capture {
+                    trail.push(AttemptAudit {
+                        attempt: attempt + 1,
+                        latency_us: cost,
+                        timed_out: false,
+                        backoff_us: 0,
+                        distance: Some(distance),
+                        faults,
+                    });
+                }
                 return outcome(
                     Verdict::Accepted { distance },
                     attempt + 1,
                     attempt_timeouts,
                     latency_us,
+                    StoreAudit::Intact { shard },
+                    trail,
                 );
             }
             // The mismatch may be a transient (burst/glitch): back off
             // and retry within the attempt budget.
-            latency_us += self.policy.retry.backoff_us(attempt + 1, &mut rng);
+            let backoff = self.policy.retry.backoff_us(attempt + 1, &mut rng);
+            latency_us += backoff;
+            if capture {
+                trail.push(AttemptAudit {
+                    attempt: attempt + 1,
+                    latency_us: cost,
+                    timed_out: false,
+                    backoff_us: backoff,
+                    distance: Some(distance),
+                    faults,
+                });
+            }
         }
         let attempts = self.policy.retry.max_attempts;
+        let store = StoreAudit::Intact { shard };
         match last_distance {
             Some(distance) => outcome(
                 Verdict::Rejected { distance },
                 attempts,
                 attempt_timeouts,
                 latency_us,
+                store,
+                trail,
             ),
-            None => outcome(Verdict::TimedOut, attempts, attempt_timeouts, latency_us),
+            None => outcome(
+                Verdict::TimedOut,
+                attempts,
+                attempt_timeouts,
+                latency_us,
+                store,
+                trail,
+            ),
         }
     }
 
@@ -421,13 +599,26 @@ impl AuthService {
     /// the *record* to quarantine (a fleet's own devices — not impostor
     /// probes in a bench, which must only feed the FAR tally).
     pub fn admit(&mut self, outcome: &RequestOutcome, maintenance_eligible: bool) {
+        self.clock_us += outcome.latency_us;
         self.tallies.served += 1;
         aro_obs::counter("serve.requests", 1);
         aro_obs::sketch("serve.latency_us", outcome.latency_us as f64);
+        // Per-state sketch families: keyed by the health state the
+        // request was served under (before this outcome moves it).
+        aro_obs::sketch(self.state.latency_sketch(), outcome.latency_us as f64);
+        aro_obs::sketch("serve.retries", f64::from(outcome.attempts));
+        aro_obs::sketch(self.state.retries_sketch(), f64::from(outcome.attempts));
+        if let Some(distance) = outcome.verdict.distance() {
+            let margin = self.policy.accept_threshold - distance;
+            aro_obs::sketch("serve.decode_margin", margin);
+            aro_obs::sketch(self.state.margin_sketch(), margin);
+        }
         self.tallies.attempt_timeouts += u64::from(outcome.attempt_timeouts);
         if outcome.attempt_timeouts > 0 {
             aro_obs::counter("serve.attempt_timeouts", u64::from(outcome.attempt_timeouts));
         }
+        let at_us = self.clock_us as f64;
+        let attempts = f64::from(outcome.attempts);
         let mut quarantine = false;
         match outcome.verdict {
             Verdict::Accepted { distance } => {
@@ -445,21 +636,48 @@ impl AuthService {
             Verdict::TimedOut => {
                 self.tallies.timed_out += 1;
                 aro_obs::counter("serve.timeouts", 1);
+                aro_obs::serve_fail_event(
+                    "timeout",
+                    outcome.target_id,
+                    &[("attempts", attempts), ("at_us", at_us)],
+                );
             }
             Verdict::CorruptRecord => {
                 self.tallies.corrupt_reads += 1;
+                aro_obs::counter("serve.corrupt_reads", 1);
+                aro_obs::serve_fail_event("corrupt_record", outcome.target_id, &[("at_us", at_us)]);
                 quarantine = true;
             }
             Verdict::Missing => {
                 self.tallies.missing += 1;
                 aro_obs::counter("serve.missing", 1);
+                aro_obs::serve_fail_event("missing", outcome.target_id, &[("at_us", at_us)]);
             }
             Verdict::Malformed => {
                 self.tallies.malformed += 1;
+                aro_obs::counter("serve.malformed", 1);
+                aro_obs::serve_fail_event(
+                    "malformed",
+                    outcome.target_id,
+                    &[("attempts", attempts), ("at_us", at_us)],
+                );
                 quarantine = true;
             }
         }
-        if quarantine && maintenance_eligible {
+        let routed = quarantine && maintenance_eligible;
+        if let Some(trail) = outcome.audit.as_deref() {
+            audit::emit_request(
+                trail,
+                outcome.target_id,
+                if maintenance_eligible { "genuine" } else { "impostor" },
+                outcome.verdict.label(),
+                outcome.verdict.distance(),
+                routed,
+                outcome.latency_us,
+                self.clock_us,
+            );
+        }
+        if routed {
             self.quarantine(outcome.target_id);
         }
         // Health events: one per timed-out attempt, one for the verdict.
@@ -476,10 +694,12 @@ impl AuthService {
         self.push_health(error);
     }
 
-    /// Admits a load-shedding decision (reject-with-retry-after).
-    pub fn admit_shed(&mut self, _retry_after_us: u64) {
+    /// Admits a load-shedding decision (reject-with-retry-after) for
+    /// `device`.
+    pub fn admit_shed(&mut self, device: u64, retry_after_us: u64) {
         self.tallies.shed += 1;
         aro_obs::counter("serve.shed", 1);
+        audit::emit_shed(device, retry_after_us, self.clock_us);
     }
 
     fn quarantine(&mut self, device_id: u64) {
@@ -519,6 +739,7 @@ impl AuthService {
             }
         };
         if next != self.state {
+            audit::emit_health(self.state.label(), next.label(), rate, self.clock_us);
             self.state = next;
             aro_obs::counter(
                 match next {
@@ -554,11 +775,15 @@ impl AuthService {
         if self.state == HealthState::ReadOnly {
             self.tallies.reenroll_refusals += 1;
             aro_obs::counter("serve.reenroll_refused", 1);
+            audit::emit_reenroll(target_id, event_base, "refused_read_only", 0, self.clock_us);
             return false;
         }
         let _span = aro_obs::span("serve.reenroll");
         let (challenge_pairs, helper, key, flagged) = match self.store.read(target_id) {
-            ReadOutcome::Missing => return false,
+            ReadOutcome::Missing => {
+                audit::emit_reenroll(target_id, event_base, "missing", 0, self.clock_us);
+                return false;
+            }
             // Recovery reads the record even when its checksum fails —
             // that is the whole point of the erasure flags.
             ReadOutcome::Intact(r) | ReadOutcome::Corrupt(r) => (
@@ -609,10 +834,18 @@ impl AuthService {
             self.quarantine.remove(&target_id);
             self.tallies.reenrolled += 1;
             aro_obs::counter("serve.reenrolled", 1);
+            audit::emit_reenroll(target_id, event_base, "readmitted", attempt + 1, self.clock_us);
             return true;
         }
         self.tallies.reenroll_failures += 1;
         aro_obs::counter("serve.reenroll_failures", 1);
+        audit::emit_reenroll(
+            target_id,
+            event_base,
+            "gate_failed",
+            u64::from(self.policy.retry.max_attempts),
+            self.clock_us,
+        );
         false
     }
 }

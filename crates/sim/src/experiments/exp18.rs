@@ -87,8 +87,12 @@ pub fn run(cfg: &SimConfig) -> Report {
             for intensity in INTENSITIES {
                 let inj = (intensity > 0.0)
                     .then(|| FaultInjector::new(FaultPlan::storm().scaled(intensity), cfg.seed));
+                let scope = format!(
+                    "EXP-18 {} age={age_years:.0}y faults=storm@{intensity}",
+                    style.label()
+                );
                 let stats =
-                    workspace.run_trial(cfg, &generator, inj.as_ref(), age_years, &PLAN);
+                    workspace.run_trial(cfg, &generator, inj.as_ref(), age_years, &PLAN, &scope);
                 if stats.final_state != HealthState::Healthy {
                     degraded_points += 1;
                 }

@@ -77,13 +77,26 @@ pub fn run(cfg: &SimConfig) -> Report {
         };
         let mut workspace = FleetWorkspace::new(cfg, &generator, style, fleet);
         for age_years in FLEET_AGES_YEARS {
+            let scope = format!(
+                "SERVE-BENCH {} age={age_years:.0}y faults={faults_label}",
+                style.label()
+            );
             let stats =
-                workspace.run_trial(cfg, &generator, inj.as_deref(), age_years, &PLAN);
+                workspace.run_trial(cfg, &generator, inj.as_deref(), age_years, &PLAN, &scope);
             if stats.final_state != HealthState::Healthy {
                 degraded_points += 1;
             }
             false_accepts += stats.impostor_accepted;
             total_served += stats.genuine_served + stats.impostor_served;
+            // Per-point gauges feeding the `--bench-json` "serve" section
+            // (picked up by `report diff`/trajectory across PRs).
+            let cell = style.label().to_lowercase().replace('-', "_");
+            let point = format!("serve.bench.{cell}.age{age_years:.0}y");
+            aro_obs::gauge(&format!("{point}.auths_per_sec"), stats.auths_per_sec());
+            aro_obs::gauge(&format!("{point}.p50_us"), stats.p50_us as f64);
+            aro_obs::gauge(&format!("{point}.p99_us"), stats.p99_us as f64);
+            aro_obs::gauge(&format!("{point}.quarantines"), stats.tallies.quarantines as f64);
+            aro_obs::gauge(&format!("{point}.reenrolled"), stats.tallies.reenrolled as f64);
             table.push_row(stats_row(style, age_years, &faults_label, &stats));
         }
     }

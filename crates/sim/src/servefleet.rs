@@ -115,7 +115,9 @@ impl FleetWorkspace {
     /// enroll the service at the factory, apply field damage (hard ring
     /// faults, store erosion scaled to the age fraction of the mission,
     /// snapshot-store aging), then drive `plan`'s traffic through
-    /// [`run_bench`]. Deterministic in its arguments.
+    /// [`run_bench`]. Deterministic in its arguments. `scope` labels the
+    /// trial's audit scope (one sweep cell, e.g.
+    /// `"ARO age=10y faults=storm@0.5"`) when the audit trail is on.
     #[must_use]
     pub fn run_trial(
         &mut self,
@@ -124,8 +126,10 @@ impl FleetWorkspace {
         inj: Option<&FaultInjector>,
         age_years: f64,
         plan: &BenchPlan,
+        scope: &str,
     ) -> BenchStats {
         let _span = aro_obs::span("serve.trial");
+        let _trial = aro_serve::audit::scope_begin(scope);
         let mut service =
             AuthService::new(ServicePolicy::default(), self.chips.len(), N_SHARDS, cfg.seed);
         // Factory enrollment on fresh silicon: golden CRP reference plus
@@ -253,7 +257,7 @@ mod tests {
             genuine_rounds: 3,
             impostor_rounds: 2,
         };
-        let stats = ws.run_trial(&cfg, &generator, None, 0.0, &plan);
+        let stats = ws.run_trial(&cfg, &generator, None, 0.0, &plan, "test fresh");
         assert_eq!(stats.final_state, HealthState::Healthy);
         assert_eq!(stats.impostor_accepted, 0, "FAR must be zero");
         assert_eq!(stats.genuine_denied, 0, "fresh fault-free fleet: no denials");
@@ -271,8 +275,8 @@ mod tests {
             impostor_rounds: 1,
         };
         let inj = FaultInjector::new(aro_faults::FaultPlan::storm().scaled(0.5), cfg.seed);
-        let first = ws.run_trial(&cfg, &generator, Some(&inj), 5.0, &plan);
-        let again = ws.run_trial(&cfg, &generator, Some(&inj), 5.0, &plan);
+        let first = ws.run_trial(&cfg, &generator, Some(&inj), 5.0, &plan, "test replay");
+        let again = ws.run_trial(&cfg, &generator, Some(&inj), 5.0, &plan, "test replay");
         assert_eq!(first, again, "a trial must fully rewind the workspace");
     }
 }

@@ -103,6 +103,62 @@ else
     echo "bench_check: serve-bench exited $serve_status; no timing recorded" >&2
 fi
 
+# Serve-bench advisory: compare a fresh *fault-free* serve-bench's serve
+# section (auths/sec throughput and exact p99 simulated latency per sweep
+# point) against the newest committed BENCH_pr*.json that carries one
+# (the section first appears in BENCH_pr9.json; older captures predate
+# it). The committed captures are fault-free, so the storm run above
+# cannot be the comparison point — its timeouts and quarantines would
+# trip the gate every time. Simulated latencies are deterministic, so a
+# p99 move is a real behavioural change — but auths/sec divides by wall
+# time, so like everything here this warns and never fails. Tune with
+# SERVE_BENCH_THRESHOLD (default 0.3).
+SERVE_THRESHOLD="${SERVE_BENCH_THRESHOLD:-0.3}"
+serve_baseline=""
+for candidate in $(ls -1 BENCH_pr*.json 2>/dev/null | sort -rV); do
+    if grep -q '"serve"' "$candidate"; then
+        serve_baseline="$candidate"
+        break
+    fi
+done
+if [[ -n "$serve_baseline" ]]; then
+    echo "==> serve advisory: fresh fault-free serve-bench vs $serve_baseline (threshold ${SERVE_THRESHOLD})"
+    serve_clean_json="$(mktemp /tmp/BENCH_serve_clean.XXXXXX.json)"
+    trap 'rm -f "$run_json" "$best_json" "$fault_json" "$serve_json" "$serve_clean_json" "$health_ledger"' EXIT
+    set +e
+    ./target/release/repro --quick --quiet serve-bench --bench-json "$serve_clean_json"
+    serve_clean_status=$?
+    set -e
+    if [[ "$serve_clean_status" -ne 0 && "$serve_clean_status" -ne 3 ]]; then
+        echo "bench_check: fault-free serve-bench exited $serve_clean_status; skipping serve advisory" >&2
+    else
+    python3 - "$serve_baseline" "$serve_clean_json" "$SERVE_THRESHOLD" <<'PY'
+import json, sys
+
+old = json.load(open(sys.argv[1])).get("serve", {})
+new = json.load(open(sys.argv[2])).get("serve", {})
+threshold = float(sys.argv[3])
+warned = False
+for name in sorted(old):
+    if name not in new:
+        continue
+    o, n = old[name], new[name]
+    if name.endswith(".auths_per_sec") and n < o * (1 - threshold):
+        print(f"WARNING: {name} dropped {o:.0f} -> {n:.0f} auths/sec "
+              f"(past -{threshold:.0%})")
+        warned = True
+    elif name.endswith(".p99_us") and n > o * (1 + threshold):
+        print(f"WARNING: {name} crept {o:.0f} -> {n:.0f} us simulated "
+              f"(past +{threshold:.0%}) — deterministic, so a real change")
+        warned = True
+if not warned:
+    print(f"serve advisory: throughput and p99 within {threshold:.0%} of baseline")
+PY
+    fi
+else
+    echo "bench_check: no committed BENCH_pr*.json with a serve section; skipping serve advisory"
+fi
+
 # Health-regression advisory: diff a fresh quick-scale ledger against the
 # committed baseline ledger. The quick run is deterministic, so any
 # decode-margin p1 collapse or BER p99 creep flagged here is a real

@@ -179,4 +179,79 @@ if ! cmp -s "$serve_dir/bench_1.md" "$serve_dir/bench_4.md"; then
 fi
 echo "serve smoke: serve-bench byte-identical at 1 and 4 threads"
 
+# Incident smoke: the request-scoped audit trail, end to end. Capture
+# exp18 under a quarter storm with --audit at 1 and 4 worker threads,
+# require `report incidents` to reconstruct byte-identical causal
+# timelines from both captures, and validate the audit JSONL's schema
+# invariants (monotonic seq, causally linked request chains). See
+# docs/OBSERVABILITY.md ("Serve audit trail & incident forensics").
+echo "==> incident smoke (exp18 audit capture + report incidents determinism)"
+audit_dir="$ledger_dir/audit"
+mkdir -p "$audit_dir"
+set +e
+./target/release/repro --quick --quiet --faults storm@0.25 --audit \
+    --telemetry "$audit_dir/t1.jsonl" --threads 1 exp18
+audit_t1=$?
+./target/release/repro --quick --quiet --faults storm@0.25 --audit \
+    --telemetry "$audit_dir/t4.jsonl" --threads 4 exp18
+audit_t4=$?
+set -e
+for code in "$audit_t1" "$audit_t4"; do
+    if [[ "$code" -ne 0 && "$code" -ne 3 ]]; then
+        echo "verify: audited exp18 exited $code (expected 0 or 3)" >&2
+        exit 1
+    fi
+done
+./target/release/repro report incidents "$audit_dir/t1.jsonl" > "$audit_dir/inc_1.md"
+./target/release/repro report incidents "$audit_dir/t4.jsonl" > "$audit_dir/inc_4.md"
+if ! cmp -s "$audit_dir/inc_1.md" "$audit_dir/inc_4.md"; then
+    echo "verify: report incidents differs between --threads 1 and 4" >&2
+    diff "$audit_dir/inc_1.md" "$audit_dir/inc_4.md" | head -20 >&2
+    exit 1
+fi
+if ! grep -q "Incident report" "$audit_dir/inc_1.md"; then
+    echo "verify: report incidents produced no incident report" >&2
+    exit 1
+fi
+./target/release/repro report slo "$audit_dir/t1.jsonl" > "$audit_dir/slo.md"
+if ! grep -q "SLO report" "$audit_dir/slo.md"; then
+    echo "verify: report slo produced no SLO report" >&2
+    exit 1
+fi
+python3 - "$audit_dir/t1.jsonl" <<'PY'
+import json, sys
+
+seq = -1
+requests = {}
+verdicts = 0
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line or '"event":"audit"' not in line:
+        continue
+    ev = json.loads(line)
+    if ev.get("event") != "audit":
+        continue
+    assert ev["seq"] > seq, f"audit seq not monotonic: {ev['seq']} after {seq}"
+    seq = ev["seq"]
+    stage = ev["stage"]
+    if stage in ("request", "store_read", "attempt", "verdict"):
+        req = ev["req"]
+        assert len(req) == 16 and int(req, 16) >= 0, f"bad request id {req!r}"
+        order = requests.setdefault(req, [])
+        order.append(stage)
+        if stage == "verdict":
+            verdicts += 1
+            assert order[0] == "request", f"chain for {req} missing its request head: {order}"
+            assert ev["verdict"] in (
+                "accepted", "rejected", "timed_out",
+                "corrupt_record", "missing", "malformed",
+            ), ev["verdict"]
+assert verdicts > 0, "audit capture carried no verdicts"
+for req, order in requests.items():
+    assert order.count("request") == 1, f"{req}: {order}"
+    assert order.count("verdict") <= 1, f"{req}: {order}"
+print(f"audit JSONL valid: {len(requests)} request chains, {verdicts} verdicts")
+PY
+echo "incident smoke: forensics byte-identical at 1 and 4 threads"
+
 echo "==> verify OK"

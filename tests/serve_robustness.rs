@@ -14,7 +14,8 @@ use aro_puf_repro::ecc::keygen::KeyGenerator;
 use aro_puf_repro::faults::{FaultInjector, FaultPlan};
 use aro_puf_repro::puf::{Challenge, Chip, PairingStrategy, PufDesign};
 use aro_puf_repro::serve::{
-    AuthService, BenchPlan, ReadOutcome, ServicePolicy, StoredRecord, Verdict,
+    audit, AuthService, BenchPlan, HealthState, ReadOutcome, RequestOutcome, ServicePolicy,
+    StoredRecord, Verdict,
 };
 use aro_puf_repro::sim::experiments::run_by_id;
 use aro_puf_repro::sim::parallel::set_thread_override;
@@ -71,6 +72,130 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2 })]
+
+    /// The audit trail is observability, not behaviour: with capture
+    /// enabled the serve-bench report — every tally, latency percentile,
+    /// and health state — stays byte-identical to an uninstrumented run,
+    /// at 1, 2, and 8 worker threads, with faults off and under a storm.
+    #[test]
+    fn audit_capture_never_changes_the_serve_report(
+        plan in prop::sample::select(vec!["off", "storm@0.5"]),
+        seed in 0u64..100,
+    ) {
+        for threads in [1usize, 2, 8] {
+            audit::set_enabled(false);
+            let off = serve_bench_at(plan, seed, threads);
+            audit::set_enabled(true);
+            let on = serve_bench_at(plan, seed, threads);
+            audit::set_enabled(false);
+            prop_assert_eq!(
+                &off, &on,
+                "audit on/off at {} threads under {}", threads, plan
+            );
+        }
+    }
+}
+
+/// A synthetic probe outcome for driving `admit()` directly.
+fn synthetic(verdict: Verdict, attempt_timeouts: u32) -> RequestOutcome {
+    RequestOutcome {
+        target_id: 0,
+        verdict,
+        attempts: 1 + attempt_timeouts,
+        attempt_timeouts,
+        latency_us: 100,
+        audit: None,
+    }
+}
+
+/// Exhaustive transition table of the health-machine hysteresis,
+/// exercised through `admit()` with an 8-event window (evaluation
+/// starts at 4 events). With `degraded_watermark` 0.25 and
+/// `read_only_watermark` 0.50, the reachable single-step transitions
+/// per (state, windowed error rate) band are:
+///
+/// | state     | rate < 1/8 | 1/8 ≤ rate < 1/4 | 1/4 ≤ rate < 1/2 | rate ≥ 1/2 |
+/// |-----------|------------|------------------|------------------|------------|
+/// | Healthy   | Healthy    | Healthy          | Degraded         | ReadOnly   |
+/// | Degraded  | Healthy    | Degraded (hyst.) | Degraded         | ReadOnly   |
+/// | ReadOnly  | —          | Degraded         | ReadOnly (hyst.) | ReadOnly   |
+///
+/// (`ReadOnly` at rate < 1/8 is unreachable in one step: a sliding
+/// window moves the error count by at most one per event, so recovery
+/// always passes through `Degraded` at 1/8.)
+#[test]
+fn health_machine_hysteresis_transition_table() {
+    let policy = ServicePolicy {
+        health_window: 8,
+        ..ServicePolicy::default()
+    };
+    let ok = || synthetic(Verdict::Accepted { distance: 0.0 }, 0);
+    let err = || synthetic(Verdict::TimedOut, 0);
+
+    // One trajectory walking every reachable row. Each step is
+    // (error?, expected state after admitting it); the comment gives
+    // the window contents' error rate at that point.
+    use HealthState::{Degraded, Healthy, ReadOnly};
+    let trajectory = [
+        (false, Healthy),  //  1: warmup (3 events < window/2: no verdicts yet)
+        (false, Healthy),  //  2
+        (false, Healthy),  //  3
+        (false, Healthy),  //  4: 0/4 — evaluation starts
+        (false, Healthy),  //  5: 0/5
+        (false, Healthy),  //  6: 0/6
+        (true, Healthy),   //  7: 1/7 ≈ 0.14 — Healthy ignores sub-watermark noise
+        (true, Degraded),  //  8: 2/8 = 0.25 — enters Degraded exactly at the watermark
+        (true, Degraded),  //  9: 3/8
+        (true, ReadOnly),  // 10: 4/8 = 0.50 — enters ReadOnly exactly at the watermark
+        (false, ReadOnly), // 11: 4/8 (window slid over leading oks)
+        (false, ReadOnly), // 12: 4/8
+        (false, ReadOnly), // 13: 4/8
+        (false, ReadOnly), // 14: 4/8
+        (false, ReadOnly), // 15: 3/8 — hysteresis: ≥ 1/4 holds ReadOnly
+        (false, ReadOnly), // 16: 2/8 = 0.25 — boundary: still holds
+        (false, Degraded), // 17: 1/8 — falls back one level, not two
+        (false, Healthy),  // 18: 0/8 — full recovery
+        (true, Healthy),   // 19: 1/8 — Healthy is unmoved by the recovery floor
+        (true, Degraded),  // 20: 2/8 = 0.25
+        (false, Degraded), // 21: 2/8
+        (false, Degraded), // 22: 2/8
+        (false, Degraded), // 23: 2/8
+        (false, Degraded), // 24: 2/8
+        (false, Degraded), // 25: 2/8
+        (false, Degraded), // 26: 2/8
+        (false, Degraded), // 27: 1/8 — hysteresis: holds at the recovery floor
+        (false, Healthy),  // 28: 0/8 — recovers only below it
+    ];
+    let mut service = AuthService::new(policy, 1, 1, 42);
+    for (i, (error, expect)) in trajectory.into_iter().enumerate() {
+        service.admit(&if error { err() } else { ok() }, false);
+        assert_eq!(
+            service.state(),
+            expect,
+            "after event {} (error = {error})",
+            i + 1
+        );
+    }
+
+    // Healthy jumps straight to ReadOnly when the window activates at
+    // half errors — no mandatory stop in Degraded.
+    let mut service = AuthService::new(policy, 1, 1, 42);
+    for outcome in [ok(), ok(), err(), err()] {
+        service.admit(&outcome, false);
+    }
+    assert_eq!(service.state(), HealthState::ReadOnly, "2/4 at activation");
+
+    // Every timed-out attempt counts against health, not just the final
+    // verdict: one request with two attempt timeouts plus a timeout
+    // verdict pushes three errors.
+    let mut service = AuthService::new(policy, 1, 1, 42);
+    service.admit(&synthetic(Verdict::TimedOut, 2), false);
+    service.admit(&ok(), false);
+    assert_eq!(service.state(), HealthState::ReadOnly, "3/4 from one request");
+}
+
 /// Store corruption is recovered deterministically: an aged fleet under
 /// a half storm — eroded verifier NVM included — produces the exact
 /// same accepted/rejected/corrupt/quarantine tallies on every rerun.
@@ -92,7 +217,7 @@ fn store_corruption_recovery_tallies_are_deterministic() {
     };
     let run = || {
         let mut ws = FleetWorkspace::new(&cfg, &generator, RoStyle::AgingResistant, 4);
-        ws.run_trial(&cfg, &generator, Some(&inj), 10.0, &plan)
+        ws.run_trial(&cfg, &generator, Some(&inj), 10.0, &plan, "test recovery")
     };
     let first = run();
     let second = run();
