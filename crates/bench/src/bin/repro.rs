@@ -11,6 +11,7 @@
 //! repro --metrics                # print the instrumented run summary
 //! repro --bench-json BENCH_run.json  # per-experiment wall-time dump
 //! repro --threads 4              # force the worker-thread count
+//! repro --replicas 3             # store replication factor (serve modes)
 //! repro --faults smoke           # run under an injected-fault plan
 //! repro --max-retries 2          # retry failed experiments (reseeding
 //!                                # only the flaky-tolerant ones)
@@ -49,7 +50,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-const EXPERIMENTS: [(&str, &str); 18] = [
+const EXPERIMENTS: [(&str, &str); 19] = [
     ("exp1", "RO frequency degradation vs. time"),
     (
         "exp2",
@@ -80,6 +81,10 @@ const EXPERIMENTS: [(&str, &str); 18] = [
     ("exp16", "Self-healing helper-data refresh (interval sweep)"),
     ("exp17", "Fault-aware provisioning envelope"),
     ("exp18", "Fleet authentication service under fault storms"),
+    (
+        "exp19",
+        "Full-storm survival: cheapest (area, refresh, replication) triple",
+    ),
 ];
 
 /// Run modes that are not paper experiments (never part of a bare
@@ -164,6 +169,10 @@ fn usage() -> String {
          \x20 --bench-json PATH    write per-experiment wall times as JSON\n\
          \x20 --threads N          force N worker threads (1 = sequential,\n\
          \x20                      results are bit-identical at any count)\n\
+         \x20 --replicas N         enrollment-store replication factor for\n\
+         \x20                      exp18/serve-bench (1..=4; default 2); a\n\
+         \x20                      record survives any damage that leaves\n\
+         \x20                      one replica intact\n\
          \x20 --faults PLAN        inject deterministic faults; PLAN is\n\
          \x20                      off | smoke | storm, optionally scaled\n\
          \x20                      as PLAN@INTENSITY (e.g. storm@0.5)\n\
@@ -221,6 +230,7 @@ struct Options {
     audit: bool,
     bench_json: Option<PathBuf>,
     threads: Option<usize>,
+    replicas: Option<usize>,
     faults: Option<FaultPlan>,
     fault_spec: Option<String>,
     max_retries: usize,
@@ -248,6 +258,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
         audit: false,
         bench_json: None,
         threads: None,
+        replicas: None,
         faults: None,
         fault_spec: None,
         max_retries: 0,
@@ -305,6 +316,27 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
                     ));
                 }
                 opts.threads = Some(threads);
+            }
+            "--replicas" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--replicas expects a value".into()))?;
+                let replicas: usize = value.parse().map_err(|_| {
+                    CliError::Usage(format!("--replicas expects an integer, got `{value}`"))
+                })?;
+                if replicas == 0 {
+                    return Err(CliError::Usage(
+                        "--replicas expects a positive count (a record needs at least one copy)"
+                            .into(),
+                    ));
+                }
+                if replicas > aro_sim::servefleet::N_SHARDS {
+                    return Err(CliError::Usage(format!(
+                        "--replicas expects at most {} (replicas cannot outnumber store shards)",
+                        aro_sim::servefleet::N_SHARDS
+                    )));
+                }
+                opts.replicas = Some(replicas);
             }
             "--faults" => {
                 let spec = args
@@ -507,6 +539,9 @@ fn run(opts: &Options) -> Result<i32, CliError> {
         .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
     if let Some(threads) = opts.threads {
         aro_sim::parallel::set_thread_override(threads);
+    }
+    if let Some(replicas) = opts.replicas {
+        aro_sim::servefleet::set_replica_override(replicas);
     }
     // A ledger needs obs enabled so records carry the per-experiment
     // counter deltas (incl. the faults.* tallies); stdout is unchanged —

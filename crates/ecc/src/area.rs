@@ -135,6 +135,32 @@ impl KeyGenSpec {
     }
 }
 
+/// Gate equivalents charged per stored helper-data bit (eFuse/OTP NVM
+/// macro at 90 nm-class density — much denser than logic flip-flops).
+pub const GE_NVM_BIT: f64 = 0.6;
+
+/// NVM area of an N-way replicated helper store for `spec`, in GE: the
+/// code-offset helper is `raw_bits` of public NVM, and each replica is a
+/// full copy. Only the stored bits replicate — the PUF array and the
+/// decoder are shared across replicas.
+///
+/// # Panics
+/// Panics if `replicas` is zero.
+#[must_use]
+pub fn replicated_helper_ge(spec: &KeyGenSpec, replicas: usize) -> f64 {
+    assert!(replicas >= 1, "a helper store needs at least one replica");
+    spec.raw_bits as f64 * GE_NVM_BIT * replicas as f64
+}
+
+/// Total provisioned area of `spec` deployed with an N-way replicated
+/// helper store: logic ([`KeyGenSpec::total_ge`]) plus replicated NVM
+/// ([`replicated_helper_ge`]). EXP-19's cost axis — it makes "one more
+/// replica" and "a deeper code" directly comparable in GE.
+#[must_use]
+pub fn replicated_total_ge(spec: &KeyGenSpec, replicas: usize) -> f64 {
+    spec.total_ge() + replicated_helper_ge(spec, replicas)
+}
+
 /// Composes two independent per-bit error sources into the effective
 /// channel error rate: a bit is wrong when exactly one source flips it,
 /// `p(1−q) + q(1−p)`. Fault-aware provisioning (EXP-17) uses this to
@@ -392,6 +418,25 @@ mod tests {
         let aro = search_design(0.11, 128, 1e-6, &aro_puf).expect("ARO feasible");
         let ratio = conv.total_ge() / aro.total_ge();
         assert!(ratio > 5.0, "area ratio {ratio} should be large");
+    }
+
+    #[test]
+    fn replication_prices_nvm_linearly_on_top_of_the_logic() {
+        let spec = search_design(0.05, 128, 1e-6, &puf_params()).unwrap();
+        let one = replicated_helper_ge(&spec, 1);
+        assert_eq!(one, spec.raw_bits as f64 * GE_NVM_BIT);
+        assert_eq!(replicated_helper_ge(&spec, 3), 3.0 * one);
+        assert_eq!(
+            replicated_total_ge(&spec, 2),
+            spec.total_ge() + 2.0 * one
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panic() {
+        let spec = search_design(0.05, 128, 1e-6, &puf_params()).unwrap();
+        let _ = replicated_helper_ge(&spec, 0);
     }
 
     #[test]

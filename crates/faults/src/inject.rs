@@ -43,6 +43,8 @@ pub struct FaultInjector {
     glitch: SeedDomain,
     helper: SeedDomain,
     helper_window: SeedDomain,
+    replica: SeedDomain,
+    shard: SeedDomain,
 }
 
 /// Folds a two-coordinate opportunity into one stream index. The odd
@@ -67,6 +69,8 @@ impl FaultInjector {
             glitch: root.child("glitch"),
             helper: root.child("helper"),
             helper_window: root.child("helper-window"),
+            replica: root.child("replica"),
+            shard: root.child("shard"),
         }
     }
 
@@ -273,6 +277,52 @@ impl FaultInjector {
         }
         erased
     }
+
+    /// The replica indices of device `device_id`'s stored enrollment group
+    /// wiped during maintenance window `window`, in ascending order. Each
+    /// of the `n_replicas` stored copies is lost independently with the
+    /// plan's replica-wipe rate — a dead NVM page, a botched firmware
+    /// update — leaving the other copies to serve the read.
+    #[must_use]
+    pub fn replica_wipes(&self, device_id: u64, window: u64, n_replicas: usize) -> Vec<usize> {
+        if self.plan.replica_wipe_rate == 0.0 {
+            return Vec::new();
+        }
+        let mut rng = self.replica.rng(slot(device_id, window));
+        let wiped: Vec<usize> = (0..n_replicas)
+            .filter(|_| rng.gen_range(0.0..1.0) < self.plan.replica_wipe_rate)
+            .collect();
+        if !wiped.is_empty() {
+            aro_obs::counter("faults.replica_wipes", wiped.len() as u64);
+            aro_obs::sketch("faults.fire_size", wiped.len() as f64);
+            aro_obs::fault_event(
+                "replica_wipe",
+                device_id,
+                wiped.len() as u64,
+                &[("window", window as f64)],
+            );
+        }
+        wiped
+    }
+
+    /// Whether store shard `shard` is lost wholesale during maintenance
+    /// window `window` — a dead verifier node taking every replica it
+    /// hosts with it. Replica placement rotates groups across shards, so a
+    /// shard loss costs each affected device one replica, not its record.
+    #[must_use]
+    pub fn shard_loss(&self, shard: u64, window: u64) -> bool {
+        if self.plan.shard_loss_rate == 0.0 {
+            return false;
+        }
+        let mut rng = self.shard.rng(slot(shard, window));
+        if rng.gen_range(0.0..1.0) >= self.plan.shard_loss_rate {
+            return false;
+        }
+        aro_obs::counter("faults.shard_losses", 1);
+        aro_obs::sketch("faults.fire_size", 1.0);
+        aro_obs::fault_event("shard_loss", shard, 1, &[("window", window as f64)]);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +352,10 @@ mod tests {
             a.helper_erasures(4, &[127, 127]),
             b.helper_erasures(4, &[127, 127])
         );
+        let b_shard = b.shard_loss(2, 11);
+        let b_wipes = b.replica_wipes(6, 3, 4);
+        assert_eq!(a.replica_wipes(6, 3, 4), b_wipes);
+        assert_eq!(a.shard_loss(2, 11), b_shard);
     }
 
     #[test]
@@ -328,6 +382,35 @@ mod tests {
         assert!(inj.hard_faults(0, 4096).is_empty());
         assert!(inj.helper_erasures(0, &[1024]).is_empty());
         assert!(inj.helper_erasures_during(0, 0, 1.0, &[1024]).is_empty());
+        for window in 0..32 {
+            assert!(inj.replica_wipes(0, window, 8).is_empty());
+            assert!(!inj.shard_loss(0, window));
+        }
+    }
+
+    #[test]
+    fn replica_wipes_and_shard_losses_roughly_honour_their_rates() {
+        let inj = storm();
+        let plan = FaultPlan::storm();
+        let n = 4000u64;
+        let wiped: usize = (0..n).map(|w| inj.replica_wipes(7, w, 3).len()).sum();
+        let wipe_rate = wiped as f64 / (3 * n) as f64;
+        assert!(
+            (wipe_rate - plan.replica_wipe_rate).abs() < 0.01,
+            "wipe rate {wipe_rate} vs plan {}",
+            plan.replica_wipe_rate
+        );
+        let lost = (0..n).filter(|&w| inj.shard_loss(1, w)).count() as f64 / n as f64;
+        assert!(
+            (lost - plan.shard_loss_rate).abs() < 0.01,
+            "shard-loss rate {lost} vs plan {}",
+            plan.shard_loss_rate
+        );
+        // Coordinates separate the streams: two devices / shards disagree
+        // somewhere over enough windows.
+        let a: Vec<_> = (0..512).map(|w| inj.replica_wipes(0, w, 3)).collect();
+        let b: Vec<_> = (0..512).map(|w| inj.replica_wipes(1, w, 3)).collect();
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -497,6 +580,10 @@ mod tests {
             let _ = inj.response_glitches(STORM_CHIP, event, 64);
         }
         let _ = inj.helper_erasures(STORM_CHIP, &[127, 127, 127]);
+        for window in 0..512 {
+            let _ = inj.replica_wipes(STORM_CHIP, window, 4);
+            let _ = inj.shard_loss(STORM_CHIP, window);
+        }
         let off = FaultInjector::new(FaultPlan::off(), 2014);
         let _ = off.hard_faults(OFF_CHIP, 1024);
         for event in 0..512 {
@@ -505,6 +592,10 @@ mod tests {
             let _ = off.response_glitches(OFF_CHIP, event, 64);
         }
         let _ = off.helper_erasures(OFF_CHIP, &[127, 127, 127]);
+        for window in 0..512 {
+            let _ = off.replica_wipes(OFF_CHIP, window, 4);
+            let _ = off.shard_loss(OFF_CHIP, window);
+        }
         aro_obs::set_enabled(false);
         aro_obs::sink::close();
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
@@ -525,6 +616,8 @@ mod tests {
             "noise_burst",
             "counter_glitch",
             "helper_erasure",
+            "replica_wipe",
+            "shard_loss",
         ] {
             assert!(kinds.contains(kind), "missing fault kind {kind}: {kinds:?}");
         }

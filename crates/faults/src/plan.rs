@@ -7,7 +7,7 @@
 
 /// Per-class fault rates and magnitudes.
 ///
-/// The six classes mirror the upset mechanisms reported for fielded RO-PUF
+/// The eight classes mirror the upset mechanisms reported for fielded RO-PUF
 /// arrays (see `docs/ROBUSTNESS.md` for the taxonomy and citations):
 ///
 /// | class | rate field | magnitude field(s) |
@@ -18,6 +18,8 @@
 /// | stuck ring | `stuck_ro_rate` | — |
 /// | counter glitch | `glitch_prob` | — (one bit per event) |
 /// | helper-data erasure | `helper_erasure_rate` | — |
+/// | replica wipe | `replica_wipe_rate` | — (one stored replica per event) |
+/// | whole-shard loss | `shard_loss_rate` | — (every record in the shard) |
 ///
 /// Rates are probabilities per *opportunity* (per measurement event for the
 /// transient classes, per ring for the hard classes, per response bit for
@@ -45,6 +47,12 @@ pub struct FaultPlan {
     pub glitch_prob: f64,
     /// Probability per stored helper-data bit of an NVM erasure/upset.
     pub helper_erasure_rate: f64,
+    /// Probability per stored replica per maintenance window of the whole
+    /// replica being wiped (a lost NVM page, a botched firmware update).
+    pub replica_wipe_rate: f64,
+    /// Probability per store shard per maintenance window of the entire
+    /// shard being lost (a dead verifier node / storage volume).
+    pub shard_loss_rate: f64,
 }
 
 /// A fault-plan spec that did not parse.
@@ -78,6 +86,8 @@ impl FaultPlan {
             stuck_ro_rate: 0.0,
             glitch_prob: 0.0,
             helper_erasure_rate: 0.0,
+            replica_wipe_rate: 0.0,
+            shard_loss_rate: 0.0,
         }
     }
 
@@ -96,6 +106,8 @@ impl FaultPlan {
             stuck_ro_rate: 0.005,
             glitch_prob: 0.002,
             helper_erasure_rate: 0.001,
+            replica_wipe_rate: 0.001,
+            shard_loss_rate: 0.0002,
         }
     }
 
@@ -114,6 +126,8 @@ impl FaultPlan {
             stuck_ro_rate: 0.02,
             glitch_prob: 0.01,
             helper_erasure_rate: 0.004,
+            replica_wipe_rate: 0.02,
+            shard_loss_rate: 0.004,
         }
     }
 
@@ -126,6 +140,8 @@ impl FaultPlan {
             && self.stuck_ro_rate == 0.0
             && self.glitch_prob == 0.0
             && self.helper_erasure_rate == 0.0
+            && self.replica_wipe_rate == 0.0
+            && self.shard_loss_rate == 0.0
     }
 
     /// Returns this plan with every *rate* scaled by `intensity` (clamped
@@ -151,6 +167,8 @@ impl FaultPlan {
             stuck_ro_rate: scale(self.stuck_ro_rate),
             glitch_prob: scale(self.glitch_prob),
             helper_erasure_rate: scale(self.helper_erasure_rate),
+            replica_wipe_rate: scale(self.replica_wipe_rate),
+            shard_loss_rate: scale(self.shard_loss_rate),
         }
     }
 
@@ -202,6 +220,8 @@ impl FaultPlan {
             self.stuck_ro_rate,
             self.glitch_prob,
             self.helper_erasure_rate,
+            self.replica_wipe_rate,
+            self.shard_loss_rate,
         ];
         let mut digest = 0xfa_17u64;
         for field in fields {
@@ -283,6 +303,29 @@ mod tests {
             ..FaultPlan::off()
         };
         assert_ne!(erasure_only.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn storage_only_plans_are_live_and_fingerprint_apart() {
+        // A plan carrying only storage-layer faults (replica wipes or
+        // whole-shard losses) must not collapse into the fault-free path
+        // or alias its cache key — these are the EXP-19 storm's subject.
+        let wipe_only = FaultPlan {
+            replica_wipe_rate: 0.01,
+            ..FaultPlan::off()
+        };
+        let shard_only = FaultPlan {
+            shard_loss_rate: 0.01,
+            ..FaultPlan::off()
+        };
+        assert!(!wipe_only.is_off());
+        assert!(!shard_only.is_off());
+        assert_ne!(wipe_only.fingerprint(), FaultPlan::off().fingerprint());
+        assert_ne!(shard_only.fingerprint(), FaultPlan::off().fingerprint());
+        assert_ne!(wipe_only.fingerprint(), shard_only.fingerprint());
+        // Intensity scaling covers the storage rates like every other rate.
+        assert!(wipe_only.scaled(0.0).is_off());
+        assert_eq!(FaultPlan::storm().scaled(0.5).replica_wipe_rate, 0.01);
     }
 
     #[test]

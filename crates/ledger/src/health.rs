@@ -274,6 +274,9 @@ impl HealthReport {
             ("corrupt reads (fail closed)", "serve.corrupt_reads"),
             ("missing records (fail closed)", "serve.missing"),
             ("malformed answers (fail closed)", "serve.malformed"),
+            ("replica fallback reads", "serve.replica_fallbacks"),
+            ("scrub read-repairs", "serve.scrub_repairs"),
+            ("scrub unrecoverable groups", "serve.scrub_unrecoverable"),
             ("quarantines", "serve.quarantines"),
             ("re-admitted", "serve.reenrolled"),
             ("re-enroll gate failures", "serve.reenroll_failures"),

@@ -66,6 +66,12 @@ pub struct Request {
     pub shard: Option<u64>,
     /// Media-flagged helper positions on a corrupt read.
     pub flagged: Option<u64>,
+    /// Replica that served an intact read (0 = home replica).
+    pub replica: Option<u64>,
+    /// Sibling replicas that were corrupt or wiped on an intact read.
+    pub replicas_lost: Option<u64>,
+    /// Wiped replicas seen on a corrupt or missing read.
+    pub replicas_wiped: Option<u64>,
     /// Attempts in order.
     pub attempts: Vec<Attempt>,
     /// Final verdict label.
@@ -96,8 +102,13 @@ impl Request {
     pub fn root_cause(&self) -> &'static str {
         let excursion = self.attempts.iter().any(|a| a.excursion);
         let transient = self.attempts.iter().any(|a| a.burst || a.glitches > 0);
+        let wiped = self.replicas_wiped.unwrap_or(0) > 0;
         match self.verdict.as_str() {
-            "corrupt_record" => "store corruption (checksum failed on read)",
+            "corrupt_record" if wiped => {
+                "replica group exhausted (wipes + corruption, no intact copy)"
+            }
+            "corrupt_record" => "store corruption (checksum failed on every replica)",
+            "missing" if wiped => "replica wipe (every copy of the record lost)",
             "missing" => "missing record",
             "malformed" if transient => "response glitch (malformed answer)",
             "malformed" => "malformed answer",
@@ -120,6 +131,25 @@ pub struct Reenroll {
     pub outcome: String,
     /// Soft-read attempts consumed.
     pub attempts: u64,
+    /// Repair generation stamped on the fresh record (0 when the
+    /// outcome left the old lineage in place).
+    pub generation: u64,
+    /// Simulated service clock, µs.
+    pub at_us: u64,
+}
+
+/// One anti-entropy scrub finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scrub {
+    /// The device whose replica group the scrub touched.
+    pub device: u64,
+    /// The replica that was rewritten (read-repair) or replica 0 for
+    /// an unrecoverable group.
+    pub replica: u64,
+    /// Repair generation of the intact source copied from.
+    pub generation: u64,
+    /// `read_repair` or `unrecoverable`.
+    pub outcome: String,
     /// Simulated service clock, µs.
     pub at_us: u64,
 }
@@ -135,6 +165,11 @@ pub struct Scope {
     pub sheds: u64,
     /// Health transitions: `(from, to, error_rate, at_us)`.
     pub health: Vec<(String, String, f64, u64)>,
+    /// Replica-group (store) health transitions:
+    /// `(from, to, unrecoverable, at_us)`.
+    pub store_health: Vec<(String, String, u64, u64)>,
+    /// Anti-entropy scrub findings in order.
+    pub scrubs: Vec<Scrub>,
     /// Maintenance outcomes in order.
     pub reenrolls: Vec<Reenroll>,
 }
@@ -233,6 +268,9 @@ impl Incidents {
                     store: String::new(),
                     shard: None,
                     flagged: None,
+                    replica: None,
+                    replicas_lost: None,
+                    replicas_wiped: None,
                     attempts: Vec::new(),
                     verdict: String::new(),
                     distance: None,
@@ -251,6 +289,9 @@ impl Incidents {
                 request.store = str_of("outcome").unwrap_or_default();
                 request.shard = u64_of("shard");
                 request.flagged = u64_of("flagged");
+                request.replica = u64_of("replica");
+                request.replicas_lost = u64_of("replicas_lost");
+                request.replicas_wiped = u64_of("replicas_wiped");
             }
             "attempt" => {
                 let Some(request) = str_of("req")
@@ -292,11 +333,29 @@ impl Incidents {
                     u64_of("at_us").unwrap_or(0),
                 ));
             }
+            "store_health" => {
+                scope.store_health.push((
+                    str_of("from").unwrap_or_default(),
+                    str_of("to").unwrap_or_default(),
+                    u64_of("unrecoverable").unwrap_or(0),
+                    u64_of("at_us").unwrap_or(0),
+                ));
+            }
+            "scrub" => {
+                scope.scrubs.push(Scrub {
+                    device: u64_of("device").unwrap_or(0),
+                    replica: u64_of("replica").unwrap_or(0),
+                    generation: u64_of("generation").unwrap_or(0),
+                    outcome: str_of("outcome").unwrap_or_default(),
+                    at_us: u64_of("at_us").unwrap_or(0),
+                });
+            }
             "reenroll" => {
                 scope.reenrolls.push(Reenroll {
                     device: u64_of("device").unwrap_or(0),
                     outcome: str_of("outcome").unwrap_or_default(),
                     attempts: u64_of("attempts").unwrap_or(0),
+                    generation: u64_of("generation").unwrap_or(0),
                     at_us: u64_of("at_us").unwrap_or(0),
                 });
             }
@@ -354,10 +413,21 @@ impl Incidents {
         let mut s = format!("store read: {}", request.store);
         if let Some(shard) = request.shard {
             let _ = write!(s, " (shard {shard}");
+            if let Some(replica) = request.replica {
+                let _ = write!(s, ", replica {replica}");
+            }
             if let Some(flagged) = request.flagged {
                 let _ = write!(s, ", {flagged} media-flagged helper bit(s)");
             }
+            if let Some(lost) = request.replicas_lost.filter(|&n| n > 0) {
+                let _ = write!(s, ", {lost} sibling replica(s) lost");
+            }
+            if let Some(wiped) = request.replicas_wiped.filter(|&n| n > 0) {
+                let _ = write!(s, ", {wiped} replica(s) wiped");
+            }
             s.push(')');
+        } else if let Some(wiped) = request.replicas_wiped.filter(|&n| n > 0) {
+            let _ = write!(s, " ({wiped} replica(s) wiped)");
         }
         s
     }
@@ -393,10 +463,24 @@ impl Incidents {
             .filter(|r| r.failed_closed())
             .count();
         let transitions: usize = self.scopes.iter().map(|s| s.health.len()).sum();
+        let read_repairs: usize = self
+            .scopes
+            .iter()
+            .flat_map(|s| &s.scrubs)
+            .filter(|s| s.outcome == "read_repair")
+            .count();
+        let unrecoverable: usize = self
+            .scopes
+            .iter()
+            .flat_map(|s| &s.scrubs)
+            .filter(|s| s.outcome == "unrecoverable")
+            .count();
         let _ = writeln!(
             out,
             "- {} scope(s), {} request(s): {quarantined} quarantine verdict(s), \
-             {fail_closed} fail-closed verdict(s), {transitions} health transition(s)",
+             {fail_closed} fail-closed verdict(s), {transitions} health transition(s), \
+             {read_repairs} scrub read-repair(s), {unrecoverable} unrecoverable group \
+             finding(s)",
             self.scopes.len(),
             self.n_requests(),
         );
@@ -422,6 +506,17 @@ impl Incidents {
                 *causes.entry(request.root_cause()).or_insert(0) += 1;
             }
         }
+        // Scrub findings are incidents too: a read-repair is a replica
+        // that silently diverged; an unrecoverable group is a total loss
+        // the quorum read will fail closed on.
+        for scrub in self.scopes.iter().flat_map(|s| &s.scrubs) {
+            let cause = match scrub.outcome.as_str() {
+                "read_repair" => "replica divergence (healed by scrub read-repair)",
+                "unrecoverable" => "replica group exhausted (scrub: no intact copy left)",
+                _ => continue,
+            };
+            *causes.entry(cause).or_insert(0) += 1;
+        }
         if !causes.is_empty() {
             let mut ranked: Vec<(&str, u64)> = causes.into_iter().collect();
             ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
@@ -438,14 +533,27 @@ impl Incidents {
                 scope.requests.iter().filter(|r| r.quarantined).collect();
             let incidents = quarantines.len()
                 + scope.health.len()
+                + scope.store_health.len()
+                + scope.scrubs.len()
                 + scope.requests.iter().filter(|r| r.failed_closed()).count();
             if incidents == 0 {
                 continue; // clean scopes stay out of the post-mortem
             }
             let _ = writeln!(out, "### Scope: {}\n", scope.label);
+            let repairs = scope
+                .scrubs
+                .iter()
+                .filter(|s| s.outcome == "read_repair")
+                .count();
+            let lost_groups = scope
+                .scrubs
+                .iter()
+                .filter(|s| s.outcome == "unrecoverable")
+                .count();
             let _ = writeln!(
                 out,
-                "- {} request(s), {} shed, {} re-enrollment outcome(s)\n",
+                "- {} request(s), {} shed, {} re-enrollment outcome(s), {repairs} scrub \
+                 read-repair(s), {lost_groups} unrecoverable group(s)\n",
                 scope.requests.len(),
                 scope.sheds,
                 scope.reenrolls.len()
@@ -456,7 +564,35 @@ impl Incidents {
                     "- health: {from} → {to} at t={at_us} µs (windowed error rate {rate:.3})"
                 );
             }
-            if !scope.health.is_empty() {
+            for (from, to, unrecoverable, at_us) in &scope.store_health {
+                let _ = writeln!(
+                    out,
+                    "- store health: {from} → {to} at t={at_us} µs ({unrecoverable} \
+                     unrecoverable group(s))"
+                );
+            }
+            for scrub in &scope.scrubs {
+                let _ = match scrub.outcome.as_str() {
+                    "read_repair" => writeln!(
+                        out,
+                        "- scrub: device {} replica {} read-repaired from generation {} \
+                         at t={} µs",
+                        scrub.device, scrub.replica, scrub.generation, scrub.at_us
+                    ),
+                    "unrecoverable" => writeln!(
+                        out,
+                        "- scrub: device {} UNRECOVERABLE (no intact replica) at t={} µs",
+                        scrub.device, scrub.at_us
+                    ),
+                    other => writeln!(
+                        out,
+                        "- scrub: device {} `{other}` at t={} µs",
+                        scrub.device, scrub.at_us
+                    ),
+                };
+            }
+            if !scope.health.is_empty() || !scope.store_health.is_empty() || !scope.scrubs.is_empty()
+            {
                 out.push('\n');
             }
             for request in &quarantines {
@@ -486,11 +622,14 @@ impl Incidents {
                     .find(|m| m.device == request.device && m.at_us >= request.at_us);
                 match followup {
                     Some(m) => {
-                        let _ = writeln!(
-                            out,
+                        let mut line = format!(
                             "- maintenance: `{}` after {} gate attempt(s) at t={} µs",
                             m.outcome, m.attempts, m.at_us
                         );
+                        if m.generation > 0 {
+                            let _ = write!(line, " (repair generation {})", m.generation);
+                        }
+                        let _ = writeln!(out, "{line}");
                     }
                     None => {
                         let _ = writeln!(out, "- maintenance: no re-enrollment attempt in capture");
@@ -525,6 +664,13 @@ impl Incidents {
                         line.push_str(" → quarantined");
                     }
                     let _ = writeln!(out, "{line}");
+                }
+                for scrub in scope.scrubs.iter().filter(|s| s.device == device) {
+                    let _ = writeln!(
+                        out,
+                        "- t={} µs: scrub `{}` (replica {}, generation {})",
+                        scrub.at_us, scrub.outcome, scrub.replica, scrub.generation
+                    );
                 }
                 for m in scope.reenrolls.iter().filter(|m| m.device == device) {
                     let _ = writeln!(
@@ -579,7 +725,7 @@ mod tests {
         "\n",
         r#"{"event":"audit","stage":"request","seq":1,"trial":1,"req":"00000000000000aa","device":3,"target":3,"kind":"genuine","event_base":24}"#,
         "\n",
-        r#"{"event":"audit","stage":"store_read","seq":2,"trial":1,"req":"00000000000000aa","outcome":"intact","shard":1}"#,
+        r#"{"event":"audit","stage":"store_read","seq":2,"trial":1,"req":"00000000000000aa","outcome":"intact","shard":1,"replica":1,"replicas_lost":1}"#,
         "\n",
         r#"{"event":"audit","stage":"attempt","seq":3,"trial":1,"req":"00000000000000aa","attempt":1,"latency_us":400,"timeout":true,"backoff_us":75,"excursion":true,"burst":false,"glitches":0}"#,
         "\n",
@@ -589,7 +735,13 @@ mod tests {
         "\n",
         r#"{"event":"audit","stage":"health","seq":6,"trial":1,"from":"healthy","to":"degraded","error_rate":0.28,"at_us":595}"#,
         "\n",
-        r#"{"event":"audit","stage":"reenroll","seq":7,"trial":1,"req":"00000000000000bb","device":3,"outcome":"readmitted","attempts":1,"at_us":595}"#,
+        r#"{"event":"audit","stage":"scrub","seq":7,"trial":1,"device":2,"replica":1,"generation":0,"outcome":"read_repair","at_us":595}"#,
+        "\n",
+        r#"{"event":"audit","stage":"scrub","seq":8,"trial":1,"device":5,"replica":0,"generation":0,"outcome":"unrecoverable","at_us":595}"#,
+        "\n",
+        r#"{"event":"audit","stage":"store_health","seq":9,"trial":1,"from":"intact","to":"quorum-critical","unrecoverable":1,"at_us":595}"#,
+        "\n",
+        r#"{"event":"audit","stage":"reenroll","seq":10,"trial":1,"req":"00000000000000bb","device":3,"outcome":"readmitted","attempts":1,"generation":2,"at_us":595}"#,
         "\n",
         "not-json\n",
     );
@@ -606,13 +758,21 @@ mod tests {
         assert_eq!(request.device, 3);
         assert_eq!(request.store, "intact");
         assert_eq!(request.shard, Some(1));
+        assert_eq!(request.replica, Some(1), "served from the fallback replica");
+        assert_eq!(request.replicas_lost, Some(1));
         assert_eq!(request.attempts.len(), 2);
         assert!(request.attempts[0].timed_out);
         assert_eq!(request.attempts[1].distance, Some(0.375));
         assert!(request.quarantined);
         assert_eq!(request.root_cause(), "margin erosion (distance past threshold)");
         assert_eq!(scope.health.len(), 1);
+        assert_eq!(scope.store_health.len(), 1);
+        assert_eq!(scope.store_health[0].1, "quorum-critical");
+        assert_eq!(scope.scrubs.len(), 2);
+        assert_eq!(scope.scrubs[0].outcome, "read_repair");
+        assert_eq!(scope.scrubs[1].outcome, "unrecoverable");
         assert_eq!(scope.reenrolls[0].outcome, "readmitted");
+        assert_eq!(scope.reenrolls[0].generation, 2, "repair lineage is carried");
         assert_eq!(incidents.fault_totals.get("env_excursion"), Some(&2));
         assert_eq!(incidents.device_fault_summary(3).as_deref(), Some("env_excursion×2"));
         assert_eq!(incidents.device_fault_summary(4), None);
@@ -628,6 +788,19 @@ mod tests {
         assert!(md.contains("Device 3 timeline"), "{md}");
         assert!(md.contains("env_excursion×2"), "{md}");
         assert!(md.contains("Top root causes"), "{md}");
+        assert!(md.contains("replica 1, 1 sibling replica(s) lost"), "{md}");
+        assert!(md.contains("intact → quorum-critical"), "{md}");
+        assert!(md.contains("device 2 replica 1 read-repaired"), "{md}");
+        assert!(md.contains("device 5 UNRECOVERABLE"), "{md}");
+        assert!(
+            md.contains("replica divergence (healed by scrub read-repair)"),
+            "{md}"
+        );
+        assert!(
+            md.contains("replica group exhausted (scrub: no intact copy left)"),
+            "{md}"
+        );
+        assert!(md.contains("repair generation 2"), "{md}");
     }
 
     #[test]

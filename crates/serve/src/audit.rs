@@ -11,14 +11,16 @@
 //! events (`"event":"audit"`) to the `aro-obs` telemetry sink:
 //!
 //! ```text
-//! scope      → one fleet trial begins (cell style, age, fault plan)
-//! request    → request id, device, target record, traffic kind
-//! store_read → Intact/Corrupt/Missing, which shard, how many flagged bits
-//! attempt    → simulated latency, timeout/backoff, which faults hit
-//! verdict    → the decision, distance, quarantine routing, sim clock
-//! shed       → deterministic load-control rejections
-//! health     → healthy → degraded → read-only transitions
-//! reenroll   → continuity-gate outcome of the maintenance path
+//! scope        → one fleet trial begins (cell style, age, fault plan)
+//! request      → request id, device, target record, traffic kind
+//! store_read   → Intact/Corrupt/Missing, shard + replica served, group damage
+//! attempt      → simulated latency, timeout/backoff, which faults hit
+//! verdict      → the decision, distance, quarantine routing, sim clock
+//! shed         → deterministic load-control rejections
+//! health       → healthy → degraded → read-only transitions
+//! store_health → replica-group health transitions after a scrub pass
+//! scrub        → anti-entropy read-repairs and unrecoverable groups
+//! reenroll     → continuity-gate outcome + new repair generation
 //! ```
 //!
 //! **Determinism.** Attempt-level facts are *captured* inside
@@ -146,20 +148,33 @@ pub struct AttemptAudit {
 /// What the store read found, audit-side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreAudit {
-    /// Checksum held.
+    /// Some replica's checksum held.
     Intact {
-        /// Fixed shard index of the record.
+        /// Shard index of the replica that served the read.
         shard: usize,
+        /// Replica index that served (0 = home copy; higher = the home
+        /// copy was damaged and a sibling served).
+        replica: u32,
+        /// Sibling replicas that were corrupt or wiped (redundancy lost).
+        lost: u32,
     },
-    /// Checksum failed; the media flagged `flagged` helper bits.
+    /// Every surviving replica failed its checksum; the media flagged
+    /// `flagged` helper bits on the served copy.
     Corrupt {
-        /// Fixed shard index of the record.
+        /// Shard index of the replica served to recovery.
         shard: usize,
         /// Helper positions the storage media flagged as lost.
         flagged: usize,
+        /// Sibling replicas wiped outright.
+        wiped: u32,
     },
-    /// No record for the id.
-    Missing,
+    /// No replica holds a record for the id. `wiped` distinguishes a
+    /// group lost to replica wipes/shard losses from an id that was
+    /// never enrolled.
+    Missing {
+        /// Enrolled-then-wiped replicas the read saw.
+        wiped: u32,
+    },
 }
 
 impl StoreAudit {
@@ -167,7 +182,7 @@ impl StoreAudit {
         match self {
             Self::Intact { .. } => "intact",
             Self::Corrupt { .. } => "corrupt",
-            Self::Missing => "missing",
+            Self::Missing { .. } => "missing",
         }
     }
 }
@@ -255,13 +270,29 @@ pub fn emit_request(
     write_req(&mut line, req);
     let _ = write!(line, ",\"outcome\":\"{}\"", audit.store.label());
     match audit.store {
-        StoreAudit::Intact { shard } => {
-            let _ = write!(line, ",\"shard\":{shard}");
+        StoreAudit::Intact {
+            shard,
+            replica,
+            lost,
+        } => {
+            let _ = write!(
+                line,
+                ",\"shard\":{shard},\"replica\":{replica},\"replicas_lost\":{lost}"
+            );
         }
-        StoreAudit::Corrupt { shard, flagged } => {
-            let _ = write!(line, ",\"shard\":{shard},\"flagged\":{flagged}");
+        StoreAudit::Corrupt {
+            shard,
+            flagged,
+            wiped,
+        } => {
+            let _ = write!(
+                line,
+                ",\"shard\":{shard},\"flagged\":{flagged},\"replicas_wiped\":{wiped}"
+            );
         }
-        StoreAudit::Missing => {}
+        StoreAudit::Missing { wiped } => {
+            let _ = write!(line, ",\"replicas_wiped\":{wiped}");
+        }
     }
     line.push('}');
     lines.push(line);
@@ -334,17 +365,59 @@ pub fn emit_health(from: &str, to: &str, error_rate: f64, at_us: u64) {
 
 /// Emits one maintenance (re-enrollment) outcome. `outcome` is one of
 /// `readmitted`, `gate_failed`, `refused_read_only`, `missing`.
-pub fn emit_reenroll(device: u64, event_base: u64, outcome: &str, attempts: u64, at_us: u64) {
+/// `generation` is the fresh repair generation stamped on the group
+/// when readmitted (0 otherwise) — the field that separates a new
+/// enrollment lineage from a scrub read-repair in forensics.
+pub fn emit_reenroll(
+    device: u64,
+    event_base: u64,
+    outcome: &str,
+    attempts: u64,
+    generation: u64,
+    at_us: u64,
+) {
     if !emitting() {
         return;
     }
     let req = request_id(trial(), device, device, event_base);
-    let mut line = String::with_capacity(140);
+    let mut line = String::with_capacity(160);
     write_head(&mut line, "reenroll");
     write_req(&mut line, req);
     let _ = write!(
         line,
-        ",\"device\":{device},\"outcome\":\"{outcome}\",\"attempts\":{attempts},\"at_us\":{at_us}}}"
+        ",\"device\":{device},\"outcome\":\"{outcome}\",\"attempts\":{attempts},\"generation\":{generation},\"at_us\":{at_us}}}"
+    );
+    aro_obs::sink::write_line(&line);
+}
+
+/// Emits one anti-entropy scrub finding. `outcome` is `read_repair`
+/// (the replica was rewritten from an intact sibling of `generation`)
+/// or `unrecoverable` (no intact replica survives; only re-enrollment
+/// can help).
+pub fn emit_scrub(device: u64, replica: u32, generation: u64, outcome: &str, at_us: u64) {
+    if !emitting() {
+        return;
+    }
+    let mut line = String::with_capacity(140);
+    write_head(&mut line, "scrub");
+    let _ = write!(
+        line,
+        ",\"device\":{device},\"replica\":{replica},\"generation\":{generation},\"outcome\":\"{outcome}\",\"at_us\":{at_us}}}"
+    );
+    aro_obs::sink::write_line(&line);
+}
+
+/// Emits one replica-group health transition (observed by the scrub
+/// pass): `intact` → `replica-degraded` → `quorum-critical` and back.
+pub fn emit_store_health(from: &str, to: &str, unrecoverable: u64, at_us: u64) {
+    if !emitting() {
+        return;
+    }
+    let mut line = String::with_capacity(140);
+    write_head(&mut line, "store_health");
+    let _ = write!(
+        line,
+        ",\"from\":\"{from}\",\"to\":\"{to}\",\"unrecoverable\":{unrecoverable},\"at_us\":{at_us}}}"
     );
     aro_obs::sink::write_line(&line);
 }

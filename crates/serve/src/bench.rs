@@ -12,7 +12,9 @@
 //! re-enrollment keeps failing: a broken device is retried after 2,
 //! then 4, then 8… rounds instead of every round, so an unhealable
 //! fleet costs logarithmically many maintenance reads, not one full
-//! re-enrollment attempt per device per round.
+//! re-enrollment attempt per device per round. Each maintenance pass
+//! ends with one anti-entropy scrub of the replicated store, so replica
+//! damage is healed within a round of being inflicted.
 //!
 //! Impostor rounds make device `i` answer record `i+1 (mod n)`: the
 //! false-accept side of the ROC, with its failures kept out of the
@@ -31,7 +33,7 @@ use aro_ecc::keygen::KeyGenerator;
 use aro_faults::FaultInjector;
 use aro_puf::{Chip, PufDesign};
 
-use crate::service::{AuthService, HealthState, RequestOutcome, Tallies};
+use crate::service::{AuthService, HealthState, RequestOutcome, StoreHealth, Tallies};
 
 /// Event-id strides/bases keeping probe, impostor, and re-enrollment
 /// measurement events disjoint per injector.
@@ -82,6 +84,12 @@ pub struct BenchStats {
     pub wall_us: u64,
     /// Final health state of the service.
     pub final_state: HealthState,
+    /// Final replica-health axis of the store.
+    pub final_store_health: StoreHealth,
+    /// Replicas rewritten by the maintenance cycle's anti-entropy scrub.
+    pub scrub_repairs: u64,
+    /// Record groups some scrub pass found with no intact replica left.
+    pub scrub_unrecoverable: u64,
 }
 
 impl BenchStats {
@@ -231,6 +239,10 @@ pub fn run_bench(
                 retry_after.insert(id, (round + (1u64 << failures.min(16)), failures));
             }
         }
+        // Anti-entropy scrub closes the maintenance pass: any replica
+        // this round's faults corrupted or wiped is rewritten from an
+        // intact sibling before the next round's traffic reads it.
+        service.scrub();
     }
 
     if n >= 2 {
@@ -278,5 +290,8 @@ pub fn run_bench(
         p99_us: percentile(&latencies, 99),
         wall_us,
         final_state: service.state(),
+        final_store_health: service.store_health(),
+        scrub_repairs: service.tallies().scrub_repairs,
+        scrub_unrecoverable: service.tallies().scrub_unrecoverable,
     }
 }

@@ -5,11 +5,13 @@
 //! years; this crate asks what happens when a *fleet* of aging, faulted
 //! devices hits a verifier that itself can fail. Four pieces:
 //!
-//! * [`store`] — a sharded enrollment/helper-data store with per-record
-//!   checksums. Helper data is public but integrity-checked; corruption
-//!   (injected with `aro-faults`' own helper-erasure machinery) is
-//!   detected on read and routed to recovery, never served and never
-//!   panicked on.
+//! * [`store`] — a sharded, N-way replicated enrollment/helper-data
+//!   store with per-record checksums. Helper data is public but
+//!   integrity-checked; corruption (injected with `aro-faults`' own
+//!   helper-erasure machinery, replica wipes, and whole-shard losses)
+//!   is detected on read, served from any intact sibling replica, and
+//!   healed by the maintenance cycle's anti-entropy scrub — the store
+//!   fails closed only when *every* replica of a record is gone.
 //! * [`pipeline`] — bounded retries, per-attempt timeouts, and
 //!   deterministic seed-derived backoff per request. Latency is
 //!   simulated integer µs, which is what keeps serve-bench reports
@@ -44,5 +46,10 @@ pub mod store;
 pub use audit::{AttemptAudit, AttemptFaults, RequestAudit, StoreAudit};
 pub use bench::{run_bench, BenchPlan, BenchStats, FleetContext};
 pub use pipeline::{LatencyModel, RetryPolicy};
-pub use service::{AuthService, HealthState, RequestOutcome, ServicePolicy, Tallies, Verdict};
-pub use store::{ReadOutcome, ShardedStore, StoredRecord, STORE_WINDOW_BASE};
+pub use service::{
+    AuthService, HealthState, RequestOutcome, ServicePolicy, StoreHealth, Tallies, Verdict,
+};
+pub use store::{
+    ReadOutcome, ReplicaSummary, ScrubRepair, ScrubReport, ShardedStore, StoredRecord,
+    REPLICA_WINDOW_STRIDE, STORE_WINDOW_BASE,
+};

@@ -61,6 +61,10 @@ pub struct LatencyModel {
     pub excursion_penalty_us: u64,
     /// Uniform jitter bound added to every attempt.
     pub jitter_us: u64,
+    /// Extra cost per replica hop when the quorum read falls past the
+    /// home replica (replica `k` costs `k` hops). Kept well under
+    /// `base_us`: fallback reads are slower, never timeouts.
+    pub replica_hop_us: u64,
 }
 
 impl Default for LatencyModel {
@@ -70,6 +74,7 @@ impl Default for LatencyModel {
             per_bit_ns: 800,
             excursion_penalty_us: 600,
             jitter_us: 25,
+            replica_hop_us: 15,
         }
     }
 }

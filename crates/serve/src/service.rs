@@ -36,7 +36,7 @@ use aro_puf::{Chip, PufDesign};
 
 use crate::audit::{self, AttemptAudit, AttemptFaults, RequestAudit, StoreAudit};
 use crate::pipeline::{LatencyModel, RetryPolicy};
-use crate::store::{ReadOutcome, ShardedStore, StoredRecord};
+use crate::store::{ReadOutcome, ScrubReport, ShardedStore, StoredRecord};
 
 /// The service's health state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +93,39 @@ impl std::fmt::Display for HealthState {
     }
 }
 
+/// The replica-group health axis of the health machine, observed by the
+/// anti-entropy scrub pass. Orthogonal to [`HealthState`]: a service can
+/// be `Healthy` on the traffic axis while its store has lost redundancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// Every replica group is fully intact.
+    Intact,
+    /// Some groups lost redundancy this scrub pass (read-repaired —
+    /// damage seen, self-healed).
+    ReplicaDegraded,
+    /// At least one group has zero intact replicas: scrub cannot help,
+    /// only re-enrollment can.
+    QuorumCritical,
+}
+
+impl StoreHealth {
+    /// Stable lowercase label (audit `store_health` field, report cells).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Intact => "intact",
+            Self::ReplicaDegraded => "replica-degraded",
+            Self::QuorumCritical => "quorum-critical",
+        }
+    }
+}
+
+impl std::fmt::Display for StoreHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Tuning knobs of the service.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServicePolicy {
@@ -114,6 +147,9 @@ pub struct ServicePolicy {
     /// Windowed error rate at which the service enters `ReadOnly`
     /// (fallback to `Degraded` at half this rate).
     pub read_only_watermark: f64,
+    /// Copies kept of every enrollment record, spread across shards
+    /// (clamped to `[1, n_shards]` at service construction).
+    pub replicas: usize,
 }
 
 impl Default for ServicePolicy {
@@ -126,6 +162,7 @@ impl Default for ServicePolicy {
             health_window: 64,
             degraded_watermark: 0.25,
             read_only_watermark: 0.50,
+            replicas: 1,
         }
     }
 }
@@ -159,6 +196,12 @@ pub struct Tallies {
     pub reenroll_failures: u64,
     /// Re-enrollments refused because the service was read-only.
     pub reenroll_refusals: u64,
+    /// Requests served from a fallback replica (home copy damaged).
+    pub replica_fallbacks: u64,
+    /// Replicas rewritten by anti-entropy scrub read-repair.
+    pub scrub_repairs: u64,
+    /// Groups a scrub pass found with zero intact replicas.
+    pub scrub_unrecoverable: u64,
 }
 
 /// What one verification request concluded.
@@ -227,6 +270,12 @@ pub struct RequestOutcome {
     pub attempt_timeouts: u32,
     /// Total simulated request latency (attempts + backoffs), µs.
     pub latency_us: u64,
+    /// Replica index that served the store read, when one did (`Some(k)`
+    /// with `k > 0` means the home copy was damaged and a sibling
+    /// served).
+    pub served_replica: Option<u32>,
+    /// Sibling replicas the read found corrupt or wiped.
+    pub replicas_lost: u32,
     /// The request's audit record — captured in `probe` (worker
     /// threads), emitted by `admit` (sequential). `None` while the
     /// audit trail is off.
@@ -239,6 +288,7 @@ pub struct AuthService {
     policy: ServicePolicy,
     store: ShardedStore,
     state: HealthState,
+    store_health: StoreHealth,
     window: VecDeque<bool>,
     window_errors: usize,
     quarantine: BTreeSet<u64>,
@@ -327,14 +377,18 @@ fn faulted_soft_response(
 
 impl AuthService {
     /// A fresh service for a fleet of up to `capacity` devices across
-    /// `n_shards` store shards. `seed` roots every service-side jitter
-    /// stream (latency, backoff, re-enrollment salts).
+    /// `n_shards` store shards, keeping `policy.replicas` copies of
+    /// every record (clamped to `[1, n_shards]`). `seed` roots every
+    /// service-side jitter stream (latency, backoff, re-enrollment
+    /// salts).
     #[must_use]
     pub fn new(policy: ServicePolicy, capacity: usize, n_shards: usize, seed: u64) -> Self {
+        let replicas = policy.replicas.clamp(1, n_shards);
         Self {
             policy,
-            store: ShardedStore::for_fleet(capacity, n_shards),
+            store: ShardedStore::for_fleet_replicated(capacity, n_shards, replicas),
             state: HealthState::Healthy,
+            store_health: StoreHealth::Intact,
             window: VecDeque::new(),
             window_errors: 0,
             quarantine: BTreeSet::new(),
@@ -348,6 +402,12 @@ impl AuthService {
     #[must_use]
     pub fn state(&self) -> HealthState {
         self.state
+    }
+
+    /// Replica-group health as of the last scrub pass.
+    #[must_use]
+    pub fn store_health(&self) -> StoreHealth {
+        self.store_health
     }
 
     /// The simulated service clock, µs (sum of admitted request
@@ -429,6 +489,7 @@ impl AuthService {
         // is *built* here (worker threads) and *emitted* by the
         // sequential admit path — never from a worker.
         let capture = audit::capturing();
+        let (read, summary) = self.store.read_with_replicas(target_id);
         let outcome = |verdict,
                        attempts,
                        attempt_timeouts,
@@ -440,6 +501,8 @@ impl AuthService {
             attempts,
             attempt_timeouts,
             latency_us,
+            served_replica: summary.served,
+            replicas_lost: summary.corrupt + summary.wiped,
             audit: capture.then(|| {
                 Box::new(RequestAudit {
                     probe_id,
@@ -449,37 +512,53 @@ impl AuthService {
                 })
             }),
         };
-        let shard = self.store.shard_of(target_id);
-        let record = match self.store.read(target_id) {
+        // The replica that served (home shard for Missing); consulting
+        // damaged siblings before it costs one store hop each.
+        let served = summary.served.unwrap_or(0);
+        let shard = self.store.replica_shard(target_id, served);
+        let read_latency_us = self.policy.latency.base_us
+            + u64::from(served) * self.policy.latency.replica_hop_us;
+        let record = match read {
             ReadOutcome::Missing => {
                 return outcome(
                     Verdict::Missing,
                     0,
                     0,
-                    self.policy.latency.base_us,
-                    StoreAudit::Missing,
+                    read_latency_us,
+                    StoreAudit::Missing {
+                        wiped: summary.wiped,
+                    },
                     Vec::new(),
                 )
             }
             ReadOutcome::Corrupt(record) => {
-                // Fail closed: a checksum-failing record never backs an
-                // accept. The admit step routes the device to recovery.
+                // Fail closed: a group whose every replica fails its seal
+                // never backs an accept. The admit step routes the device
+                // to recovery.
                 return outcome(
                     Verdict::CorruptRecord,
                     0,
                     0,
-                    self.policy.latency.base_us,
+                    read_latency_us,
                     StoreAudit::Corrupt {
                         shard,
                         flagged: record.flagged().len(),
+                        wiped: summary.wiped,
                     },
                     Vec::new(),
                 )
             }
             ReadOutcome::Intact(record) => record,
         };
+        let store_audit = StoreAudit::Intact {
+            shard,
+            replica: served,
+            lost: summary.corrupt + summary.wiped,
+        };
         let reference = record.reference();
-        let mut latency_us = 0;
+        // Extra store hops past the home replica are charged up front;
+        // a replica-0 serve keeps the pre-replication latency bytes.
+        let mut latency_us = u64::from(served) * self.policy.latency.replica_hop_us;
         let mut attempt_timeouts = 0;
         let mut last_distance = None;
         let mut trail: Vec<AttemptAudit> = Vec::new();
@@ -529,7 +608,7 @@ impl AuthService {
                     attempt + 1,
                     attempt_timeouts,
                     latency_us,
-                    StoreAudit::Intact { shard },
+                    store_audit,
                     trail,
                 );
             }
@@ -551,7 +630,7 @@ impl AuthService {
                     attempt + 1,
                     attempt_timeouts,
                     latency_us,
-                    StoreAudit::Intact { shard },
+                    store_audit,
                     trail,
                 );
             }
@@ -571,7 +650,7 @@ impl AuthService {
             }
         }
         let attempts = self.policy.retry.max_attempts;
-        let store = StoreAudit::Intact { shard };
+        let store = store_audit;
         match last_distance {
             Some(distance) => outcome(
                 Verdict::Rejected { distance },
@@ -616,6 +695,10 @@ impl AuthService {
         self.tallies.attempt_timeouts += u64::from(outcome.attempt_timeouts);
         if outcome.attempt_timeouts > 0 {
             aro_obs::counter("serve.attempt_timeouts", u64::from(outcome.attempt_timeouts));
+        }
+        if outcome.served_replica.is_some_and(|replica| replica > 0) {
+            self.tallies.replica_fallbacks += 1;
+            aro_obs::counter("serve.replica_fallbacks", 1);
         }
         let at_us = self.clock_us as f64;
         let attempts = f64::from(outcome.attempts);
@@ -692,6 +775,64 @@ impl AuthService {
             Verdict::TimedOut | Verdict::CorruptRecord | Verdict::Malformed | Verdict::Missing
         );
         self.push_health(error);
+    }
+
+    /// One deterministic anti-entropy pass over the store (the
+    /// maintenance cycle's scrub step): seal-mismatched, wiped, and
+    /// divergent replicas are rewritten from an intact sibling, the
+    /// replica-health axis of the health machine is updated, and every
+    /// read-repair / unrecoverable group / health transition is emitted
+    /// to the audit trail on the simulated clock. Call sequentially.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let report = self.store.scrub();
+        self.tallies.scrub_repairs += report.repairs.len() as u64;
+        self.tallies.scrub_unrecoverable += report.unrecoverable.len() as u64;
+        if !report.repairs.is_empty() {
+            aro_obs::counter("serve.scrub_repairs", report.repairs.len() as u64);
+        }
+        if !report.unrecoverable.is_empty() {
+            aro_obs::counter(
+                "serve.scrub_unrecoverable",
+                report.unrecoverable.len() as u64,
+            );
+        }
+        for repair in &report.repairs {
+            audit::emit_scrub(
+                repair.device_id,
+                repair.replica,
+                repair.generation,
+                "read_repair",
+                self.clock_us,
+            );
+        }
+        for &device in &report.unrecoverable {
+            audit::emit_scrub(device, 0, 0, "unrecoverable", self.clock_us);
+        }
+        let next = if !report.unrecoverable.is_empty() {
+            StoreHealth::QuorumCritical
+        } else if !report.repairs.is_empty() {
+            StoreHealth::ReplicaDegraded
+        } else {
+            StoreHealth::Intact
+        };
+        if next != self.store_health {
+            audit::emit_store_health(
+                self.store_health.label(),
+                next.label(),
+                report.unrecoverable.len() as u64,
+                self.clock_us,
+            );
+            self.store_health = next;
+            aro_obs::counter(
+                match next {
+                    StoreHealth::Intact => "serve.store_health_intact",
+                    StoreHealth::ReplicaDegraded => "serve.store_health_degraded",
+                    StoreHealth::QuorumCritical => "serve.store_health_critical",
+                },
+                1,
+            );
+        }
+        report
     }
 
     /// Admits a load-shedding decision (reject-with-retry-after) for
@@ -775,13 +916,13 @@ impl AuthService {
         if self.state == HealthState::ReadOnly {
             self.tallies.reenroll_refusals += 1;
             aro_obs::counter("serve.reenroll_refused", 1);
-            audit::emit_reenroll(target_id, event_base, "refused_read_only", 0, self.clock_us);
+            audit::emit_reenroll(target_id, event_base, "refused_read_only", 0, 0, self.clock_us);
             return false;
         }
         let _span = aro_obs::span("serve.reenroll");
         let (challenge_pairs, helper, key, flagged) = match self.store.read(target_id) {
             ReadOutcome::Missing => {
-                audit::emit_reenroll(target_id, event_base, "missing", 0, self.clock_us);
+                audit::emit_reenroll(target_id, event_base, "missing", 0, 0, self.clock_us);
                 return false;
             }
             // Recovery reads the record even when its checksum fails —
@@ -824,7 +965,7 @@ impl AuthService {
             let anchor = chip.response_voted(design, env, key_pairs, 5);
             let (new_key, new_helper) = generator.enroll(&anchor, &mut rng);
             let reference = chip.response_voted(design, env, &challenge_pairs, 5);
-            self.store.repair(StoredRecord::new(
+            let generation = self.store.repair(StoredRecord::new(
                 target_id,
                 challenge_pairs,
                 reference,
@@ -834,7 +975,14 @@ impl AuthService {
             self.quarantine.remove(&target_id);
             self.tallies.reenrolled += 1;
             aro_obs::counter("serve.reenrolled", 1);
-            audit::emit_reenroll(target_id, event_base, "readmitted", attempt + 1, self.clock_us);
+            audit::emit_reenroll(
+                target_id,
+                event_base,
+                "readmitted",
+                attempt + 1,
+                generation,
+                self.clock_us,
+            );
             return true;
         }
         self.tallies.reenroll_failures += 1;
@@ -844,6 +992,7 @@ impl AuthService {
             event_base,
             "gate_failed",
             u64::from(self.policy.retry.max_attempts),
+            0,
             self.clock_us,
         );
         false

@@ -37,6 +37,7 @@
 use aro_circuit::ring::RoStyle;
 use aro_device::environment::Environment;
 use aro_device::units::YEAR;
+use aro_ecc::fuzzy::HelperData;
 use aro_ecc::keygen::KeyGenerator;
 use aro_ecc::refresh::{refresh_enrollment, RefreshSchedule};
 use aro_ecc::soft::{Erasures, SoftBit};
@@ -69,6 +70,17 @@ pub const RECOVERY_TARGET: f64 = 0.99;
 /// disjoint from the final reconstruction events on the same chip.
 const REFRESH_EVENT_BASE: u64 = 1 << 32;
 
+/// Event-id base for impostor reconstruction attempts (EXP-19's
+/// false-accept probe), disjoint from gates and genuine attempts.
+const IMPOSTOR_EVENT_BASE: u64 = 1 << 33;
+
+/// Per-replica helper-erosion window stride — the same failure-domain
+/// discipline as `aro_serve::REPLICA_WINDOW_STRIDE`: sibling replicas of
+/// one helper block erode at disjoint fault coordinates, so their damage
+/// is independent. Replica 0's coordinates are unchanged, which keeps
+/// the single-replica lifecycle byte-identical to EXP-16's.
+const HELPER_REPLICA_WINDOW_STRIDE: u64 = 1 << 20;
+
 /// Outcome of one maintained ten-year mission sweep point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LifecycleTrial {
@@ -96,6 +108,26 @@ impl LifecycleTrial {
     pub fn recovery_rate(&self) -> f64 {
         self.recovered as f64 / (self.chips * self.attempts_per_chip) as f64
     }
+}
+
+/// Outcome of one replicated maintained mission sweep point (EXP-19):
+/// the lifecycle of [`LifecycleTrial`] with the helper block stored in
+/// N independently-eroding replicas, plus the false-accept probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedLifecycleTrial {
+    /// The underlying lifecycle numbers.
+    pub lifecycle: LifecycleTrial,
+    /// Helper-store replication factor.
+    pub replicas: usize,
+    /// Gates and reconstructions served by a replica other than 0 —
+    /// the events a single-replica deployment would have lost.
+    pub replica_fallbacks: usize,
+    /// Impostor reconstruction attempts (chip *i* against chip
+    /// *i+1 mod n*'s enrollment).
+    pub impostor_attempts: usize,
+    /// Impostor attempts that recovered the victim's key — the
+    /// false-accept count, which must stay zero.
+    pub impostor_accepts: usize,
 }
 
 /// One faulted soft measurement event (the same excursion/burst/glitch
@@ -131,7 +163,7 @@ fn faulted_soft_reading(
 /// pure per *(design, chip id)*, so each trial rewinds the silicon with
 /// [`Chip::reset_to_fabricated`] instead of re-sampling it, and re-uses
 /// the cached goldens instead of re-deriving every ring's frequency.
-struct SweepWorkspace {
+pub struct SweepWorkspace {
     design: PufDesign,
     env: Environment,
     profile: MissionProfile,
@@ -141,7 +173,9 @@ struct SweepWorkspace {
 }
 
 impl SweepWorkspace {
-    fn new(cfg: &SimConfig, generator: &KeyGenerator, chips: usize) -> Self {
+    /// Fabricates the bench: `chips` chips sized for `generator`.
+    #[must_use]
+    pub fn new(cfg: &SimConfig, generator: &KeyGenerator, chips: usize) -> Self {
         let n_ros = 2 * generator.response_bits();
         let design = PufDesign::builder(RoStyle::AgingResistant)
             .n_ros(n_ros)
@@ -206,7 +240,6 @@ pub fn run_trial(
 /// aged-state snapshot store ([`age_chip_snapshotted`]): all three
 /// intensities walk the same per-interval aging prefixes, so only the
 /// first trial to reach a given window pays the wear physics.
-#[allow(clippy::too_many_lines)]
 fn run_trial_on(
     cfg: &SimConfig,
     generator: &KeyGenerator,
@@ -215,6 +248,69 @@ fn run_trial_on(
     interval_years: f64,
     attempts_per_chip: usize,
 ) -> LifecycleTrial {
+    run_replicated_trial_on(
+        cfg,
+        generator,
+        workspace,
+        intensity,
+        interval_years,
+        1,
+        attempts_per_chip,
+        0,
+    )
+    .lifecycle
+}
+
+/// One (intensity, interval, replicas) point of the replicated
+/// maintained mission, on its own workspace (EXP-19's unit trial).
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn run_replicated_trial(
+    cfg: &SimConfig,
+    generator: &KeyGenerator,
+    intensity: f64,
+    interval_years: f64,
+    replicas: usize,
+    chips: usize,
+    attempts_per_chip: usize,
+    impostor_attempts_per_chip: usize,
+) -> ReplicatedLifecycleTrial {
+    let mut workspace = SweepWorkspace::new(cfg, generator, chips);
+    run_replicated_trial_on(
+        cfg,
+        generator,
+        &mut workspace,
+        intensity,
+        interval_years,
+        replicas,
+        attempts_per_chip,
+        impostor_attempts_per_chip,
+    )
+}
+
+/// The generalized lifecycle: the helper block is stored in `replicas`
+/// independently-eroding copies. Every gate and every reconstruction
+/// reads the silicon once, then tries the replicas in index order —
+/// lowest intact lineage serves, exactly the quorum-read discipline of
+/// `aro_serve`'s store — and a successful refresh rewrites *all*
+/// replicas pristine (the lifecycle's anti-entropy scrub). With
+/// `impostor_attempts_per_chip > 0`, chip *i* additionally attacks chip
+/// *i+1 mod n*'s final enrollment to measure the false-accept side.
+/// Deterministic in its arguments; `replicas = 1,
+/// impostor_attempts_per_chip = 0` reproduces [`run_trial`] byte for
+/// byte.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn run_replicated_trial_on(
+    cfg: &SimConfig,
+    generator: &KeyGenerator,
+    workspace: &mut SweepWorkspace,
+    intensity: f64,
+    interval_years: f64,
+    replicas: usize,
+    attempts_per_chip: usize,
+    impostor_attempts_per_chip: usize,
+) -> ReplicatedLifecycleTrial {
+    assert!(replicas >= 1, "the helper store needs at least one replica");
     let mission_s = 10.0 * YEAR;
     let plan = FaultPlan::storm().scaled(intensity);
     let inj = FaultInjector::new(plan, cfg.seed);
@@ -235,6 +331,12 @@ fn run_trial_on(
     let mut refreshes_scheduled = 0;
     let mut refreshes_succeeded = 0;
     let mut helper_bits_eroded = 0;
+    let mut replica_fallbacks = 0;
+    // Each chip's end-of-mission stored state — per-replica (eroded
+    // helper, erasure flags) plus the current key — kept for the
+    // impostor pass below.
+    let mut finals: Vec<(Vec<(HelperData, Erasures)>, BitString)> =
+        Vec::with_capacity(chip_count);
     for (slot, chip) in chips.iter_mut().enumerate() {
         let id = slot as u64;
         chip.reset_to_fabricated();
@@ -258,11 +360,13 @@ fn run_trial_on(
             .map(|(bit, _)| bit)
             .collect();
 
-        // Erosion accumulates between refreshes; a successful refresh
-        // writes a pristine helper block and clears the backlog. The
-        // BIST flags live in `known.response` for the whole mission;
-        // only the helper backlog is rebuilt per window.
-        let mut accumulated: Vec<(usize, usize)> = Vec::new();
+        // Erosion accumulates per replica between refreshes (sibling
+        // replicas erode at disjoint fault coordinates — the window
+        // stride); a successful refresh rewrites every replica pristine
+        // and clears all backlogs. The BIST flags live in
+        // `known.response` for the whole mission; only the helper
+        // backlog is rebuilt per window and replica.
+        let mut accumulated: Vec<Vec<(usize, usize)>> = vec![Vec::new(); replicas];
         let mut known = Erasures {
             helper: Vec::new(),
             response: bist,
@@ -274,12 +378,14 @@ fn run_trial_on(
         for (window, &t) in boundaries.iter().enumerate() {
             let dt = t - elapsed;
             age_chip_snapshotted(chip, design, profile, dt, &mut cursor);
-            accumulated.extend(inj.helper_erasures_during(
-                id,
-                window as u64,
-                dt / mission_s,
-                &block_lens,
-            ));
+            for (k, backlog) in accumulated.iter_mut().enumerate() {
+                backlog.extend(inj.helper_erasures_during(
+                    id,
+                    window as u64 + k as u64 * HELPER_REPLICA_WINDOW_STRIDE,
+                    dt / mission_s,
+                    &block_lens,
+                ));
+            }
             elapsed = t;
 
             let is_refresh_gate = window < boundaries.len() - 1;
@@ -287,60 +393,124 @@ fn run_trial_on(
                 break;
             }
             refreshes_scheduled += 1;
-            let eroded = helper.with_flipped_bits(&accumulated);
-            refresh_known(&mut known, &accumulated);
-            for retry in 0..READ_RETRIES as u64 {
+            'gate: for retry in 0..READ_RETRIES as u64 {
                 let event = REFRESH_EVENT_BASE + window as u64 * READ_RETRIES as u64 + retry;
                 let soft = faulted_soft_reading(&inj, chip, design, env, pairs, id, event);
                 let anchor = chip.response_voted(design, env, pairs, 5);
-                if let Some((new_key, new_helper)) =
-                    refresh_enrollment(generator, &soft, &eroded, &known, &key, &anchor, &mut rng)
-                {
+                // One silicon read, then the replicas in index order:
+                // the gate passes on the first replica whose lineage
+                // still holds the key chain together.
+                for (k, backlog) in accumulated.iter().enumerate() {
+                    let eroded = helper.with_flipped_bits(backlog);
+                    refresh_known(&mut known, backlog);
+                    let Some((new_key, new_helper)) = refresh_enrollment(
+                        generator, &soft, &eroded, &known, &key, &anchor, &mut rng,
+                    ) else {
+                        continue;
+                    };
+                    if k > 0 {
+                        replica_fallbacks += 1;
+                    }
                     key = new_key;
                     helper = new_helper;
-                    helper_bits_eroded += accumulated.len();
-                    accumulated.clear();
+                    helper_bits_eroded += accumulated.iter().map(Vec::len).sum::<usize>();
+                    for backlog in &mut accumulated {
+                        backlog.clear();
+                    }
                     refreshes_succeeded += 1;
-                    break;
+                    break 'gate;
                 }
             }
         }
 
         // End of mission: reconstruct the current key from what is
         // actually stored, under full field faults.
-        helper_bits_eroded += accumulated.len();
-        let eroded = helper.with_flipped_bits(&accumulated);
-        refresh_known(&mut known, &accumulated);
+        helper_bits_eroded += accumulated.iter().map(Vec::len).sum::<usize>();
+        let stored: Vec<(HelperData, Erasures)> = accumulated
+            .iter()
+            .map(|backlog| {
+                let eroded = helper.with_flipped_bits(backlog);
+                let mut flags = Erasures {
+                    helper: Vec::new(),
+                    response: known.response.clone(),
+                };
+                refresh_known(&mut flags, backlog);
+                (eroded, flags)
+            })
+            .collect();
         for attempt in 0..attempts_per_chip as u64 {
-            for retry in 0..READ_RETRIES as u64 {
+            'attempt: for retry in 0..READ_RETRIES as u64 {
                 let event = attempt * READ_RETRIES as u64 + retry;
                 let soft = faulted_soft_reading(&inj, chip, design, env, pairs, id, event);
-                if generator.reconstruct_soft_erasure_aware(&soft, &eroded, &known)
-                    == Some(key.clone())
-                {
-                    recovered += 1;
-                    break;
+                for (k, (eroded, flags)) in stored.iter().enumerate() {
+                    if generator.reconstruct_soft_erasure_aware(&soft, eroded, flags)
+                        == Some(key.clone())
+                    {
+                        if k > 0 {
+                            replica_fallbacks += 1;
+                        }
+                        recovered += 1;
+                        break 'attempt;
+                    }
                 }
             }
         }
+        finals.push((stored, key));
         // The mission's reads warmed this chip's kernels at its final
         // aged state; donate them so the next trial to replay the same
         // aging prefix preloads instead of rebuilding.
         crate::popcache::harvest_kernel_hints(chip, design, &cursor);
     }
-    LifecycleTrial {
-        intensity,
-        interval_years,
-        chips: chip_count,
-        attempts_per_chip,
-        recovered,
-        refreshes_scheduled,
-        refreshes_succeeded,
-        helper_bits_eroded,
+
+    // False-accept probe: chip i attacks chip i+1 (mod n)'s stored
+    // enrollment with its own silicon — every replica of the victim's
+    // helper is fair game, and any reconstruction of the victim's key
+    // is a false accept.
+    let mut impostor_attempts = 0;
+    let mut impostor_accepts = 0;
+    if impostor_attempts_per_chip > 0 && chip_count >= 2 {
+        for (slot, chip) in chips.iter_mut().enumerate() {
+            let (victim_stored, victim_key) = &finals[(slot + 1) % chip_count];
+            for attempt in 0..impostor_attempts_per_chip as u64 {
+                impostor_attempts += 1;
+                'probe: for retry in 0..READ_RETRIES as u64 {
+                    let event = IMPOSTOR_EVENT_BASE + attempt * READ_RETRIES as u64 + retry;
+                    let soft =
+                        faulted_soft_reading(&inj, chip, design, env, pairs, slot as u64, event);
+                    for (eroded, flags) in victim_stored {
+                        if generator.reconstruct_soft_erasure_aware(&soft, eroded, flags)
+                            == Some(victim_key.clone())
+                        {
+                            impostor_accepts += 1;
+                            break 'probe;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    ReplicatedLifecycleTrial {
+        lifecycle: LifecycleTrial {
+            intensity,
+            interval_years,
+            chips: chip_count,
+            attempts_per_chip,
+            recovered,
+            refreshes_scheduled,
+            refreshes_succeeded,
+            helper_bits_eroded,
+        },
+        replicas,
+        replica_fallbacks,
+        impostor_attempts,
+        impostor_accepts,
     }
 }
 
-fn interval_label(interval_years: f64) -> String {
+/// Human label for a refresh interval (`INFINITY` = "never").
+#[must_use]
+pub fn interval_label(interval_years: f64) -> String {
     if interval_years.is_finite() {
         format!("{interval_years:.2} y")
     } else {
@@ -504,6 +674,39 @@ mod tests {
             "maintained {} vs static {}",
             maintained.recovered,
             never.recovered
+        );
+    }
+
+    #[test]
+    fn single_replica_lifecycle_matches_the_unreplicated_trial() {
+        let cfg = tiny_cfg();
+        let generator = tiny_generator(&cfg);
+        let plain = run_trial(&cfg, &generator, 0.5, 2.5, 3, 2);
+        let replicated = run_replicated_trial(&cfg, &generator, 0.5, 2.5, 1, 3, 2, 0);
+        assert_eq!(replicated.lifecycle, plain, "replicas=1 must be byte-identical");
+        assert_eq!(replicated.replica_fallbacks, 0);
+        assert_eq!(replicated.impostor_attempts, 0);
+    }
+
+    #[test]
+    fn replication_never_recovers_fewer_keys_and_rejects_impostors() {
+        let cfg = tiny_cfg();
+        let generator = tiny_generator(&cfg);
+        let one = run_replicated_trial(&cfg, &generator, 1.0, 2.5, 1, 4, 2, 1);
+        let three = run_replicated_trial(&cfg, &generator, 1.0, 2.5, 3, 4, 2, 1);
+        assert!(
+            three.lifecycle.recovered >= one.lifecycle.recovered,
+            "3 replicas {} vs 1 replica {}",
+            three.lifecycle.recovered,
+            one.lifecycle.recovered
+        );
+        assert_eq!(one.impostor_attempts, 4);
+        assert_eq!(one.impostor_accepts, 0, "FAR must be zero");
+        assert_eq!(three.impostor_accepts, 0, "FAR must be zero");
+        assert_eq!(
+            three,
+            run_replicated_trial(&cfg, &generator, 1.0, 2.5, 3, 4, 2, 1),
+            "the replicated lifecycle must be replayable"
         );
     }
 

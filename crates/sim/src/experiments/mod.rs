@@ -11,6 +11,7 @@ pub mod exp15;
 pub mod exp16;
 pub mod exp17;
 pub mod exp18;
+pub mod exp19;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
@@ -25,9 +26,9 @@ use crate::config::SimConfig;
 use crate::report::Report;
 
 /// Every experiment id, in paper order.
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "exp9", "exp10", "exp11",
-    "exp12", "exp13", "exp14", "exp15", "exp16", "exp17", "exp18",
+    "exp12", "exp13", "exp14", "exp15", "exp16", "exp17", "exp18", "exp19",
 ];
 
 /// Wraps one experiment run in its phase span and progress counter, so
@@ -54,7 +55,7 @@ pub fn run_all(cfg: &SimConfig) -> Vec<Report> {
     })
 }
 
-/// Runs one experiment by id (`"exp1"`…`"exp18"`, plus the
+/// Runs one experiment by id (`"exp1"`…`"exp19"`, plus the
 /// `"serve-bench"` mode, which is not in [`ALL_IDS`] — it only runs when
 /// asked for by name), or `None` for an unknown id. Opens a
 /// population-cache scope of its own (a no-op when the caller — e.g.
@@ -80,6 +81,7 @@ pub fn run_by_id(id: &str, cfg: &SimConfig) -> Option<Report> {
         "exp16" => exp16::run,
         "exp17" => exp17::run,
         "exp18" => exp18::run,
+        "exp19" => exp19::run,
         "serve-bench" => serve_bench::run,
         _ => return None,
     };

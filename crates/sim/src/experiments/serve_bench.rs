@@ -52,8 +52,12 @@ pub fn run(cfg: &SimConfig) -> Report {
         |inj| format!("ambient#{:08x}", inj.fingerprint() as u32),
     );
     let fleet = cfg.n_chips.clamp(4, 8);
+    let replicas = crate::servefleet::replicas();
     let mut table = Table::new(
-        format!("Fleet auth service throughput/accuracy (faults: {faults_label})"),
+        format!(
+            "Fleet auth service throughput/accuracy (faults: {faults_label}, \
+             {replicas}-way replicated store)"
+        ),
         &table_columns(),
     );
     let mut degraded_points = 0u64;
@@ -97,6 +101,11 @@ pub fn run(cfg: &SimConfig) -> Report {
             aro_obs::gauge(&format!("{point}.p99_us"), stats.p99_us as f64);
             aro_obs::gauge(&format!("{point}.quarantines"), stats.tallies.quarantines as f64);
             aro_obs::gauge(&format!("{point}.reenrolled"), stats.tallies.reenrolled as f64);
+            aro_obs::gauge(&format!("{point}.scrub_repairs"), stats.scrub_repairs as f64);
+            aro_obs::gauge(
+                &format!("{point}.replica_fallbacks"),
+                stats.tallies.replica_fallbacks as f64,
+            );
             table.push_row(stats_row(style, age_years, &faults_label, &stats));
         }
     }

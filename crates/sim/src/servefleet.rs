@@ -11,6 +11,8 @@
 //! plan-parallel-fold discipline as every other sweep, so reports are
 //! byte-identical at any `--threads N`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use aro_circuit::ring::RoStyle;
 use aro_device::environment::Environment;
 use aro_device::units::YEAR;
@@ -37,8 +39,33 @@ pub const CRP_BITS: usize = 64;
 /// Store shards (`aro-par`'s fixed-index chunk discipline).
 pub const N_SHARDS: usize = 4;
 
+/// Default store replication factor: two replicas per record survive
+/// any single replica wipe or whole-shard loss per group, and the
+/// maintenance scrub heals the survivor back to full strength.
+pub const DEFAULT_REPLICAS: usize = 2;
+
 /// Mission length the store-erosion fraction is normalized against.
 const MISSION_YEARS: f64 = 10.0;
+
+static REPLICA_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the store replication factor for subsequent trials
+/// (`repro --replicas N`). 0 restores [`DEFAULT_REPLICAS`].
+pub fn set_replica_override(replicas: usize) {
+    REPLICA_OVERRIDE.store(replicas, Ordering::Relaxed);
+}
+
+/// The replication factor trials run with: the override if set, else
+/// [`DEFAULT_REPLICAS`].
+#[must_use]
+pub fn replicas() -> usize {
+    let forced = REPLICA_OVERRIDE.load(Ordering::Relaxed);
+    if forced == 0 {
+        DEFAULT_REPLICAS
+    } else {
+        forced
+    }
+}
 
 /// The reusable bench for one cell style: fabricated fleet, per-device
 /// challenge pair sets, and cached golden responses. Each trial rewinds
@@ -130,8 +157,11 @@ impl FleetWorkspace {
     ) -> BenchStats {
         let _span = aro_obs::span("serve.trial");
         let _trial = aro_serve::audit::scope_begin(scope);
-        let mut service =
-            AuthService::new(ServicePolicy::default(), self.chips.len(), N_SHARDS, cfg.seed);
+        let policy = ServicePolicy {
+            replicas: replicas(),
+            ..ServicePolicy::default()
+        };
+        let mut service = AuthService::new(policy, self.chips.len(), N_SHARDS, cfg.seed);
         // Factory enrollment on fresh silicon: golden CRP reference plus
         // the key/helper record, sealed into its fixed store shard.
         let enroll_span = aro_obs::span("serve.enroll_fleet");
@@ -193,7 +223,7 @@ impl FleetWorkspace {
 
 /// The shared serve-table column set (EXP-18 and `serve-bench`).
 #[must_use]
-pub fn table_columns() -> [&'static str; 11] {
+pub fn table_columns() -> [&'static str; 12] {
     [
         "cell",
         "fleet age",
@@ -206,6 +236,7 @@ pub fn table_columns() -> [&'static str; 11] {
         "shed",
         "quarantined (healed)",
         "health",
+        "store (scrubbed)",
     ]
 }
 
@@ -224,6 +255,7 @@ pub fn stats_row(style: RoStyle, age_years: f64, faults: &str, stats: &BenchStat
         stats.tallies.shed.to_string(),
         format!("{} ({})", stats.tallies.quarantines, stats.tallies.reenrolled),
         stats.final_state.label().to_string(),
+        format!("{} ({})", stats.final_store_health.label(), stats.scrub_repairs),
     ]
 }
 

@@ -114,6 +114,7 @@ fi
 # time, so like everything here this warns and never fails. Tune with
 # SERVE_BENCH_THRESHOLD (default 0.3).
 SERVE_THRESHOLD="${SERVE_BENCH_THRESHOLD:-0.3}"
+SCRUB_THRESHOLD="${SCRUB_OVERHEAD_THRESHOLD:-0.4}"
 serve_baseline=""
 for candidate in $(ls -1 BENCH_pr*.json 2>/dev/null | sort -rV); do
     if grep -q '"serve"' "$candidate"; then
@@ -132,12 +133,15 @@ if [[ -n "$serve_baseline" ]]; then
     if [[ "$serve_clean_status" -ne 0 && "$serve_clean_status" -ne 3 ]]; then
         echo "bench_check: fault-free serve-bench exited $serve_clean_status; skipping serve advisory" >&2
     else
-    python3 - "$serve_baseline" "$serve_clean_json" "$SERVE_THRESHOLD" <<'PY'
+    python3 - "$serve_baseline" "$serve_clean_json" "$SERVE_THRESHOLD" "$SCRUB_THRESHOLD" <<'PY'
 import json, sys
 
-old = json.load(open(sys.argv[1])).get("serve", {})
-new = json.load(open(sys.argv[2])).get("serve", {})
+old_doc = json.load(open(sys.argv[1]))
+new_doc = json.load(open(sys.argv[2]))
+old = old_doc.get("serve", {})
+new = new_doc.get("serve", {})
 threshold = float(sys.argv[3])
+scrub_threshold = float(sys.argv[4])
 warned = False
 for name in sorted(old):
     if name not in new:
@@ -151,6 +155,27 @@ for name in sorted(old):
         print(f"WARNING: {name} crept {o:.0f} -> {n:.0f} us simulated "
               f"(past +{threshold:.0%}) — deterministic, so a real change")
         warned = True
+    elif name.endswith((".scrub_repairs", ".replica_fallbacks")) and n != o:
+        print(f"WARNING: {name} moved {o:.0f} -> {n:.0f} on a fault-free run "
+              f"— deterministic, so a real behavioural change")
+        warned = True
+# Scrub-overhead advisory: the anti-entropy pass rides inside every
+# serve-bench maintenance round, so its wall cost shows up in the
+# whole run's total. Warn when the fresh fault-free serve-bench run
+# is slower than the committed capture past the scrub threshold
+# (advisory: shared machines drift, see docs/PERFORMANCE.md).
+o_wall = old_doc.get("total_wall_ns")
+n_wall = new_doc.get("total_wall_ns")
+if o_wall and n_wall:
+    ratio = n_wall / o_wall
+    if ratio > 1 + scrub_threshold:
+        print(f"WARNING: serve-bench wall {o_wall/1e6:.1f} -> {n_wall/1e6:.1f} ms "
+              f"({ratio:.2f}x, past +{scrub_threshold:.0%}) — check the "
+              f"replication/scrub overhead before trusting or dismissing it")
+        warned = True
+    else:
+        print(f"scrub overhead advisory: serve-bench wall {ratio:.2f}x the "
+              f"committed capture (threshold +{scrub_threshold:.0%})")
 if not warned:
     print(f"serve advisory: throughput and p99 within {threshold:.0%} of baseline")
 PY

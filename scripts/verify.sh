@@ -179,6 +179,60 @@ if ! cmp -s "$serve_dir/bench_1.md" "$serve_dir/bench_4.md"; then
 fi
 echo "serve smoke: serve-bench byte-identical at 1 and 4 threads"
 
+# Replica smoke: the N-way replicated enrollment store, end to end on
+# the real binary. The --replicas flag must reject nonsense with a
+# usage error (exit 2), a full storm with replication on must end
+# honestly (exit 0, or 3 when the fleet degrades) with zero false
+# accepts, and the replicated serve-bench report — quorum reads,
+# scrub repairs, replica-hop latencies included — must stay
+# byte-identical at 1 and 4 worker threads. See docs/ROBUSTNESS.md
+# ("Replicated enrollment store").
+echo "==> replica smoke (--replicas validation + replicated storm determinism)"
+set +e
+./target/release/repro --quick --quiet --replicas 0 serve-bench > /dev/null 2>&1
+bad_zero=$?
+./target/release/repro --quick --quiet --replicas 9 serve-bench > /dev/null 2>&1
+bad_many=$?
+set -e
+if [[ "$bad_zero" -ne 2 || "$bad_many" -ne 2 ]]; then
+    echo "verify: --replicas 0 / 9 exited $bad_zero / $bad_many (expected 2 / 2)" >&2
+    exit 1
+fi
+replica_dir="$ledger_dir/replicas"
+mkdir -p "$replica_dir"
+set +e
+./target/release/repro --quick --faults storm --replicas 3 --threads 1 serve-bench \
+    > "$replica_dir/bench_1.md"
+rep_t1=$?
+./target/release/repro --quick --faults storm --replicas 3 --threads 4 serve-bench \
+    > "$replica_dir/bench_4.md"
+rep_t4=$?
+set -e
+for code in "$rep_t1" "$rep_t4"; do
+    if [[ "$code" -ne 0 && "$code" -ne 3 ]]; then
+        echo "verify: replicated serve-bench exited $code (expected 0 or 3)" >&2
+        exit 1
+    fi
+done
+if [[ "$rep_t1" -ne "$rep_t4" ]]; then
+    echo "verify: replicated serve-bench exit codes differ between threads" >&2
+    exit 1
+fi
+if ! cmp -s "$replica_dir/bench_1.md" "$replica_dir/bench_4.md"; then
+    echo "verify: replicated serve-bench differs between --threads 1 and 4" >&2
+    diff "$replica_dir/bench_1.md" "$replica_dir/bench_4.md" | head -20 >&2
+    exit 1
+fi
+if ! grep -q "3-way replicated store" "$replica_dir/bench_1.md"; then
+    echo "verify: replicated serve-bench report does not name its replication factor" >&2
+    exit 1
+fi
+if ! grep -q "0 false accepts" "$replica_dir/bench_1.md"; then
+    echo "verify: replicated storm run must keep zero false accepts" >&2
+    exit 1
+fi
+echo "replica smoke: usage errors rejected, replicated storm deterministic"
+
 # Incident smoke: the request-scoped audit trail, end to end. Capture
 # exp18 under a quarter storm with --audit at 1 and 4 worker threads,
 # require `report incidents` to reconstruct byte-identical causal
@@ -224,6 +278,7 @@ import json, sys
 seq = -1
 requests = {}
 verdicts = 0
+scrubs = 0
 for line in open(sys.argv[1]):
     line = line.strip()
     if not line or '"event":"audit"' not in line:
@@ -239,6 +294,8 @@ for line in open(sys.argv[1]):
         assert len(req) == 16 and int(req, 16) >= 0, f"bad request id {req!r}"
         order = requests.setdefault(req, [])
         order.append(stage)
+        if stage == "store_read" and ev.get("outcome") == "intact":
+            assert ev.get("replica", 0) >= 0, f"intact read without a replica: {ev}"
         if stage == "verdict":
             verdicts += 1
             assert order[0] == "request", f"chain for {req} missing its request head: {order}"
@@ -246,11 +303,18 @@ for line in open(sys.argv[1]):
                 "accepted", "rejected", "timed_out",
                 "corrupt_record", "missing", "malformed",
             ), ev["verdict"]
+    elif stage == "scrub":
+        scrubs += 1
+        assert ev["outcome"] in ("read_repair", "unrecoverable"), ev["outcome"]
+        assert ev["replica"] >= 0 and ev["generation"] >= 0, ev
+    elif stage == "store_health":
+        assert ev["from"] in ("intact", "replica-degraded", "quorum-critical"), ev
+        assert ev["to"] in ("intact", "replica-degraded", "quorum-critical"), ev
 assert verdicts > 0, "audit capture carried no verdicts"
 for req, order in requests.items():
     assert order.count("request") == 1, f"{req}: {order}"
     assert order.count("verdict") <= 1, f"{req}: {order}"
-print(f"audit JSONL valid: {len(requests)} request chains, {verdicts} verdicts")
+print(f"audit JSONL valid: {len(requests)} request chains, {verdicts} verdicts, {scrubs} scrub findings")
 PY
 echo "incident smoke: forensics byte-identical at 1 and 4 threads"
 

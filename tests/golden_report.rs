@@ -106,9 +106,10 @@ fn interrupted_then_resumed_run_matches_the_fixture_byte_for_byte() {
     let mut resumed_ledger = Ledger::open(&path).expect("reopen ledger");
     assert_eq!(resumed_ledger.records().len(), 5);
     let resumed = render_harness_run(&ALL_IDS, Some(&mut resumed_ledger));
-    // 5 replayed + 13 fresh appends = 18 records: had replay silently
-    // failed, the re-runs would have appended 18 more (total 23).
-    assert_eq!(resumed_ledger.records().len(), 18);
+    // 5 replayed + the rest fresh = one record per experiment: had
+    // replay silently failed, the re-runs would have appended ALL_IDS
+    // more records on top (total ALL_IDS + 5).
+    assert_eq!(resumed_ledger.records().len(), ALL_IDS.len());
     drop(resumed_ledger);
     std::fs::remove_file(&path).expect("cleanup");
     assert_eq!(

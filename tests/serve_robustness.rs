@@ -15,7 +15,7 @@ use aro_puf_repro::faults::{FaultInjector, FaultPlan};
 use aro_puf_repro::puf::{Challenge, Chip, PairingStrategy, PufDesign};
 use aro_puf_repro::serve::{
     audit, AuthService, BenchPlan, HealthState, ReadOutcome, RequestOutcome, ServicePolicy,
-    StoredRecord, Verdict,
+    ShardedStore, StoredRecord, Verdict,
 };
 use aro_puf_repro::sim::experiments::run_by_id;
 use aro_puf_repro::sim::parallel::set_thread_override;
@@ -98,6 +98,88 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6 })]
+
+    /// Anti-entropy convergence (satellite of the replicated store):
+    /// after one scrub pass, every record group that kept at least one
+    /// intact replica is fully healed — reads serve `Intact`, and all
+    /// sibling replicas are byte-identical (a second scrub finds nothing
+    /// left to repair). Groups that lost every replica are reported
+    /// unrecoverable, never silently served. Holds at 1, 2, and 8
+    /// forced worker threads, with faults off and under a full storm.
+    #[test]
+    fn scrub_converges_every_group_with_an_intact_replica(
+        plan in prop::sample::select(vec!["off", "storm"]),
+        seed in 0u64..50,
+        threads in prop::sample::select(vec![1usize, 2, 8]),
+    ) {
+        set_thread_override(threads);
+        let params = PufAreaParams {
+            ro_cell_ge: 3.0,
+            readout_fixed_ge: 120.0,
+            readout_per_ro_ge: 3.0,
+            ros_per_bit: 2.0,
+        };
+        let generator = KeyGenerator::for_bit_error_rate(0.05, 32, 1e-6, &params)
+            .expect("feasible");
+        let n = 8usize;
+        let mut store = ShardedStore::for_fleet_replicated(n, 4, 3);
+        let design = PufDesign::builder(RoStyle::AgingResistant)
+            .n_ros(2 * generator.response_bits())
+            .seed(seed ^ 0x5c7b)
+            .build();
+        let env = aro_puf_repro::device::environment::Environment::nominal(design.tech());
+        let key_pairs = PairingStrategy::Neighbor.pairs(design.n_ros());
+        for id in 0..n as u64 {
+            let chip = Chip::fabricate(&design, id);
+            let golden = chip.golden_response(&design, &env, &key_pairs);
+            let mut rng = design.seed_domain().child("scrub-test").rng(id);
+            let (key, helper) = generator.enroll(&golden, &mut rng);
+            store.insert(StoredRecord::new(id, key_pairs.clone(), golden, helper, key));
+        }
+
+        // Field damage: several full-fraction maintenance windows of the
+        // selected plan (helper erosion + replica wipes + shard losses).
+        let plan = FaultPlan::parse(plan).expect("valid plan");
+        if !plan.is_off() {
+            let inj = FaultInjector::new(plan, seed);
+            for window in 0..4 {
+                store.erode(&inj, window, 1.0);
+            }
+        }
+
+        let recoverable: Vec<u64> = (0..n as u64)
+            .filter(|&id| store.replica_summary(id).intact > 0)
+            .collect();
+        let report = store.scrub();
+
+        for &id in &recoverable {
+            let summary = store.replica_summary(id);
+            prop_assert_eq!(summary.intact, 3, "device {} fully healed", id);
+            prop_assert_eq!(summary.corrupt + summary.wiped, 0);
+            prop_assert!(
+                matches!(store.read(id), ReadOutcome::Intact(_)),
+                "device {} must read Intact after scrub", id
+            );
+            prop_assert!(!report.unrecoverable.contains(&id));
+        }
+        for id in 0..n as u64 {
+            if !recoverable.contains(&id) {
+                prop_assert!(
+                    report.unrecoverable.contains(&id),
+                    "group {} with no intact replica must be reported, not served", id
+                );
+            }
+        }
+        // Convergence: one pass suffices — the siblings are now
+        // byte-identical, so a second pass repairs nothing.
+        let again = store.scrub();
+        prop_assert!(again.repairs.is_empty(), "second scrub must be a no-op");
+        set_thread_override(0);
+    }
+}
+
 /// A synthetic probe outcome for driving `admit()` directly.
 fn synthetic(verdict: Verdict, attempt_timeouts: u32) -> RequestOutcome {
     RequestOutcome {
@@ -106,6 +188,8 @@ fn synthetic(verdict: Verdict, attempt_timeouts: u32) -> RequestOutcome {
         attempts: 1 + attempt_timeouts,
         attempt_timeouts,
         latency_us: 100,
+        served_replica: Some(0),
+        replicas_lost: 0,
         audit: None,
     }
 }
